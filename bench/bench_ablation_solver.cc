@@ -1,0 +1,97 @@
+// Ablation: solver search-space pruning and profiler mode (paper §4.3).
+// The paper prunes row cuts to 256 alignment and sequence cuts to 32; this
+// bench shows what finer/coarser granularities and the decision-tree
+// prediction mode cost or buy end-to-end.
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/hetero_engine.h"
+
+namespace heterollm {
+namespace {
+
+using model::ModelConfig;
+
+double PrefillWith(const core::HeteroOptions& opts, int prompt) {
+  model::ModelWeights weights = model::ModelWeights::Create(
+      ModelConfig::Llama8B(), model::ExecutionMode::kSimulate);
+  core::Platform platform;
+  core::HeteroEngine engine(core::HeteroLevel::kTensor, &platform, &weights,
+                            opts);
+  return engine.Generate(prompt, 0).prefill_tokens_per_s();
+}
+
+void PrintAblation() {
+  benchx::PrintHeader("Ablation",
+                      "Partition-solver pruning and profiler mode "
+                      "(Llama-8B Hetero-tensor)");
+
+  TextTable table({"configuration", "prefill tok/s @256",
+                   "prefill tok/s @300 (misaligned)"});
+  auto row = [&](const std::string& label, core::HeteroOptions opts) {
+    table.AddRow({label, StrFormat("%.1f", PrefillWith(opts, 256)),
+                  StrFormat("%.1f", PrefillWith(opts, 300))});
+  };
+
+  row("paper pruning (row 256, seq 32), real-execution profiler", {});
+  {
+    core::HeteroOptions opts;
+    opts.solver.row_align = 64;
+    row("fine row cuts (64-aligned; 4x larger search)", opts);
+  }
+  {
+    core::HeteroOptions opts;
+    opts.solver.row_align = 1024;
+    row("coarse row cuts (1024-aligned)", opts);
+  }
+  {
+    core::HeteroOptions opts;
+    opts.solver.seq_align = 128;
+    row("coarse sequence cuts (128-aligned)", opts);
+  }
+  {
+    core::HeteroOptions opts;
+    opts.profiler_mode = core::ProfilerMode::kPrediction;
+    row("decision-tree prediction profiler", opts);
+  }
+  {
+    core::HeteroOptions opts;
+    opts.engine.standard_seq_sizes = {128, 256, 512, 1024};
+    opts.solver.standard_seq_sizes = opts.engine.standard_seq_sizes;
+    row("fewer standard graph sizes (128..1024)", opts);
+  }
+  {
+    core::HeteroOptions opts;
+    opts.solver.max_parallel_power_watts = 3.0;
+    row("3 W parallel-power budget (no dual-backend plans)", opts);
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "The paper's pruning loses almost nothing against 64-aligned cuts "
+      "while shrinking the search 4x; the prediction-mode profiler picks "
+      "nearly the same plans as real execution (§4.3, 'minor inaccuracies "
+      "are tolerable').\n");
+}
+
+void BM_SolverDecision(benchmark::State& state) {
+  core::Platform platform;
+  core::HardwareProfiler profiler(&platform);
+  core::PartitionSolver solver(&profiler, &platform);
+  const core::MatmulShape ffn_down{256, 14336, 4096, hal::Precision::kFp16,
+                                   0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.DecidePrefill(ffn_down));
+  }
+}
+BENCHMARK(BM_SolverDecision)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

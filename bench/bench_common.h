@@ -1,0 +1,41 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation:
+// it prints the paper-style rows (plus paper-reported reference values where
+// the paper gives absolute numbers) and registers google-benchmark timings
+// for the underlying simulation runs.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/engine_registry.h"
+#include "src/workload/metrics.h"
+
+namespace heterollm::benchx {
+
+// Runs `engine_name` on a fresh platform/model; simulate-mode weights.
+inline core::GenerationStats RunEngineOnce(const std::string& engine_name,
+                                           const model::ModelConfig& cfg,
+                                           int prompt_len, int decode_len,
+                                           core::EngineOptions opts = {}) {
+  model::ModelWeights weights =
+      model::ModelWeights::Create(cfg, model::ExecutionMode::kSimulate);
+  core::Platform platform(core::PlatformOptionsFor(engine_name));
+  auto engine = core::CreateEngine(engine_name, &platform, &weights, opts);
+  return engine->Generate(prompt_len, decode_len);
+}
+
+inline void PrintHeader(const std::string& id, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace heterollm::benchx
+
+#endif  // BENCH_BENCH_COMMON_H_

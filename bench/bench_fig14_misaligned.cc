@@ -1,0 +1,80 @@
+// Figure 14: prefill latency for misaligned sequence lengths on Llama-8B —
+// Online-prepare vs Padding vs Pipe vs Hetero-tensor (plus MLLM-NPU-style
+// Chunked prefill for §5.2.2's discussion).
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/workload/prompt_workload.h"
+
+namespace heterollm {
+namespace {
+
+using benchx::RunEngineOnce;
+using model::ModelConfig;
+
+void PrintFigure14() {
+  benchx::PrintHeader("Figure 14",
+                      "Prefill latency (ms) with misaligned sequence lengths "
+                      "(Llama-8B; standard graph sizes are powers of two)");
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  TextTable table({"seq", "Online-prepare", "(graph-gen %)", "Padding", "Pipe",
+                   "Chunked", "Hetero-tensor"});
+  double speedup_online = 0;
+  double speedup_padding = 0;
+  double speedup_pipe = 0;
+  for (int seq : workload::MisalignedPromptLengths()) {
+    const core::GenerationStats online =
+        RunEngineOnce("Online-prepare", cfg, seq, 0);
+    const core::GenerationStats padding = RunEngineOnce("Padding", cfg, seq, 0);
+    const core::GenerationStats pipe = RunEngineOnce("Pipe", cfg, seq, 0);
+    const core::GenerationStats chunked = RunEngineOnce("Chunked", cfg, seq, 0);
+    const core::GenerationStats hetero =
+        RunEngineOnce("Hetero-tensor", cfg, seq, 0);
+    table.AddRow({std::to_string(seq),
+                  StrFormat("%.0f", ToMillis(online.ttft())),
+                  StrFormat("%.1f%%", 100.0 * online.prefill.graph_gen_time /
+                                          online.prefill.latency),
+                  StrFormat("%.0f", ToMillis(padding.ttft())),
+                  StrFormat("%.0f", ToMillis(pipe.ttft())),
+                  StrFormat("%.0f", ToMillis(chunked.ttft())),
+                  StrFormat("%.0f", ToMillis(hetero.ttft()))});
+    if (seq == 525) {
+      speedup_online = online.ttft() / hetero.ttft();
+      speedup_padding = padding.ttft() / hetero.ttft();
+      speedup_pipe = pipe.ttft() / hetero.ttft();
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("%s", workload::RenderComparisonTable(
+                        "Paper anchors (@ seq 525, Hetero-tensor speedup)",
+                        {{"vs Online-prepare", 2.24, speedup_online, "x"},
+                         {"vs Padding", 2.21, speedup_padding, "x"},
+                         {"vs Pipe", 1.35, speedup_pipe, "x"}})
+                        .c_str());
+}
+
+void BM_Misaligned(benchmark::State& state) {
+  const char* engines[] = {"Online-prepare", "Padding", "Pipe",
+                           "Hetero-tensor"};
+  const char* engine = engines[static_cast<size_t>(state.range(0))];
+  double ms = 0;
+  for (auto _ : state) {
+    ms = ToMillis(
+        RunEngineOnce(engine, model::ModelConfig::Llama8B(), 525, 0).ttft());
+  }
+  state.counters["sim_latency_ms"] = ms;
+  state.SetLabel(engine);
+}
+BENCHMARK(BM_Misaligned)->DenseRange(0, 3)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintFigure14();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 15: prefill speed of Hetero-layer and Hetero-tensor with and
+// without fast synchronization, across models and sequence lengths.
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm {
+namespace {
+
+using benchx::RunEngineOnce;
+using model::ModelConfig;
+
+void PrintFigure15() {
+  benchx::PrintHeader("Figure 15",
+                      "Prefill tokens/s with vs without fast synchronization");
+  core::EngineOptions slow;
+  slow.fast_sync = false;
+
+  for (const ModelConfig& cfg :
+       {ModelConfig::Llama8B(), ModelConfig::Llama7B(),
+        ModelConfig::InternLM1_8B()}) {
+    std::printf("\n-- %s --\n", cfg.name.c_str());
+    TextTable table({"engine", "seq", "w/ fast sync", "w/o fast sync",
+                     "improvement"});
+    double avg_tensor = 0;
+    int count = 0;
+    for (const char* engine : {"Hetero-layer", "Hetero-tensor"}) {
+      for (int seq : {64, 256, 1024}) {
+        const double fast =
+            RunEngineOnce(engine, cfg, seq, 0).prefill_tokens_per_s();
+        const double baseline =
+            RunEngineOnce(engine, cfg, seq, 0, slow).prefill_tokens_per_s();
+        table.AddRow({engine, std::to_string(seq), StrFormat("%.1f", fast),
+                      StrFormat("%.1f", baseline),
+                      StrFormat("%.1f%%", 100.0 * (fast / baseline - 1.0))});
+        if (std::string(engine) == "Hetero-tensor") {
+          avg_tensor += fast / baseline - 1.0;
+          ++count;
+        }
+      }
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf("Hetero-tensor average improvement: %.1f%% (paper: 24.3%% on "
+                "Llama-8B, 49.0%% on Llama-7B, 34.5%% on InternLM-1.8B)\n",
+                100.0 * avg_tensor / count);
+  }
+}
+
+void BM_FastSyncPrefill(benchmark::State& state) {
+  core::EngineOptions opts;
+  opts.fast_sync = state.range(0) == 1;
+  double tok_s = 0;
+  for (auto _ : state) {
+    tok_s = RunEngineOnce("Hetero-tensor", model::ModelConfig::Llama8B(), 256,
+                          0, opts)
+                .prefill_tokens_per_s();
+  }
+  state.counters["sim_tok_per_s"] = tok_s;
+  state.SetLabel(opts.fast_sync ? "fast-sync" : "baseline-sync");
+}
+BENCHMARK(BM_FastSyncPrefill)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintFigure15();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 16: decoding rate of every engine across models (prompt length 256,
+// as in the paper).
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm {
+namespace {
+
+using benchx::RunEngineOnce;
+using model::ModelConfig;
+
+constexpr int kDecodeSteps = 24;
+
+void PrintFigure16() {
+  benchx::PrintHeader("Figure 16",
+                      "Decoding rate (tokens/s), prompt length 256");
+  TextTable table({"engine", "Llama-8B", "Llama-7B", "Llama-3B",
+                   "InternLM-1.8B"});
+  std::vector<std::vector<double>> grid;
+  for (const char* engine : {"MNN-OpenCL", "llama.cpp", "MLC", "PPL-OpenCL",
+                             "Hetero-layer", "Hetero-tensor"}) {
+    std::vector<std::string> row = {engine};
+    std::vector<double> vals;
+    for (const ModelConfig& cfg :
+         {ModelConfig::Llama8B(), ModelConfig::Llama7B(),
+          ModelConfig::Llama3B(), ModelConfig::InternLM1_8B()}) {
+      const double tok_s =
+          RunEngineOnce(engine, cfg, 256, kDecodeSteps).decode_tokens_per_s();
+      vals.push_back(tok_s);
+      row.push_back(StrFormat("%.2f", tok_s));
+    }
+    grid.push_back(vals);
+    table.AddRow(row);
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "%s",
+      workload::RenderComparisonTable(
+          "Paper anchors",
+          {{"Hetero-tensor Llama-8B", 14.01, grid[5][0], "tok/s"},
+           {"Hetero-tensor Llama-3B", 29.9, grid[5][2], "tok/s"},
+           {"Hetero-tensor InternLM-1.8B", 51.12, grid[5][3], "tok/s"},
+           {"vs PPL (Llama-8B)", 1.234, grid[5][0] / grid[3][0], "x"},
+           {"vs MNN (Llama-8B)", 1.50, grid[5][0] / grid[0][0], "x"},
+           {"vs llama.cpp (Llama-8B)", 2.53, grid[5][0] / grid[1][0], "x"},
+           {"vs MLC (Llama-8B)", 1.52, grid[5][0] / grid[2][0], "x"},
+           {"vs MNN (InternLM)", 1.94, grid[5][3] / grid[0][3], "x"},
+           {"vs MLC (InternLM)", 2.62, grid[5][3] / grid[2][3], "x"}})
+          .c_str());
+}
+
+void BM_Decode(benchmark::State& state) {
+  const char* engines[] = {"PPL-OpenCL", "Hetero-tensor"};
+  const char* engine = engines[static_cast<size_t>(state.range(0))];
+  double tok_s = 0;
+  for (auto _ : state) {
+    tok_s = RunEngineOnce(engine, model::ModelConfig::Llama8B(), 256, 8)
+                .decode_tokens_per_s();
+  }
+  state.counters["sim_tok_per_s"] = tok_s;
+  state.SetLabel(engine);
+}
+BENCHMARK(BM_Decode)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintFigure16();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

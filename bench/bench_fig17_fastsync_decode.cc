@@ -1,0 +1,73 @@
+// Figure 17: decoding rate of Hetero-tensor with and without fast
+// synchronization. Decode kernels run only hundreds of µs, so the ~400 µs
+// legacy sync dominates without the fast path (paper: 4.01x on Llama-8B).
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm {
+namespace {
+
+using benchx::RunEngineOnce;
+using model::ModelConfig;
+
+constexpr int kDecodeSteps = 16;
+
+void PrintFigure17() {
+  benchx::PrintHeader("Figure 17",
+                      "Hetero-tensor decoding with vs without fast sync "
+                      "(prompt 256)");
+  core::EngineOptions slow;
+  slow.fast_sync = false;
+  TextTable table({"model", "w/ fast sync", "w/o fast sync", "speedup"});
+  double speedup_8b = 0;
+  for (const ModelConfig& cfg :
+       {ModelConfig::Llama8B(), ModelConfig::Llama7B(), ModelConfig::Llama3B(),
+        ModelConfig::InternLM1_8B()}) {
+    const double fast = RunEngineOnce("Hetero-tensor", cfg, 256, kDecodeSteps)
+                            .decode_tokens_per_s();
+    const double baseline =
+        RunEngineOnce("Hetero-tensor", cfg, 256, kDecodeSteps, slow)
+            .decode_tokens_per_s();
+    if (cfg.name == "Llama-8B") {
+      speedup_8b = fast / baseline;
+    }
+    table.AddRow({cfg.name, StrFormat("%.2f", fast),
+                  StrFormat("%.2f", baseline),
+                  StrFormat("%.2fx", fast / baseline)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("%s", workload::RenderComparisonTable(
+                        "Paper anchors",
+                        {{"Llama-8B fast-sync speedup", 4.01, speedup_8b, "x"}})
+                        .c_str());
+  std::printf(
+      "The decoding speedup far exceeds the prefill one (Fig. 15) because "
+      "each decode kernel runs only hundreds of microseconds.\n");
+}
+
+void BM_FastSyncDecode(benchmark::State& state) {
+  core::EngineOptions opts;
+  opts.fast_sync = state.range(0) == 1;
+  double tok_s = 0;
+  for (auto _ : state) {
+    tok_s = RunEngineOnce("Hetero-tensor", model::ModelConfig::Llama8B(), 256,
+                          8, opts)
+                .decode_tokens_per_s();
+  }
+  state.counters["sim_tok_per_s"] = tok_s;
+  state.SetLabel(opts.fast_sync ? "fast-sync" : "baseline-sync");
+}
+BENCHMARK(BM_FastSyncDecode)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintFigure17();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

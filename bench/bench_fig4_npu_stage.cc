@@ -1,0 +1,68 @@
+// Figure 4: NPU stage performance — matmul latency forms a staircase across
+// tensor sizes because the systolic array pads every dimension to its
+// 32-wide tile grid.
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/platform.h"
+
+namespace heterollm {
+namespace {
+
+MicroSeconds NpuLatencyAt(int64_t m) {
+  core::Platform plat;
+  hal::NpuDevice& npu = plat.npu();
+  hal::MatmulSpec spec;
+  spec.m = m;
+  spec.n = 2048;
+  spec.k = 2048;
+  spec.b_bytes_per_elem = 2.0;
+  return npu.IsolatedTime(npu.CostMatmul(spec));
+}
+
+void PrintFigure4() {
+  benchx::PrintHeader("Figure 4",
+                      "NPU stage performance: Matmul [m,2048]x[2048,2048] "
+                      "latency vs m");
+  TextTable table({"m", "latency (us)", "same tile as previous?"});
+  MicroSeconds prev = -1;
+  int plateaus = 0;
+  for (int64_t m = 8; m <= 160; m += 8) {
+    const MicroSeconds t = NpuLatencyAt(m);
+    const bool same = prev >= 0 && t == prev;
+    plateaus += same ? 1 : 0;
+    table.AddRow({std::to_string(m), StrFormat("%.1f", t),
+                  same ? "yes (padding plateau)" : "no (new tile)"});
+    prev = t;
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "Every size within one 32-row tile shares a latency plateau (%d "
+      "plateau points measured) — the paper's stage effect.\n",
+      plateaus);
+}
+
+void BM_NpuMatmulCost(benchmark::State& state) {
+  core::Platform plat;
+  hal::NpuDevice& npu = plat.npu();
+  hal::MatmulSpec spec;
+  spec.m = state.range(0);
+  spec.n = 2048;
+  spec.k = 2048;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npu.CostMatmul(spec));
+  }
+  state.counters["sim_latency_us"] = NpuLatencyAt(state.range(0));
+}
+BENCHMARK(BM_NpuMatmulCost)->Arg(31)->Arg(32)->Arg(33)->Arg(64)->Arg(65);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintFigure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 9: NPU graph generation time for a single operator across tensor
+// shapes — the cost that makes runtime graph creation ("Online-prepare")
+// impractical for dynamic sequence lengths.
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/hal/npu_graph.h"
+
+namespace heterollm {
+namespace {
+
+void PrintFigure9() {
+  benchx::PrintHeader("Figure 9",
+                      "NPU graph generation time per operator vs tensor "
+                      "shape");
+  hal::NpuGraphCache cache;
+  TextTable table({"seq len", "[m,4096,4096] (ms)", "[m,4096,14336] (ms)",
+                   "[m,14336,4096] (ms)"});
+  for (int64_t m : {32, 64, 128, 256, 512, 1024}) {
+    table.AddRow(
+        {std::to_string(m),
+         StrFormat("%.2f", ToMillis(cache.GenerationCost({m, 4096, 4096}))),
+         StrFormat("%.2f", ToMillis(cache.GenerationCost({m, 4096, 14336}))),
+         StrFormat("%.2f", ToMillis(cache.GenerationCost({m, 14336, 4096})))});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // Whole-model anchors from §5.2.2.
+  auto model_cost = [&](int64_t m) {
+    MicroSeconds per_layer = cache.GenerationCost({m, 4096, 4096}) +
+                             2 * cache.GenerationCost({m, 4096, 1024}) +
+                             cache.GenerationCost({m, 4096, 4096}) +
+                             2 * cache.GenerationCost({m, 4096, 14336}) +
+                             cache.GenerationCost({m, 14336, 4096});
+    return per_layer * 32 + cache.GenerationCost({m, 4096, 128256});
+  };
+  std::printf("%s",
+              workload::RenderComparisonTable(
+                  "Whole-model graph set (Llama-8B, 4 variants)",
+                  {{"generation @ seq 135 (ms)", 408.4,
+                    ToMillis(model_cost(135)), "ms"},
+                   {"generation @ seq 1000 (ms)", 2050.0,
+                    ToMillis(model_cost(1000)), "ms"}})
+                  .c_str());
+}
+
+void BM_GraphPrepare(benchmark::State& state) {
+  hal::NpuGraphCache cache;
+  int64_t op = 0;
+  for (auto _ : state) {
+    cache.Prepare({state.range(0), 4096, 4096, op++});
+  }
+}
+BENCHMARK(BM_GraphPrepare)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintFigure9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 1: specifications of mobile-side heterogeneous SoCs.
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/sim/soc_spec.h"
+
+namespace heterollm {
+namespace {
+
+void PrintTable1() {
+  benchx::PrintHeader("Table 1", "Mobile heterogeneous SoC specifications");
+  TextTable table({"Vendor", "SoC", "GPU", "GPU FP16", "NPU", "NPU INT8",
+                   "NPU FP16"});
+  for (const sim::SocSpec& s : sim::SocSpecCatalog()) {
+    table.AddRow({s.vendor, s.soc, s.gpu_name,
+                  StrFormat("%.1f TFlops", s.gpu_fp16_tflops), s.npu_name,
+                  StrFormat("%.0f Tops", s.npu_int8_tops),
+                  s.npu_fp16_tflops > 0
+                      ? StrFormat("%.0f TFlops", s.npu_fp16_tflops)
+                      : std::string("None")});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "NPU FP16 estimated as half of INT8 throughput where undisclosed "
+      "(paper footnote).\n");
+}
+
+void BM_SocSpecLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::FindSocSpec("8 Gen 3"));
+  }
+}
+BENCHMARK(BM_SocSpecLookup);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

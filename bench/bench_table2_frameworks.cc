@@ -1,0 +1,47 @@
+// Table 2: functionality and limitations of mobile-side inference engines,
+// plus a live capability check of every engine this reproduction can run.
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+
+namespace heterollm {
+namespace {
+
+void PrintTable2() {
+  benchx::PrintHeader("Table 2", "Mobile inference framework capabilities");
+  TextTable table({"Framework", "CPU", "GPU", "NPU", "NPU GEMM",
+                   "Sparsity-indep.", "Accuracy", "Performance"});
+  for (const core::EngineDescription& d : core::EngineCatalog()) {
+    table.AddRow({d.name, d.cpu, d.gpu, d.npu, d.npu_gemm_type,
+                  d.sparsity_independent ? "yes" : "no", d.accuracy,
+                  d.performance});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nRunnable engines in this reproduction:\n");
+  for (const std::string& name : core::RunnableEngineNames()) {
+    std::printf("  - %s\n", name.c_str());
+  }
+}
+
+void BM_EngineConstruction(benchmark::State& state) {
+  const model::ModelConfig cfg = model::ModelConfig::InternLM1_8B();
+  model::ModelWeights weights =
+      model::ModelWeights::Create(cfg, model::ExecutionMode::kSimulate);
+  for (auto _ : state) {
+    core::Platform platform;
+    auto engine = core::CreateEngine("Hetero-tensor", &platform, &weights);
+    benchmark::DoNotOptimize(engine);
+  }
+}
+BENCHMARK(BM_EngineConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

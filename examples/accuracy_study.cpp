@@ -1,0 +1,87 @@
+// Accuracy study: FLOAT (HeteroLLM) vs INT-offload (MLLM-NPU-style)
+// computation — the paper's Table 2 distinction, measured instead of
+// asserted. Both engines run the same weights and prompts in compute mode;
+// the INT engine's activation quantization perturbs its logits.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/engine_registry.h"
+
+using namespace heterollm;  // NOLINT(build/namespaces)
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+int64_t Argmax(const Tensor& logits) {
+  int64_t best = 0;
+  for (int64_t i = 1; i < logits.numel(); ++i) {
+    if (logits.at(i) > logits.at(best)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FLOAT vs INT datapath accuracy (Table 2, measured)\n");
+  std::printf("==================================================\n\n");
+
+  const ModelConfig cfg = ModelConfig::Tiny();
+  const ModelWeights weights =
+      ModelWeights::Create(cfg, ExecutionMode::kCompute, 2026);
+
+  constexpr int kPrompts = 12;
+  double max_err = 0;
+  double sum_err = 0;
+  double sum_ref_mag = 0;
+  int top1_agree = 0;
+
+  Rng rng(404);
+  for (int p = 0; p < kPrompts; ++p) {
+    const int len = 8 + static_cast<int>(rng.NextBelow(56));
+    Tensor prompt = Tensor::Random(Shape({len, cfg.hidden}), rng, 0.1f);
+
+    core::Platform float_plat;
+    auto float_engine =
+        core::CreateEngine("Hetero-tensor", &float_plat, &weights);
+    Tensor float_logits = float_engine->Prefill(prompt).logits;
+
+    core::Platform int_plat(core::PlatformOptionsFor("MLLM-NPU"));
+    auto int_engine = core::CreateEngine("MLLM-NPU", &int_plat, &weights);
+    Tensor int_logits = int_engine->Prefill(prompt).logits;
+
+    for (int64_t i = 0; i < float_logits.numel(); ++i) {
+      const double err = std::fabs(float_logits.at(i) - int_logits.at(i));
+      max_err = std::max(max_err, err);
+      sum_err += err;
+      sum_ref_mag += std::fabs(float_logits.at(i));
+    }
+    top1_agree += Argmax(float_logits) == Argmax(int_logits) ? 1 : 0;
+  }
+
+  TextTable table({"metric", "value"});
+  table.AddRow({"prompts evaluated", std::to_string(kPrompts)});
+  table.AddRow({"max |logit diff|", StrFormat("%.4f", max_err)});
+  table.AddRow({"mean relative logit error",
+                StrFormat("%.3f%%", 100.0 * sum_err / sum_ref_mag)});
+  table.AddRow({"top-1 token agreement",
+                StrFormat("%d / %d", top1_agree, kPrompts)});
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nThe FLOAT path (HeteroLLM, W4A16) is bit-identical to the reference "
+      "model; the INT-offload path diverges by the activation-quantization "
+      "error above. On real models this is the accuracy gap the paper's "
+      "Table 2 marks as 'decreased / depends on activation' — and why "
+      "HeteroLLM insists on FLOAT NPU computation.\n");
+  return 0;
+}

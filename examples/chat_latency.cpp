@@ -1,0 +1,88 @@
+// Multi-turn chat latency study: TTFT and TPOT across a synthetic chat
+// trace (arbitrary, misaligned prompt lengths — the scenario the paper's
+// sequence-length cutting targets), comparing the GPU-only baseline with
+// HeteroLLM's tensor-level engine.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/engine_registry.h"
+#include "src/workload/chat_session.h"
+#include "src/workload/prompt_workload.h"
+
+using namespace heterollm;  // NOLINT(build/namespaces)
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+
+namespace {
+
+struct TraceResult {
+  double avg_ttft_ms = 0;
+  double avg_tpot_ms = 0;
+  double total_s = 0;
+};
+
+TraceResult RunTrace(const std::string& engine_name,
+                     const std::vector<workload::ChatTurn>& trace,
+                     const ModelWeights& weights) {
+  core::Platform platform(core::PlatformOptionsFor(engine_name));
+  core::EngineOptions opts;
+  opts.kv_capacity = 8192;  // the whole conversation stays cached
+  auto engine = core::CreateEngine(engine_name, &platform, &weights, opts);
+  // The session keeps the conversation's KV cache between turns, so each
+  // turn only prefills its own new tokens.
+  workload::ChatSession session(engine.get());
+  TraceResult result;
+  MicroSeconds total = 0;
+  for (const workload::ChatTurn& turn : trace) {
+    workload::TurnStats s = session.Turn(turn.prompt_len, turn.decode_len);
+    result.avg_ttft_ms += ToMillis(s.ttft);
+    result.avg_tpot_ms +=
+        ToMillis(s.decoded_tokens > 0 ? s.decode_time / s.decoded_tokens : 0);
+    total += s.ttft + s.decode_time;
+  }
+  result.avg_ttft_ms /= static_cast<double>(trace.size());
+  result.avg_tpot_ms /= static_cast<double>(trace.size());
+  result.total_s = ToSeconds(total);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Chat latency over a synthetic multi-turn trace\n");
+  std::printf("==============================================\n\n");
+
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  const ModelWeights weights =
+      ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  Rng rng(2026);
+  const auto trace = workload::SyntheticChatTrace(rng, /*turns=*/12);
+  std::printf("model: %s, %zu turns, prompt lengths:", cfg.name.c_str(),
+              trace.size());
+  for (const auto& turn : trace) {
+    std::printf(" %d", turn.prompt_len);
+  }
+  std::printf("\n\n");
+
+  TextTable table({"engine", "avg TTFT (ms)", "avg TPOT (ms)",
+                   "trace total (s)"});
+  for (const char* engine :
+       {"llama.cpp", "PPL-OpenCL", "Hetero-layer", "Hetero-tensor"}) {
+    const TraceResult r = RunTrace(engine, trace, weights);
+    table.AddRow({engine, StrFormat("%.0f", r.avg_ttft_ms),
+                  StrFormat("%.1f", r.avg_tpot_ms),
+                  StrFormat("%.2f", r.total_s)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nHetero-tensor absorbs the misaligned prompt lengths with sequence/"
+      "hybrid cutting instead of padding, so TTFT tracks the true prompt "
+      "size.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// In-game AI copilot scenario (paper §5.5): an LLM answers a query while a
+// 60 FPS game renders on the same GPU. Compares how each engine shares the
+// GPU with the renderer.
+
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/engine_registry.h"
+#include "src/workload/render_workload.h"
+
+using namespace heterollm;  // NOLINT(build/namespaces)
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+
+int main() {
+  std::printf("In-game copilot: LLM inference + 60 FPS rendering\n");
+  std::printf("=================================================\n\n");
+
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const ModelWeights weights =
+      ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  TextTable table({"engine", "TTFT w/ game (ms)", "decode tok/s w/ game",
+                   "game FPS", "verdict"});
+  for (const char* engine : {"PPL-OpenCL", "Hetero-layer", "Hetero-tensor"}) {
+    core::Platform plat(core::PlatformOptionsFor(engine));
+    auto llm = core::CreateEngine(engine, &plat, &weights);
+    workload::RenderWorkload render(&plat);
+    render.SubmitFrames(/*duration=*/20e6);
+
+    core::GenerationStats stats = llm->Generate(/*prompt_len=*/256,
+                                                /*decode_len=*/24);
+    const MicroSeconds window =
+        std::min(20e6, stats.ttft() + stats.decode_time);
+    workload::RenderStats rs = render.Collect(window);
+
+    const bool playable = rs.delivered_fps >= 55.0;
+    table.AddRow({engine, StrFormat("%.0f", ToMillis(stats.ttft())),
+                  StrFormat("%.2f", stats.decode_tokens_per_s()),
+                  StrFormat("%.0f", rs.delivered_fps),
+                  playable ? "smooth gameplay" : "game unplayable"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nPPL-OpenCL fills the GPU submission queue with prefill kernels and "
+      "starves the renderer; the hetero engines run the bulk of the work on "
+      "the NPU and slot their few GPU kernels between frames.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Partition explorer: inspect the profiler + solver pipeline directly.
+// For every matmul site of a model and a sweep of sequence lengths, prints
+// the partition plan the solver selects and its estimated times — the same
+// decisions HeteroLLM's tensor-level engine executes.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/profiler.h"
+#include "src/core/solver.h"
+#include "src/model/model_config.h"
+
+using namespace heterollm;  // NOLINT(build/namespaces)
+using model::ModelConfig;
+
+namespace {
+
+struct SiteShape {
+  const char* name;
+  int64_t n;
+  int64_t k;
+};
+
+void ExploreModel(const ModelConfig& cfg, core::ProfilerMode mode) {
+  core::Platform platform;
+  core::HardwareProfiler profiler(&platform, mode);
+  core::PartitionSolver solver(&profiler, &platform);
+
+  const std::vector<SiteShape> sites = {
+      {"qkv (q)", cfg.hidden, cfg.q_dim()},
+      {"kv proj", cfg.hidden, cfg.kv_dim()},
+      {"o proj", cfg.q_dim(), cfg.hidden},
+      {"ffn up/gate", cfg.hidden, cfg.intermediate},
+      {"ffn down", cfg.intermediate, cfg.hidden},
+      {"lm head", cfg.hidden, cfg.vocab},
+  };
+
+  std::printf("\n%s — profiler mode: %s\n", cfg.name.c_str(),
+              mode == core::ProfilerMode::kRealExecution ? "real-execution"
+                                                         : "prediction");
+  TextTable table({"site", "seq", "chosen plan", "est total (us)",
+                   "gpu-only (us)", "npu-only (us)"});
+  for (const SiteShape& site : sites) {
+    for (int64_t seq : {1, 256, 300}) {
+      core::MatmulShape shape{seq, site.n, site.k, hal::Precision::kFp16,
+                              0.5};
+      const core::PartitionDecision d =
+          seq == 1 ? solver.DecideDecode(shape) : solver.DecidePrefill(shape);
+      table.AddRow(
+          {site.name, std::to_string(seq), d.plan.ToString(),
+           StrFormat("%.0f", d.est_total),
+           StrFormat("%.0f",
+                     profiler.MatmulTime(hal::Backend::kGpu, shape)),
+           StrFormat("%.0f",
+                     profiler.MatmulTime(hal::Backend::kNpu, shape))});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tensor-partition explorer (Snapdragon 8 Gen 3 model)\n");
+  std::printf("====================================================\n");
+  ExploreModel(ModelConfig::Llama8B(), core::ProfilerMode::kRealExecution);
+  ExploreModel(ModelConfig::Llama8B(), core::ProfilerMode::kPrediction);
+  std::printf(
+      "\nReading the plans: FFN-down (the NPU's shape-sensitive weak spot) "
+      "gets partitioned; well-shaped matmuls stay NPU-dominant; decode "
+      "(seq 1) row-cuts the large weights to aggregate memory bandwidth and "
+      "keeps small ones on the GPU.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Speculative decoding on HeteroLLM (paper §4.1.2: the decode-phase NPU
+// graphs are pre-generated for width n > 1). A draft model proposes `width`
+// tokens; the target model verifies them in one batched decode step. Since
+// decoding is bandwidth-bound, verifying a small batch costs barely more
+// than one token — accepted drafts are nearly free throughput.
+
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/engine_registry.h"
+
+using namespace heterollm;  // NOLINT(build/namespaces)
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+
+int main() {
+  std::printf("Speculative decoding width study (Llama-8B target)\n");
+  std::printf("==================================================\n\n");
+
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const ModelWeights weights =
+      ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  // Paper-style acceptance model: each drafted token is accepted i.i.d.;
+  // expected tokens per verify step = sum of acceptance^i plus one.
+  const double acceptance = 0.7;
+
+  TextTable table({"spec width", "verify step (ms)", "E[tokens/step]",
+                   "effective tok/s"});
+  for (int width : {1, 2, 4, 8}) {
+    core::Platform plat;
+    auto engine = core::CreateEngine("Hetero-tensor", &plat, &weights);
+    engine->Prefill(tensor::Tensor::Deferred(
+        tensor::Shape({256, cfg.hidden}), tensor::DType::kFp16));
+
+    // Average a few steps.
+    MicroSeconds total = 0;
+    constexpr int kSteps = 8;
+    for (int i = 0; i < kSteps; ++i) {
+      total += engine
+                   ->DecodeStep(tensor::Tensor::Deferred(
+                       tensor::Shape({width, cfg.hidden}),
+                       tensor::DType::kFp16))
+                   .latency;
+    }
+    const MicroSeconds step = total / kSteps;
+
+    double expected_tokens = 0;
+    double p = 1.0;
+    for (int i = 0; i < width; ++i) {
+      expected_tokens += p;
+      p *= acceptance;
+    }
+    // The verify step always commits at least one token.
+    expected_tokens = std::max(1.0, expected_tokens);
+    const double tok_s = expected_tokens / ToSeconds(step);
+    table.AddRow({std::to_string(width), StrFormat("%.1f", ToMillis(step)),
+                  StrFormat("%.2f", expected_tokens),
+                  StrFormat("%.2f", tok_s)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nBecause the decode step streams the same weights regardless of "
+      "width (bandwidth-bound), batching drafted tokens multiplies "
+      "throughput almost linearly until compute catches up.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:  HLOG(kInfo) << "prefill took " << ms << " ms";
+// The threshold comes from the HETEROLLM_LOG_LEVEL environment variable
+// ("debug", "info", "warning", "error"; default "warning" so library users
+// see problems but not chatter) and can be overridden programmatically.
+// Messages below the threshold cost one branch.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace heterollm {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Current threshold (initialized from HETEROLLM_LOG_LEVEL on first use).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// True when `level` messages are emitted.
+bool LogEnabled(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits the accumulated line to stderr
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HLOG(level)                                                     \
+  if (!::heterollm::LogEnabled(::heterollm::LogLevel::level)) {         \
+  } else                                                                \
+    ::heterollm::internal::LogMessage(::heterollm::LogLevel::level,     \
+                                      __FILE__, __LINE__)               \
+        .stream()
+
+}  // namespace heterollm
+
+#endif  // SRC_COMMON_LOG_H_

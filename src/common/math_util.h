@@ -1,0 +1,43 @@
+// Small arithmetic helpers used throughout the simulator and engines.
+
+#ifndef SRC_COMMON_MATH_UTIL_H_
+#define SRC_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace heterollm {
+
+// Rounds `value` up to the next multiple of `alignment` (alignment > 0).
+constexpr int64_t AlignUp(int64_t value, int64_t alignment) {
+  return ((value + alignment - 1) / alignment) * alignment;
+}
+
+// Rounds `value` down to a multiple of `alignment` (alignment > 0).
+constexpr int64_t AlignDown(int64_t value, int64_t alignment) {
+  return (value / alignment) * alignment;
+}
+
+// Ceiling division for non-negative integers.
+constexpr int64_t DivCeil(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Clamps `v` into [lo, hi].
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+// True when |a - b| <= tol (absolute tolerance).
+constexpr bool NearlyEqual(double a, double b, double tol = 1e-9) {
+  double diff = a - b;
+  if (diff < 0) {
+    diff = -diff;
+  }
+  return diff <= tol;
+}
+
+}  // namespace heterollm
+
+#endif  // SRC_COMMON_MATH_UTIL_H_

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (synthetic weights, workload jitter, profiler
+// noise) flows through `Rng` so that runs are reproducible from a single seed.
+// The generator is SplitMix64: tiny state, excellent statistical quality for
+// non-cryptographic use, and trivially forkable per subsystem.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace heterollm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Returns the next 64 pseudo-random bits.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextUnit() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextUnit();
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  // Approximately standard-normal sample (sum of 4 uniforms, variance-scaled).
+  // Adequate for weight initialization and timing jitter; not for statistics.
+  double NextGaussian() {
+    double sum = NextUnit() + NextUnit() + NextUnit() + NextUnit();
+    return (sum - 2.0) * 1.7320508075688772;  // var(U4 sum)=1/3, scale sqrt(3)
+  }
+
+  // Returns an independent generator derived from this one's stream.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace heterollm
+
+#endif  // SRC_COMMON_RNG_H_

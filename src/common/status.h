@@ -1,0 +1,145 @@
+// Minimal Status / StatusOr error-handling vocabulary.
+//
+// The library avoids exceptions on hot paths (simulator event loops, kernel
+// dispatch). Fallible constructors and parsers return `StatusOr<T>`;
+// programming errors use `HCHECK` which aborts with a message.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace heterollm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result with an optional message. Cheap to copy on the
+// success path (no allocation when ok).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an errored StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace internal
+
+// Aborts with a diagnostic when `cond` is false. Used for invariants that
+// indicate programming errors rather than recoverable conditions.
+#define HCHECK(cond)                                                  \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::heterollm::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                 \
+  } while (false)
+
+#define HCHECK_MSG(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::heterollm::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                    \
+  } while (false)
+
+// Propagates an error Status from an expression producing a Status.
+#define HRETURN_IF_ERROR(expr)            \
+  do {                                    \
+    ::heterollm::Status _status = (expr); \
+    if (!_status.ok()) {                  \
+      return _status;                     \
+    }                                     \
+  } while (false)
+
+}  // namespace heterollm
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+// ASCII table rendering for benchmark and example output.
+//
+// Benchmarks regenerate the paper's tables/figures as text; this helper keeps
+// their output aligned and consistent.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace heterollm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a header separator, columns padded to content.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace heterollm
+
+#endif  // SRC_COMMON_TABLE_H_

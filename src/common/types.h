@@ -1,0 +1,54 @@
+// Fundamental scalar types shared across the HeteroLLM codebase.
+//
+// All simulated durations are carried as double-precision microseconds
+// (`MicroSeconds`). Microseconds are the natural unit for this system: kernel
+// launches cost tens of µs, synchronizations cost hundreds of µs, and whole
+// prefill passes cost up to a few seconds (~1e6 µs), all of which are exactly
+// representable ranges for a double.
+
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace heterollm {
+
+// A point in (or span of) simulated time, in microseconds.
+using MicroSeconds = double;
+
+// Number of bytes moved over the memory system.
+using Bytes = double;
+
+// Number of floating-point operations (multiply and add counted separately).
+using Flops = double;
+
+// Energy in micro-joules (power [W] integrated over simulated µs equals µJ).
+using MicroJoules = double;
+
+inline constexpr MicroSeconds kMicrosPerSecond = 1e6;
+inline constexpr MicroSeconds kMicrosPerMilli = 1e3;
+
+// Converts a simulated duration to seconds (for reporting only).
+constexpr double ToSeconds(MicroSeconds us) { return us / kMicrosPerSecond; }
+
+// Converts a simulated duration to milliseconds (for reporting only).
+constexpr double ToMillis(MicroSeconds us) { return us / kMicrosPerMilli; }
+
+// Converts bytes and a duration into GB/s (for reporting only).
+constexpr double ToGBPerSecond(Bytes bytes, MicroSeconds us) {
+  return us <= 0.0 ? 0.0 : (bytes / 1e9) / ToSeconds(us);
+}
+
+// Converts flops and a duration into TFLOPS (for reporting only).
+constexpr double ToTflops(Flops flops, MicroSeconds us) {
+  return us <= 0.0 ? 0.0 : (flops / 1e12) / ToSeconds(us);
+}
+
+inline constexpr Bytes kKiB = 1024.0;
+inline constexpr Bytes kMiB = 1024.0 * kKiB;
+inline constexpr Bytes kGiB = 1024.0 * kMiB;
+inline constexpr Bytes kGB = 1e9;  // Decimal gigabyte, used for bandwidths.
+
+}  // namespace heterollm
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,42 @@
+// Baseline inference engines (paper §5.1): single-backend schedulers that
+// model llama.cpp (CPU), MLC, MNN-OpenCL and PPL-OpenCL (GPU). They share
+// the EngineBase machinery; what distinguishes a baseline is (a) the single
+// backend every op runs on and (b) the kernel-quality factors applied to the
+// platform's GPU/CPU (configured via `BaselinePlatformOptions`).
+
+#ifndef SRC_CORE_BASELINE_ENGINES_H_
+#define SRC_CORE_BASELINE_ENGINES_H_
+
+#include <string>
+
+#include "src/core/engine_base.h"
+
+namespace heterollm::core {
+
+// Runs everything on one backend; no partitioning, no NPU.
+class SingleBackendEngine : public EngineBase {
+ public:
+  SingleBackendEngine(std::string name, hal::Backend backend,
+                      Platform* platform, const model::ModelWeights* weights,
+                      const EngineOptions& options);
+
+  std::string name() const override { return name_; }
+
+ protected:
+  MatmulPlan PlanMatmul(MatmulSite site, const MatmulShape& shape,
+                        Phase phase) override;
+  hal::Backend vector_backend() const override { return backend_; }
+
+ private:
+  std::string name_;
+  hal::Backend backend_;
+};
+
+// Kernel-quality profiles for the named baselines, applied on top of the
+// Snapdragon 8 Gen 3 platform. Calibrated against the relative speedups in
+// Fig. 13 (prefill) and Fig. 16 (decoding).
+PlatformOptions BaselinePlatformOptions(const std::string& engine_name);
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_BASELINE_ENGINES_H_

@@ -1,0 +1,163 @@
+#include "src/core/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace heterollm::core {
+
+DecisionTreeRegressor::DecisionTreeRegressor(const DecisionTreeConfig& config)
+    : config_(config) {}
+
+void DecisionTreeRegressor::Fit(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets) {
+  HCHECK(!features.empty());
+  HCHECK(features.size() == targets.size());
+  const size_t dim = features[0].size();
+  for (const auto& f : features) {
+    HCHECK_MSG(f.size() == dim, "inconsistent feature dimensionality");
+  }
+  nodes_.clear();
+  std::vector<int> indices(features.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  root_ = Build(indices, 0, static_cast<int>(indices.size()), 0, features,
+                targets);
+}
+
+int DecisionTreeRegressor::Build(
+    std::vector<int>& indices, int begin, int end, int depth,
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets) {
+  const int n = end - begin;
+  double sum = 0;
+  for (int i = begin; i < end; ++i) {
+    sum += targets[static_cast<size_t>(indices[static_cast<size_t>(i)])];
+  }
+  const double mean = sum / n;
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value = mean;
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  if (depth >= config_.max_depth || n < 2 * config_.min_samples_per_leaf) {
+    return make_leaf();
+  }
+
+  // Find the split (feature, threshold) minimizing total SSE, scanning each
+  // feature in sorted order with running sums.
+  const size_t dim = features[0].size();
+  double best_sse = std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0;
+
+  std::vector<int> order(indices.begin() + begin, indices.begin() + end);
+  for (size_t f = 0; f < dim; ++f) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return features[static_cast<size_t>(a)][f] <
+             features[static_cast<size_t>(b)][f];
+    });
+    double left_sum = 0;
+    double left_sq = 0;
+    double total_sq = 0;
+    for (int idx : order) {
+      const double t = targets[static_cast<size_t>(idx)];
+      total_sq += t * t;
+    }
+    for (int i = 0; i < n - 1; ++i) {
+      const double t = targets[static_cast<size_t>(order[static_cast<size_t>(i)])];
+      left_sum += t;
+      left_sq += t * t;
+      const double fv = features[static_cast<size_t>(order[static_cast<size_t>(i)])][f];
+      const double fv_next =
+          features[static_cast<size_t>(order[static_cast<size_t>(i + 1)])][f];
+      if (fv == fv_next) {
+        continue;  // cannot split between equal feature values
+      }
+      const int left_n = i + 1;
+      const int right_n = n - left_n;
+      if (left_n < config_.min_samples_per_leaf ||
+          right_n < config_.min_samples_per_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / left_n) +
+                         (right_sq - right_sum * right_sum / right_n);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (fv + fv_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return make_leaf();
+  }
+
+  // Partition indices[begin, end) by the chosen split.
+  auto mid_it = std::stable_partition(
+      indices.begin() + begin, indices.begin() + end, [&](int idx) {
+        return features[static_cast<size_t>(idx)][static_cast<size_t>(
+                   best_feature)] <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {
+    return make_leaf();
+  }
+
+  const int left =
+      Build(indices, begin, mid, depth + 1, features, targets);
+  const int right = Build(indices, mid, end, depth + 1, features, targets);
+  Node node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.value = mean;
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+double DecisionTreeRegressor::Predict(
+    const std::vector<double>& features) const {
+  HCHECK_MSG(fitted(), "Predict called before Fit");
+  int idx = root_;
+  while (true) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.feature < 0) {
+      return node.value;
+    }
+    HCHECK(static_cast<size_t>(node.feature) < features.size());
+    idx = features[static_cast<size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+}
+
+int DecisionTreeRegressor::depth() const {
+  if (!fitted()) {
+    return 0;
+  }
+  // Iterative depth computation over the implicit tree.
+  std::vector<std::pair<int, int>> stack = {{root_, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.feature >= 0) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace heterollm::core

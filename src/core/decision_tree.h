@@ -1,0 +1,61 @@
+// CART decision-tree regression.
+//
+// The paper's profiler offers a prediction mode that estimates NPU kernel
+// latency across tensor shapes "using traditional machine learning
+// techniques, such as decision tree regression" (§4.3), because minor
+// inaccuracies are tolerable to the partition solver. This is a from-scratch
+// CART regressor: axis-aligned splits minimizing the sum of squared errors,
+// depth- and leaf-size-bounded.
+
+#ifndef SRC_CORE_DECISION_TREE_H_
+#define SRC_CORE_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace heterollm::core {
+
+struct DecisionTreeConfig {
+  int max_depth = 12;
+  int min_samples_per_leaf = 2;
+};
+
+class DecisionTreeRegressor {
+ public:
+  explicit DecisionTreeRegressor(const DecisionTreeConfig& config = {});
+
+  // Fits on `features` (row-major, `dim` columns per sample) and `targets`.
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<double>& targets);
+
+  // Predicts the target for one feature vector. HCHECKs if not fitted.
+  double Predict(const std::vector<double>& features) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0;
+    double value = 0;  // mean target (leaves)
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(std::vector<int>& indices, int begin, int end, int depth,
+            const std::vector<std::vector<double>>& features,
+            const std::vector<double>& targets);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_DECISION_TREE_H_

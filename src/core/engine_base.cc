@@ -1,0 +1,563 @@
+#include "src/core/engine_base.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace heterollm::core {
+
+using model::ExecutionMode;
+using tensor::QuantizedTensor;
+using tensor::Shape;
+using tensor::Tensor;
+
+const char* MatmulSiteName(MatmulSite site) {
+  switch (site) {
+    case MatmulSite::kQ:
+      return "q";
+    case MatmulSite::kK:
+      return "k";
+    case MatmulSite::kV:
+      return "v";
+    case MatmulSite::kO:
+      return "o";
+    case MatmulSite::kGate:
+      return "gate";
+    case MatmulSite::kUp:
+      return "up";
+    case MatmulSite::kDown:
+      return "down";
+    case MatmulSite::kLmHead:
+      return "lm_head";
+  }
+  return "unknown";
+}
+
+EngineBase::EngineBase(Platform* platform,
+                       const model::ModelWeights* weights,
+                       const EngineOptions& options)
+    : platform_(platform), weights_(weights), options_(options) {
+  HCHECK(platform != nullptr && weights != nullptr);
+  mode_ = weights->mode();
+  kv_cache_ = std::make_unique<model::KvCache>(
+      weights->config(), options.kv_capacity, mode_);
+  AcquireWorkspace();
+}
+
+void EngineBase::AcquireWorkspace() {
+  // One persistent mapped buffer per activation role, sized for the largest
+  // standard sequence; reused across every layer and step (§4.2). The map
+  // costs are a one-time session setup charge.
+  const auto& cfg = weights_->config();
+  const int64_t max_seq =
+      options_.standard_seq_sizes.empty() ? 1024
+                                          : options_.standard_seq_sizes.back();
+  const Bytes act_bytes = 2.0 * static_cast<double>(max_seq) *
+                          static_cast<double>(std::max(
+                              cfg.intermediate, std::max(cfg.hidden, cfg.q_dim())));
+  constexpr int kWorkspaceSlots = 8;  // hidden, q, k, v, attn, gate, up, ffn
+  for (int i = 0; i < kWorkspaceSlots; ++i) {
+    hal::UnifiedMemoryPool::Allocation a = platform_->pool().Acquire(act_bytes);
+    host_now_ += a.host_cost;
+    workspace_slots_.push_back(a.slot);
+  }
+}
+
+void EngineBase::ResetSession() {
+  kv_cache_->Reset();
+  synced_kernels_.clear();
+}
+
+namespace {
+// Stable id for one matmul op instance within the compiled network.
+int64_t GraphOpId(int layer, MatmulSite site) {
+  return static_cast<int64_t>(layer) * 16 + static_cast<int>(site);
+}
+}  // namespace
+
+void EngineBase::PregenerateNpuGraphs(const std::vector<int64_t>& seq_lens,
+                                      int64_t row_align) {
+  HCHECK(row_align > 0);
+  const auto& cfg = weights_->config();
+  hal::NpuGraphCache& cache = platform_->graph_cache();
+  struct Site {
+    MatmulSite site;
+    int64_t n;
+    int64_t k;
+  };
+  const std::vector<Site> layer_sites = {
+      {MatmulSite::kQ, cfg.hidden, cfg.q_dim()},
+      {MatmulSite::kK, cfg.hidden, cfg.kv_dim()},
+      {MatmulSite::kV, cfg.hidden, cfg.kv_dim()},
+      {MatmulSite::kO, cfg.q_dim(), cfg.hidden},
+      {MatmulSite::kGate, cfg.hidden, cfg.intermediate},
+      {MatmulSite::kUp, cfg.hidden, cfg.intermediate},
+      {MatmulSite::kDown, cfg.intermediate, cfg.hidden},
+  };
+  auto prepare_site = [&](int64_t m, int64_t op, int64_t n, int64_t k) {
+    cache.Prepare({m, n, k, op});
+    // Row-cut slices of the output dimension land on row_align-aligned
+    // sub-shapes; pre-compile those too.
+    for (int64_t k_cut = row_align; k_cut < k; k_cut += row_align) {
+      cache.Prepare({m, n, k_cut, op});
+    }
+  };
+  for (int64_t m : seq_lens) {
+    for (int layer = 0; layer < cfg.num_layers; ++layer) {
+      for (const Site& s : layer_sites) {
+        prepare_site(m, GraphOpId(layer, s.site), s.n, s.k);
+      }
+    }
+    prepare_site(m, GraphOpId(0, MatmulSite::kLmHead), cfg.hidden, cfg.vocab);
+  }
+}
+
+void EngineBase::EnsureVisible(Value& v, hal::Device& consumer) {
+  std::vector<std::pair<hal::Device*, sim::KernelHandle>> kept;
+  std::vector<sim::KernelHandle> to_wait;
+  for (auto& [dev, kernel] : v.deps) {
+    if (dev == &consumer) {
+      kept.emplace_back(dev, kernel);  // FIFO queue order synchronizes
+      continue;
+    }
+    if (synced_kernels_.insert(kernel).second) {
+      to_wait.push_back(kernel);
+    }
+  }
+  host_now_ = platform_->sync().WaitKernels(platform_->soc(), to_wait,
+                                            host_now_, sync_mode());
+  v.deps = std::move(kept);
+}
+
+void EngineBase::EnsureHost(Value& v) {
+  std::vector<sim::KernelHandle> to_wait;
+  for (auto& [dev, kernel] : v.deps) {
+    if (synced_kernels_.insert(kernel).second) {
+      to_wait.push_back(kernel);
+    } else {
+      // Already synced elsewhere; ensure the host clock is past it.
+      host_now_ =
+          std::max(host_now_, platform_->soc().CompletionTime(kernel));
+    }
+  }
+  host_now_ = platform_->sync().WaitKernels(platform_->soc(), to_wait,
+                                            host_now_, sync_mode());
+  v.deps.clear();
+}
+
+EngineBase::Value EngineBase::SubmitKernel(hal::Device& dev,
+                                           sim::KernelDesc desc,
+                                           std::vector<Value*> inputs,
+                                           Tensor out) {
+  for (Value* input : inputs) {
+    EnsureVisible(*input, dev);
+  }
+  // The drained-queue resubmission penalty (GPU-②, 50–100 µs) is a property
+  // of driver-level synchronization: the sync call tears the ring down and
+  // the next submission re-arms it. Fast sync observes completion through a
+  // unified-memory flag without touching the driver, so a momentarily empty
+  // queue stays armed and costs only the normal enqueue latency.
+  const bool drained = !platform_->soc().UnitHasWork(dev.unit()) &&
+                       sync_mode() == hal::SyncMode::kBaseline;
+  host_now_ += dev.SubmitOverhead(drained);
+  if (dev.backend() == hal::Backend::kGpu) {
+    desc.power_scale = options_.gpu_power_scale;
+  }
+  sim::KernelHandle handle = dev.Submit(desc, host_now_);
+  Value v;
+  v.tensor = std::move(out);
+  v.deps.emplace_back(&dev, handle);
+  return v;
+}
+
+Tensor EngineBase::MatmulNumeric(const Tensor& a, const QuantizedTensor& w,
+                                 int64_t k_begin, int64_t k_end) const {
+  if (mode_ == ExecutionMode::kSimulate || !a.has_data() || !w.has_data()) {
+    return Tensor::Deferred(Shape({a.shape().rows(), k_end - k_begin}),
+                            tensor::DType::kFp16);
+  }
+  if (int_activation_path()) {
+    // INT-offload engines really compute through the quantized-activation
+    // pipeline, so their (reduced) accuracy is measurable.
+    Tensor full = tensor::ops::MatmulInt8(a, w);
+    if (k_begin == 0 && k_end == w.shape().cols()) {
+      return full;
+    }
+    return full.SliceCols(k_begin, k_end);
+  }
+  // Dequantize only the output-feature slice this backend computes.
+  Tensor w_full = w.Dequantize();
+  Tensor w_slice = w_full.SliceCols(k_begin, k_end);
+  return tensor::ops::Matmul(a, w_slice);
+}
+
+hal::Precision EngineBase::MatmulPrecision(Phase phase) const {  // NOLINT
+  // Paper footnote 2: the NPU lacks a W4A16 decoding path, so decoding-phase
+  // NPU matmuls use the INT pipeline; prefill stays FLOAT.
+  return phase == Phase::kDecode ? hal::Precision::kInt8
+                                 : hal::Precision::kFp16;
+}
+
+EngineBase::Value EngineBase::ExecuteMatmul(MatmulSite site, Value& input,
+                                            const QuantizedTensor& w,
+                                            Phase phase) {
+  MatmulShape shape;
+  shape.m = input.tensor.shape().rows();
+  shape.n = w.shape().rows();
+  shape.k = w.shape().cols();
+  shape.precision = hal::Precision::kFp16;
+  MatmulPlan plan = PlanMatmul(site, shape, phase);
+
+  if (int_activation_path()) {
+    // INT-offload datapath: quantize activations and extract outliers on
+    // the CPU before every NPU matmul (MLLM-NPU's design).
+    hal::Device& cpu_dev = platform_->cpu();
+    hal::ElementwiseSpec quant_spec;
+    quant_spec.elems = shape.m * shape.n;
+    quant_spec.flops_per_elem = 8.0;
+    quant_spec.bytes_per_elem = 3.0;
+    sim::KernelDesc qdesc = cpu_dev.CostElementwise(quant_spec);
+    qdesc.label = StrFormat("%s:act-quant", MatmulSiteName(site));
+    input = SubmitKernel(cpu_dev, qdesc, {&input}, input.tensor);
+  }
+
+  hal::GpuDevice& gpu = platform_->gpu();
+  hal::NpuDevice& npu = platform_->npu();
+  hal::NpuGraphCache& cache = platform_->graph_cache();
+
+  auto ensure_graph = [&](int64_t m, int64_t n, int64_t k) {
+    const int64_t op = GraphOpId(
+        site == MatmulSite::kLmHead ? 0 : current_layer_, site);
+    hal::NpuGraphKey key{m, n, k, op};
+    if (graph_policy() == GraphPolicy::kOnline) {
+      const MicroSeconds cost = cache.Prepare(key);
+      host_now_ += cost;
+      graph_gen_accum_ += cost;
+    } else {
+      HCHECK_MSG(cache.Contains(key),
+                 StrFormat("missing NPU graph for [%lld,%lld,%lld] at %s",
+                           static_cast<long long>(m),
+                           static_cast<long long>(n),
+                           static_cast<long long>(k), MatmulSiteName(site)));
+    }
+  };
+
+  auto npu_spec = [&](int64_t m, int64_t k) {
+    MatmulShape s = shape;
+    s.m = m;
+    s.k = k;
+    s.precision = MatmulPrecision(phase);
+    return NpuMatmulSpec(s);
+  };
+
+  switch (plan.kind) {
+    case PartitionKind::kNone: {
+      hal::Device& dev = platform_->device(plan.sole_backend);
+      Tensor out = MatmulNumeric(input.tensor, w, 0, shape.k);
+      sim::KernelDesc desc;
+      if (plan.sole_backend == hal::Backend::kNpu) {
+        ensure_graph(shape.m, shape.n, shape.k);
+        desc = npu.CostMatmul(npu_spec(shape.m, shape.k));
+      } else {
+        desc = dev.CostMatmul(MatmulSpecFor(plan.sole_backend, shape));
+      }
+      desc.label = StrFormat("%s:%s", MatmulSiteName(site),
+                             hal::BackendName(plan.sole_backend));
+      return SubmitKernel(dev, desc, {&input}, std::move(out));
+    }
+
+    case PartitionKind::kRowCut:
+    case PartitionKind::kHybridCut: {
+      const int64_t k_npu = plan.npu_out_features;
+      HCHECK(k_npu > 0 && k_npu <= shape.k);
+      const int64_t k_gpu = shape.k - k_npu;
+      const int64_t npu_m = plan.kind == PartitionKind::kHybridCut &&
+                                    plan.npu_padded_seq > 0
+                                ? plan.npu_padded_seq
+                                : shape.m;
+
+      // GPU piece first: in the NPU-dominant prefill its execution hides
+      // under the NPU kernel (Fig. 11); in decode it primes the GPU queue.
+      Value gpu_piece;
+      bool has_gpu_piece = k_gpu > 0;
+      if (has_gpu_piece) {
+        MatmulShape gshape = shape;
+        gshape.k = k_gpu;
+        Tensor gout = MatmulNumeric(input.tensor, w, k_npu, shape.k);
+        sim::KernelDesc gdesc = gpu.CostMatmul(GpuMatmulSpec(gshape));
+        gdesc.label = StrFormat("%s:gpu-cut", MatmulSiteName(site));
+        gpu_piece = SubmitKernel(gpu, gdesc, {&input}, std::move(gout));
+      }
+
+      ensure_graph(npu_m, shape.n, k_npu);
+      Tensor nout = MatmulNumeric(input.tensor, w, 0, k_npu);
+      sim::KernelDesc ndesc = npu.CostMatmul(npu_spec(npu_m, k_npu));
+      ndesc.label = StrFormat("%s:npu-cut", MatmulSiteName(site));
+      Value npu_piece = SubmitKernel(npu, ndesc, {&input}, std::move(nout));
+
+      // Merge. The pieces write disjoint column ranges of one unified
+      // buffer, so the merge itself is free; the host only needs the
+      // completion guarantees.
+      Value merged;
+      merged.tensor =
+          has_gpu_piece
+              ? Tensor::ConcatCols({npu_piece.tensor, gpu_piece.tensor})
+              : std::move(npu_piece.tensor);
+      if (has_gpu_piece && phase == Phase::kDecode && decode_pipelining_) {
+        // GPU-dominant pipelining: leave the GPU piece pending; queue order
+        // synchronizes any same-device consumer, and a cross-device
+        // consumer will fast-sync on it (§4.2).
+        EnsureHost(npu_piece);
+        merged.deps = std::move(gpu_piece.deps);
+      } else {
+        // One (batched) wait covers both pieces.
+        merged.deps = std::move(npu_piece.deps);
+        if (has_gpu_piece) {
+          merged.deps.insert(merged.deps.end(), gpu_piece.deps.begin(),
+                             gpu_piece.deps.end());
+        }
+        EnsureHost(merged);
+      }
+      host_now_ += options_.merge_cost_us;
+      return merged;
+    }
+
+    case PartitionKind::kSeqCut: {
+      int64_t npu_rows = 0;
+      for (int64_t seg : plan.npu_seq_segments) {
+        npu_rows += seg;
+      }
+      // The static segments may overshoot the true length (Pipe pads its
+      // margin into the smallest graph); numerics only use real rows.
+      const int64_t npu_real_rows = std::min(npu_rows, shape.m);
+      const int64_t gpu_rows = shape.m - npu_real_rows;
+
+      std::vector<Value> pieces;
+      std::vector<Tensor> piece_tensors;
+      int64_t row = 0;
+      for (int64_t seg : plan.npu_seq_segments) {
+        const int64_t r0 = row;
+        const int64_t r1 = std::min(row + seg, npu_real_rows);
+        if (r1 <= r0) {
+          break;
+        }
+        ensure_graph(seg, shape.n, shape.k);
+        Tensor slice = input.tensor.SliceRows(r0, r1);
+        Tensor out = MatmulNumeric(slice, w, 0, shape.k);
+        sim::KernelDesc desc = npu.CostMatmul(npu_spec(seg, shape.k));
+        desc.label = StrFormat("%s:npu-seq%lld", MatmulSiteName(site),
+                               static_cast<long long>(seg));
+        pieces.push_back(SubmitKernel(npu, desc, {&input}, std::move(out)));
+        row = r1;
+      }
+      if (gpu_rows > 0) {
+        MatmulShape gshape = shape;
+        gshape.m = gpu_rows;
+        Tensor slice = input.tensor.SliceRows(npu_real_rows, shape.m);
+        Tensor out = MatmulNumeric(slice, w, 0, shape.k);
+        sim::KernelDesc desc = gpu.CostMatmul(GpuMatmulSpec(gshape));
+        desc.label = StrFormat("%s:gpu-seq", MatmulSiteName(site));
+        pieces.push_back(SubmitKernel(gpu, desc, {&input}, std::move(out)));
+      }
+      HCHECK(!pieces.empty());
+
+      Value merged;
+      piece_tensors.reserve(pieces.size());
+      for (Value& p : pieces) {
+        piece_tensors.push_back(p.tensor);
+        merged.deps.insert(merged.deps.end(), p.deps.begin(), p.deps.end());
+      }
+      merged.tensor = piece_tensors.size() == 1
+                          ? std::move(piece_tensors[0])
+                          : Tensor::ConcatRows(piece_tensors);
+      EnsureHost(merged);  // one batched wait across all pieces
+      host_now_ += options_.merge_cost_us;
+      return merged;
+    }
+  }
+  HCHECK_MSG(false, "unknown partition kind");
+  __builtin_unreachable();
+}
+
+EngineBase::Value EngineBase::RmsNorm(Value& x, const Tensor& gamma) {
+  hal::Device& dev = platform_->device(vector_backend());
+  hal::ElementwiseSpec spec;
+  spec.elems = x.tensor.numel();
+  spec.flops_per_elem = 4.0;
+  spec.bytes_per_elem = 4.0;
+  sim::KernelDesc desc = dev.CostElementwise(spec);
+  desc.label = "rmsnorm";
+  Tensor out = tensor::ops::RmsNorm(x.tensor, gamma);
+  return SubmitKernel(dev, desc, {&x}, std::move(out));
+}
+
+EngineBase::Value EngineBase::Add(Value& a, Value& b) {
+  hal::Device& dev = platform_->device(vector_backend());
+  hal::ElementwiseSpec spec;
+  spec.elems = a.tensor.numel();
+  spec.flops_per_elem = 1.0;
+  spec.bytes_per_elem = 6.0;
+  sim::KernelDesc desc = dev.CostElementwise(spec);
+  desc.label = "residual";
+  Tensor out = tensor::ops::Add(a.tensor, b.tensor);
+  return SubmitKernel(dev, desc, {&a, &b}, std::move(out));
+}
+
+EngineBase::Value EngineBase::SwiGlu(Value& gate, Value& up) {
+  hal::Device& dev = platform_->device(vector_backend());
+  hal::ElementwiseSpec spec;
+  spec.elems = gate.tensor.numel();
+  spec.flops_per_elem = 6.0;
+  spec.bytes_per_elem = 6.0;
+  sim::KernelDesc desc = dev.CostElementwise(spec);
+  desc.label = "swiglu";
+  Tensor out = tensor::ops::SwiGlu(gate.tensor, up.tensor);
+  return SubmitKernel(dev, desc, {&gate, &up}, std::move(out));
+}
+
+EngineBase::Value EngineBase::Rope(Value& x, int64_t pos_offset) {
+  hal::Device& dev = platform_->device(vector_backend());
+  hal::ElementwiseSpec spec;
+  spec.elems = x.tensor.numel();
+  spec.flops_per_elem = 6.0;
+  spec.bytes_per_elem = 4.0;
+  sim::KernelDesc desc = dev.CostElementwise(spec);
+  desc.label = "rope";
+  Tensor out = x.tensor;
+  tensor::ops::ApplyRope(out, pos_offset, weights_->config().head_dim);
+  return SubmitKernel(dev, desc, {&x}, std::move(out));
+}
+
+EngineBase::Value EngineBase::Attention(Value& q, int layer,
+                                        int64_t pos_offset) {
+  const auto& cfg = weights_->config();
+  hal::Device& dev = platform_->device(vector_backend());
+  hal::AttentionSpec spec;
+  spec.m = q.tensor.shape().rows();
+  // Causal attention: query row i attends to pos_offset + i + 1 positions;
+  // charge the average span rather than the full rectangle.
+  const int64_t kv_len = kv_cache_->K(layer).shape().rows();
+  spec.t = kv_len - spec.m + (spec.m + 1) / 2;
+  spec.num_heads = cfg.num_heads;
+  spec.num_kv_heads = cfg.num_kv_heads;
+  spec.head_dim = cfg.head_dim;
+  sim::KernelDesc desc = dev.CostAttention(spec);
+  desc.label = StrFormat("attn:L%d", layer);
+
+  tensor::AttentionParams params;
+  params.num_heads = cfg.num_heads;
+  params.num_kv_heads = cfg.num_kv_heads;
+  params.head_dim = cfg.head_dim;
+  params.q_pos_offset = pos_offset;
+  Tensor out = tensor::GqaAttention(q.tensor, kv_cache_->K(layer),
+                                    kv_cache_->V(layer), params);
+  return SubmitKernel(dev, desc, {&q}, std::move(out));
+}
+
+EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
+  current_layer_ = layer;
+  const model::LayerWeights& lw = weights_->layer(layer);
+  const int64_t past = kv_cache_->length();
+
+  Value normed = RmsNorm(hidden, lw.attn_norm);
+  Value q = ExecuteMatmul(MatmulSite::kQ, normed, lw.wq, phase);
+  Value k = ExecuteMatmul(MatmulSite::kK, normed, lw.wk, phase);
+  Value v = ExecuteMatmul(MatmulSite::kV, normed, lw.wv, phase);
+  Value q_rot = Rope(q, past);
+  Value k_rot = Rope(k, past);
+
+  // The cache append itself is a strided device-side write folded into the
+  // projection kernels; attention's kernel dependencies flow through q/k/v.
+  kv_cache_->Append(layer, k_rot.tensor, v.tensor);
+  // Attention (on the vector backend) must see k/v results.
+  hal::Device& vec_dev = platform_->device(vector_backend());
+  EnsureVisible(k_rot, vec_dev);
+  EnsureVisible(v, vec_dev);
+  Value attn = Attention(q_rot, layer, past);
+
+  Value o = ExecuteMatmul(MatmulSite::kO, attn, lw.wo, phase);
+  Value h1 = Add(hidden, o);
+  Value n2 = RmsNorm(h1, lw.ffn_norm);
+  Value gate = ExecuteMatmul(MatmulSite::kGate, n2, lw.w_gate, phase);
+  Value up = ExecuteMatmul(MatmulSite::kUp, n2, lw.w_up, phase);
+  Value act = SwiGlu(gate, up);
+  Value down = ExecuteMatmul(MatmulSite::kDown, act, lw.w_down, phase);
+  return Add(h1, down);
+}
+
+PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
+  const MicroSeconds start = host_now_;
+  graph_gen_accum_ = 0;
+
+  Value hidden;
+  hidden.tensor = input;
+  for (int layer = 0; layer < weights_->config().num_layers; ++layer) {
+    hidden = RunLayer(layer, std::move(hidden), phase);
+  }
+  Value final_norm = RmsNorm(hidden, weights_->final_norm());
+
+  // LM head over the last position only.
+  const int64_t rows = final_norm.tensor.shape().rows();
+  Value last;
+  last.tensor = final_norm.tensor.SliceRows(rows - 1, rows);
+  last.deps = final_norm.deps;
+  Value logits =
+      ExecuteMatmul(MatmulSite::kLmHead, last, weights_->lm_head(), phase);
+  EnsureHost(logits);
+  EnsureHost(final_norm);
+
+  PhaseStats stats;
+  stats.latency = host_now_ - start;
+  stats.graph_gen_time = graph_gen_accum_;
+  stats.tokens = static_cast<int>(input.shape().rows());
+  stats.hidden = std::move(final_norm.tensor);
+  stats.logits = std::move(logits.tensor);
+  return stats;
+}
+
+PhaseStats EngineBase::Prefill(const Tensor& prompt) {
+  HCHECK(prompt.shape().rank() == 2);
+  HCHECK(prompt.shape().cols() == weights_->config().hidden);
+  return RunStack(prompt, Phase::kPrefill);
+}
+
+PhaseStats EngineBase::DecodeStep(const Tensor& token) {
+  HCHECK(token.shape().rank() == 2);
+  HCHECK(token.shape().cols() == weights_->config().hidden);
+  return RunStack(token, Phase::kDecode);
+}
+
+GenerationStats EngineBase::Generate(int prompt_len, int decode_len) {
+  ResetSession();
+  platform_->soc().power().Reset();
+  const MicroSeconds window_start = host_now_;
+
+  Rng rng(7);
+  auto make_input = [&](int rows) {
+    Shape shape({rows, weights_->config().hidden});
+    if (mode_ == ExecutionMode::kCompute) {
+      return Tensor::Random(shape, rng, 0.1f, tensor::DType::kFp16);
+    }
+    return Tensor::Deferred(shape, tensor::DType::kFp16);
+  };
+
+  GenerationStats stats;
+  stats.prefill = Prefill(make_input(prompt_len));
+  for (int i = 0; i < decode_len; ++i) {
+    PhaseStats step = DecodeStep(make_input(1));
+    stats.decode_time += step.latency;
+    ++stats.decode_tokens;
+  }
+
+  platform_->soc().DrainAll();
+  host_now_ = std::max(host_now_, platform_->soc().now());
+  const MicroSeconds window = host_now_ - window_start;
+  stats.energy = platform_->soc().power().TotalEnergy(window);
+  stats.avg_power_watts =
+      platform_->soc().power().AveragePowerWatts(window);
+  return stats;
+}
+
+}  // namespace heterollm::core

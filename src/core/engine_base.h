@@ -1,0 +1,232 @@
+// Inference engine framework.
+//
+// `EngineBase` implements the full LLaMA-style decoder execution — norms,
+// QKV, RoPE, GQA attention over the KV cache, output projection, SwiGLU FFN,
+// residuals and the LM head — against a simulated `Platform`. Numerics are
+// real (FP32/W4A16) in `ExecutionMode::kCompute` and shape-only in
+// `kSimulate`; timing is always real (simulated clocks).
+//
+// Concrete engines differ only in *policy*:
+//   * which backend (or partition of backends) runs each matmul site,
+//   * which backend runs vector ops (norms/attention/activations),
+//   * the synchronization mechanism (baseline copy-sync vs fast sync),
+//   * how NPU static graphs are provisioned (preloaded / online / padding).
+//
+// Scheduling model. The host (CPU control plane) has its own clock
+// `host_now_`. Submitting a kernel costs the device's submit overhead;
+// consuming a value produced on a *different* device forces a host
+// synchronization (the paper's §4.2); same-device consumers rely on queue
+// FIFO order and cost nothing. Cross-device waits use the engine's sync
+// mode. In the decoding phase, GPU-dominant pipelining keeps the GPU queue
+// non-empty by deferring waits on GPU-side partition pieces (§4.2, Fig. 11).
+
+#ifndef SRC_CORE_ENGINE_BASE_H_
+#define SRC_CORE_ENGINE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/partition.h"
+#include "src/core/platform.h"
+#include "src/model/kv_cache.h"
+#include "src/model/weights.h"
+#include "src/tensor/attention.h"
+#include "src/tensor/ops.h"
+
+namespace heterollm::core {
+
+enum class Phase { kPrefill, kDecode };
+
+// The matmul sites of a decoder layer plus the LM head.
+enum class MatmulSite { kQ, kK, kV, kO, kGate, kUp, kDown, kLmHead };
+
+const char* MatmulSiteName(MatmulSite site);
+
+struct PhaseStats {
+  MicroSeconds latency = 0;
+  MicroSeconds graph_gen_time = 0;  // online NPU graph generation, if any
+  int tokens = 0;
+  tensor::Tensor hidden;  // final hidden states (deferred in simulate mode)
+  tensor::Tensor logits;  // last-position logits
+};
+
+struct GenerationStats {
+  PhaseStats prefill;
+  MicroSeconds decode_time = 0;
+  int decode_tokens = 0;
+  MicroJoules energy = 0;
+  double avg_power_watts = 0;
+
+  double prefill_tokens_per_s() const {
+    return prefill.latency > 0
+               ? prefill.tokens / ToSeconds(prefill.latency)
+               : 0;
+  }
+  double decode_tokens_per_s() const {
+    return decode_time > 0 ? decode_tokens / ToSeconds(decode_time) : 0;
+  }
+  MicroSeconds ttft() const { return prefill.latency; }
+  MicroSeconds tpot() const {
+    return decode_tokens > 0 ? decode_time / decode_tokens : 0;
+  }
+};
+
+struct EngineOptions {
+  bool fast_sync = true;
+  int64_t kv_capacity = 4096;
+  // Standard static-graph sequence sizes pre-compiled for the NPU.
+  std::vector<int64_t> standard_seq_sizes = {32, 64, 128, 256, 512, 1024};
+  // Decode widths (1 = standard decoding; >1 entries enable speculative
+  // decoding widths) pre-compiled for the NPU.
+  std::vector<int64_t> decode_widths = {1, 2, 4, 8};
+  // Host-side cost of merging partitioned results (the pieces land in
+  // disjoint regions of one unified buffer, so this is bookkeeping only).
+  MicroSeconds merge_cost_us = 2.0;
+  // Chunk length used by the chunked-prefill engines (MLLM-NPU fixes its
+  // chunk size; §5.2.2 discusses how the choice trades NPU utilization
+  // against padding waste).
+  int64_t chunk_size = 256;
+  // Active-power multiplier for GPU kernels issued by this engine.
+  // Heterogeneous engines pin the GPU to a mid DVFS point — same effective
+  // matmul throughput (the sustained rate is thermally limited anyway) at
+  // markedly better perf/W, and headroom left for rendering (§5.5, §5.6).
+  double gpu_power_scale = 1.0;
+};
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+  virtual std::string name() const = 0;
+
+  // Processes the prompt `[M, hidden]`, filling the KV cache.
+  virtual PhaseStats Prefill(const tensor::Tensor& prompt) = 0;
+
+  // One decoding step with input `[width, hidden]` (width > 1 for
+  // speculative decoding).
+  virtual PhaseStats DecodeStep(const tensor::Tensor& token) = 0;
+
+  // Clears the KV cache and per-session state (clocks keep advancing).
+  virtual void ResetSession() = 0;
+};
+
+class EngineBase : public InferenceEngine {
+ public:
+  EngineBase(Platform* platform, const model::ModelWeights* weights,
+             const EngineOptions& options);
+
+  PhaseStats Prefill(const tensor::Tensor& prompt) override;
+  PhaseStats DecodeStep(const tensor::Tensor& token) override;
+  void ResetSession() override;
+
+  // Convenience driver: prefill `prompt_len` synthetic tokens then decode
+  // `decode_len` steps; gathers latency/energy metrics.
+  GenerationStats Generate(int prompt_len, int decode_len);
+
+  MicroSeconds host_now() const { return host_now_; }
+  const model::ModelConfig& model_config() const {
+    return weights_->config();
+  }
+  const EngineOptions& options() const { return options_; }
+
+ protected:
+  // A tensor travelling through the dataflow, with the device kernels that
+  // must complete before it is readable elsewhere.
+  struct Value {
+    tensor::Tensor tensor;
+    std::vector<std::pair<hal::Device*, sim::KernelHandle>> deps;
+  };
+
+  // --- policy points -------------------------------------------------------
+
+  // Chooses the execution plan for one matmul site.
+  virtual MatmulPlan PlanMatmul(MatmulSite site, const MatmulShape& shape,
+                                Phase phase) = 0;
+
+  // Backend for norms, RoPE, attention, activations and residuals.
+  virtual hal::Backend vector_backend() const { return hal::Backend::kGpu; }
+
+  // How NPU matmuls obtain static graphs. kPreloaded HCHECKs that the graph
+  // was pre-compiled; kOnline compiles at first use and charges the host.
+  enum class GraphPolicy { kPreloaded, kOnline };
+  virtual GraphPolicy graph_policy() const { return GraphPolicy::kPreloaded; }
+
+  // Precision of NPU matmuls per phase. The default follows the paper's
+  // W4A16 engine (FLOAT prefill, INT decode — footnote 2); INT-offload
+  // engines (MLLM-NPU-style) override to INT everywhere.
+  virtual hal::Precision MatmulPrecision(Phase phase) const;
+
+  // When true, every matmul first runs a CPU-side activation-quantization /
+  // outlier-extraction kernel (the MLLM-NPU datapath). Costs host + CPU
+  // time; numerics are unchanged (accuracy effects are out of scope).
+  virtual bool int_activation_path() const { return false; }
+
+  // --- shared machinery ----------------------------------------------------
+
+  hal::SyncMode sync_mode() const {
+    return options_.fast_sync ? hal::SyncMode::kFast
+                              : hal::SyncMode::kBaseline;
+  }
+
+  // Pre-compiles NPU graphs (offline, uncharged) for every matmul site of
+  // the model at the given sequence lengths; row-cut sub-shapes are
+  // compiled at multiples of `row_align` (the solver's cut alignment).
+  void PregenerateNpuGraphs(const std::vector<int64_t>& seq_lens,
+                            int64_t row_align = 256);
+
+  // Blocks the host until all of `v`'s foreign-device deps complete.
+  // Same-device deps are dropped (FIFO ordering suffices).
+  void EnsureVisible(Value& v, hal::Device& consumer);
+
+  // Blocks the host until all deps complete (host-side consumption).
+  void EnsureHost(Value& v);
+
+  // Submits a kernel on `dev` whose inputs are `v`'s deps; returns the new
+  // Value carrying `out`.
+  Value SubmitKernel(hal::Device& dev, sim::KernelDesc desc,
+                     std::vector<Value*> inputs, tensor::Tensor out);
+
+  // Executes one (possibly partitioned) matmul site.
+  Value ExecuteMatmul(MatmulSite site, Value& input,
+                      const tensor::QuantizedTensor& w, Phase phase);
+
+  // Vector ops on vector_backend().
+  Value RmsNorm(Value& x, const tensor::Tensor& gamma);
+  Value Add(Value& a, Value& b);
+  Value SwiGlu(Value& gate, Value& up);
+  Value Rope(Value& x, int64_t pos_offset);
+  Value Attention(Value& q, int layer, int64_t pos_offset);
+
+  // Runs one full decoder layer.
+  Value RunLayer(int layer, Value hidden, Phase phase);
+
+  // Runs the whole stack: layers + final norm; fills `stats`.
+  PhaseStats RunStack(const tensor::Tensor& input, Phase phase);
+
+  Platform* platform_;
+  const model::ModelWeights* weights_;
+  EngineOptions options_;
+  model::ExecutionMode mode_;
+  std::unique_ptr<model::KvCache> kv_cache_;
+  MicroSeconds host_now_ = 0;
+  MicroSeconds graph_gen_accum_ = 0;  // charged online graph time this phase
+  std::unordered_set<int64_t> synced_kernels_;
+  // Decode GPU-dominant pipelining: when true, partitioned decode matmuls
+  // defer the wait on their GPU piece (queue order synchronizes it).
+  bool decode_pipelining_ = true;
+  // Workspace slots acquired once per session (pool reuse across layers).
+  std::vector<int> workspace_slots_;
+  // Layer currently executing (for per-op-instance graph keys).
+  int current_layer_ = 0;
+
+ private:
+  void AcquireWorkspace();
+  tensor::Tensor MatmulNumeric(const tensor::Tensor& a,
+                               const tensor::QuantizedTensor& w,
+                               int64_t k_begin, int64_t k_end) const;
+};
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_ENGINE_BASE_H_

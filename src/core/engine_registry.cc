@@ -1,0 +1,88 @@
+#include "src/core/engine_registry.h"
+
+#include "src/core/baseline_engines.h"
+#include "src/core/hetero_engine.h"
+#include "src/core/npu_only_strategies.h"
+
+namespace heterollm::core {
+
+const std::vector<EngineDescription>& EngineCatalog() {
+  static const std::vector<EngineDescription>* kCatalog =
+      new std::vector<EngineDescription>{
+          {"MLLM-NPU", "INT4 / FP16-32", "-", "INT8", "INT", false,
+           "depends on activation", "high"},
+          {"Qualcomm-AI", "INT4/8 / W4A16", "FP16", "INT4/8", "INT", true,
+           "decreased", "high"},
+          {"MLC", "W4A16", "W4A16", "-", "-", true, "preserved", "low"},
+          {"llama.cpp", "INT4/8 / W4A16", "W4A16", "-", "-", true,
+           "preserved", "low"},
+          {"Onnxruntime", "FP16/32", "-", "INT8/16", "INT", true,
+           "decreased", "medium"},
+          {"MNN", "INT8 / W4A16", "W4A16", "-", "-", true, "preserved",
+           "medium"},
+          {"HeteroLLM (ours)", "INT8 / W4A16", "INT8 / W4A16",
+           "INT4/8 / W4A16", "FLOAT", true, "preserved", "high"},
+      };
+  return *kCatalog;
+}
+
+std::vector<std::string> RunnableEngineNames() {
+  return {"llama.cpp",      "MLC",     "MNN-OpenCL", "PPL-OpenCL",
+          "Hetero-layer",   "Hetero-tensor",
+          // NPU-only misaligned-sequence strategies (§5.2.2):
+          "Online-prepare", "Padding", "Pipe",       "Chunked",
+          // INT-offload comparison point (§5.2.1):
+          "MLLM-NPU"};
+}
+
+PlatformOptions PlatformOptionsFor(const std::string& engine_name) {
+  return BaselinePlatformOptions(engine_name);
+}
+
+std::unique_ptr<EngineBase> CreateEngine(const std::string& engine_name,
+                                         Platform* platform,
+                                         const model::ModelWeights* weights,
+                                         const EngineOptions& options) {
+  if (engine_name == "llama.cpp") {
+    return std::make_unique<SingleBackendEngine>(
+        engine_name, hal::Backend::kCpu, platform, weights, options);
+  }
+  if (engine_name == "MLC" || engine_name == "MNN-OpenCL" ||
+      engine_name == "PPL-OpenCL") {
+    return std::make_unique<SingleBackendEngine>(
+        engine_name, hal::Backend::kGpu, platform, weights, options);
+  }
+  if (engine_name == "Hetero-layer" || engine_name == "Hetero-tensor") {
+    HeteroOptions hetero;
+    const double power_scale = hetero.engine.gpu_power_scale;
+    hetero.engine = options;
+    hetero.engine.gpu_power_scale = power_scale;
+    return std::make_unique<HeteroEngine>(
+        engine_name == "Hetero-layer" ? HeteroLevel::kLayer
+                                      : HeteroLevel::kTensor,
+        platform, weights, hetero);
+  }
+  if (engine_name == "Online-prepare") {
+    return std::make_unique<NpuOnlyEngine>(MisalignPolicy::kOnlinePrepare,
+                                           platform, weights, options);
+  }
+  if (engine_name == "Padding") {
+    return std::make_unique<NpuOnlyEngine>(MisalignPolicy::kPadding, platform,
+                                           weights, options);
+  }
+  if (engine_name == "Pipe") {
+    return std::make_unique<NpuOnlyEngine>(MisalignPolicy::kPipe, platform,
+                                           weights, options);
+  }
+  if (engine_name == "Chunked") {
+    return std::make_unique<NpuOnlyEngine>(MisalignPolicy::kChunked, platform,
+                                           weights, options);
+  }
+  if (engine_name == "MLLM-NPU") {
+    return std::make_unique<MllmNpuEngine>(platform, weights, options);
+  }
+  HCHECK_MSG(false, "unknown engine: " + engine_name);
+  __builtin_unreachable();
+}
+
+}  // namespace heterollm::core

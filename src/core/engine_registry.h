@@ -1,0 +1,47 @@
+// Factory and capability catalog for all engines under evaluation.
+
+#ifndef SRC_CORE_ENGINE_REGISTRY_H_
+#define SRC_CORE_ENGINE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine_base.h"
+
+namespace heterollm::core {
+
+// One row of the paper's Table 2 (framework capability matrix).
+struct EngineDescription {
+  std::string name;
+  std::string cpu;               // supported CPU compute types
+  std::string gpu;
+  std::string npu;
+  std::string npu_gemm_type;     // "INT", "FLOAT" or "-"
+  bool sparsity_independent = true;
+  std::string accuracy;          // "preserved" / "depends on activation" / ...
+  std::string performance;       // "low" / "medium" / "high"
+};
+
+// Table 2 rows, paper order (MLLM-NPU, Qualcomm-AI, MLC, llama.cpp,
+// Onnxruntime, MNN, HeteroLLM).
+const std::vector<EngineDescription>& EngineCatalog();
+
+// Engines this reproduction can instantiate and run.
+std::vector<std::string> RunnableEngineNames();
+
+// Platform options appropriate for `engine_name` (baseline kernel-quality
+// factors; the reference platform for HeteroLLM variants).
+PlatformOptions PlatformOptionsFor(const std::string& engine_name);
+
+// Instantiates an engine by name: "llama.cpp", "MLC", "MNN-OpenCL",
+// "PPL-OpenCL", "Hetero-layer", "Hetero-tensor", "Online-prepare",
+// "Padding", "Pipe", "Chunked". HCHECK-fails on unknown names.
+std::unique_ptr<EngineBase> CreateEngine(const std::string& engine_name,
+                                         Platform* platform,
+                                         const model::ModelWeights* weights,
+                                         const EngineOptions& options = {});
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_ENGINE_REGISTRY_H_

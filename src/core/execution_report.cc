@@ -1,0 +1,104 @@
+#include "src/core/execution_report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm::core {
+
+std::string CanonicalizeKernelLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  bool in_digits = false;
+  for (char c : label) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      if (!in_digits) {
+        out += '#';
+        in_digits = true;
+      }
+    } else {
+      out += c;
+      in_digits = false;
+    }
+  }
+  return out;
+}
+
+ExecutionReport ExecutionReport::Build(const Platform& platform,
+                                       MicroSeconds window_start,
+                                       MicroSeconds window_end, int top_n) {
+  HCHECK(window_end >= window_start);
+  ExecutionReport report;
+  report.window_start = window_start;
+  report.window_end = window_end;
+
+  const sim::SocSimulator& soc = platform.soc();
+  std::vector<UnitRow> units(static_cast<size_t>(soc.unit_count()));
+  for (int u = 0; u < soc.unit_count(); ++u) {
+    units[static_cast<size_t>(u)].unit = soc.unit_spec(u).name;
+  }
+  std::map<std::pair<std::string, std::string>, OpRow> ops;
+
+  soc.VisitFinishedKernels([&](const std::string& label, sim::UnitId unit,
+                               MicroSeconds start, MicroSeconds end) {
+    const MicroSeconds clipped_start = std::max(start, window_start);
+    const MicroSeconds clipped_end = std::min(end, window_end);
+    if (clipped_end <= clipped_start) {
+      return;
+    }
+    const MicroSeconds dur = clipped_end - clipped_start;
+    UnitRow& row = units[static_cast<size_t>(unit)];
+    row.busy += dur;
+    ++row.kernels;
+
+    const std::string canon = CanonicalizeKernelLabel(label);
+    OpRow& op = ops[{canon, row.unit}];
+    op.op = canon;
+    op.unit = row.unit;
+    op.total += dur;
+    ++op.count;
+  });
+
+  const MicroSeconds window = report.window();
+  for (UnitRow& row : units) {
+    row.utilization = window > 0 ? row.busy / window : 0;
+  }
+  report.units = std::move(units);
+
+  for (auto& [key, op] : ops) {
+    report.ops.push_back(op);
+  }
+  std::sort(report.ops.begin(), report.ops.end(),
+            [](const OpRow& a, const OpRow& b) { return a.total > b.total; });
+  if (static_cast<int>(report.ops.size()) > top_n) {
+    report.ops.resize(static_cast<size_t>(top_n));
+  }
+  return report;
+}
+
+std::string ExecutionReport::Render() const {
+  std::string out = StrFormat("window: %.1f ms\n", ToMillis(window()));
+  TextTable unit_table({"unit", "busy (ms)", "utilization", "kernels"});
+  for (const UnitRow& row : units) {
+    unit_table.AddRow({row.unit, StrFormat("%.2f", ToMillis(row.busy)),
+                       StrFormat("%.1f%%", 100.0 * row.utilization),
+                       std::to_string(row.kernels)});
+  }
+  out += unit_table.Render();
+
+  TextTable op_table({"op", "unit", "total (ms)", "count", "% of window"});
+  for (const OpRow& op : ops) {
+    op_table.AddRow({op.op, op.unit, StrFormat("%.2f", ToMillis(op.total)),
+                     std::to_string(op.count),
+                     StrFormat("%.1f%%",
+                               window() > 0 ? 100.0 * op.total / window()
+                                            : 0)});
+  }
+  out += op_table.Render();
+  return out;
+}
+
+}  // namespace heterollm::core

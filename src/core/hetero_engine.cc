@@ -1,0 +1,132 @@
+#include "src/core/hetero_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/common/strings.h"
+
+namespace heterollm::core {
+
+HeteroEngine::HeteroEngine(HeteroLevel level, Platform* platform,
+                           const model::ModelWeights* weights,
+                           const HeteroOptions& options)
+    : EngineBase(platform, weights, options.engine), level_(level) {
+  profiler_ =
+      std::make_unique<HardwareProfiler>(platform, options.profiler_mode);
+  SolverConfig solver_cfg = options.solver;
+  solver_cfg.standard_seq_sizes = options_.standard_seq_sizes;
+  // Note: the no-fast-sync configuration (the Fig. 15/17 ablation) keeps the
+  // same partition plans and only changes the waiting mechanism, as in the
+  // paper; callers who want sync-aware planning pass a custom solver config.
+  solver_ = std::make_unique<PartitionSolver>(profiler_.get(), platform,
+                                              solver_cfg);
+  // Static graphs for all standard prefill sizes and decode widths are
+  // compiled offline (§4.1.1).
+  std::vector<int64_t> seqs = options_.standard_seq_sizes;
+  seqs.insert(seqs.end(), options_.decode_widths.begin(),
+              options_.decode_widths.end());
+  PregenerateNpuGraphs(seqs, solver_cfg.row_align);
+}
+
+std::string HeteroEngine::ExportPlanCache() const {
+  // Deterministic order for stable golden files.
+  std::vector<std::string> lines;
+  lines.reserve(plan_cache_.size());
+  for (const auto& [key, plan] : plan_cache_) {
+    lines.push_back(key + " " + plan.Serialize());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line + "\n";
+  }
+  return out;
+}
+
+Status HeteroEngine::ImportPlanCache(const std::string& text) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return InvalidArgumentError("malformed plan line: " + line);
+    }
+    StatusOr<MatmulPlan> plan = MatmulPlan::Parse(line.substr(space + 1));
+    if (!plan.ok()) {
+      return plan.status();
+    }
+    plan_cache_[line.substr(0, space)] = *plan;
+  }
+  return Status::Ok();
+}
+
+MatmulPlan HeteroEngine::PlanLayerLevel(const MatmulShape& shape,
+                                        Phase phase) const {
+  MatmulPlan plan;
+  if (phase == Phase::kDecode) {
+    // NPU matmuls at tiny sequence lengths lose to the GPU (§5.3):
+    // hetero-layer keeps decoding on the GPU.
+    plan.kind = PartitionKind::kNone;
+    plan.sole_backend = hal::Backend::kGpu;
+    return plan;
+  }
+  const auto& stds = options_.standard_seq_sizes;
+  const bool aligned =
+      std::find(stds.begin(), stds.end(), shape.m) != stds.end();
+  if (aligned) {
+    plan.kind = PartitionKind::kNone;
+    plan.sole_backend = hal::Backend::kNpu;
+    return plan;
+  }
+  if (shape.m > stds.back()) {
+    // Decompose into static segments, padding the margin.
+    SeqDecomposition d = DecomposeSequence(shape.m, stds);
+    plan.kind = PartitionKind::kSeqCut;
+    plan.npu_seq_segments = d.segments;
+    if (d.remainder > 0) {
+      plan.npu_seq_segments.push_back(PadToStandard(d.remainder, stds));
+    }
+    return plan;
+  }
+  // Layer-level has no GPU fallback for odd lengths: pad.
+  plan.kind = PartitionKind::kHybridCut;
+  plan.npu_out_features = shape.k;
+  plan.npu_padded_seq = PadToStandard(shape.m, stds);
+  return plan;
+}
+
+MatmulPlan HeteroEngine::PlanMatmul(MatmulSite site, const MatmulShape& shape,
+                                    Phase phase) {
+  if (level_ == HeteroLevel::kLayer) {
+    return PlanLayerLevel(shape, phase);
+  }
+  const std::string key = StrFormat(
+      "%d:%lld:%lld:%lld:%d", static_cast<int>(site),
+      static_cast<long long>(shape.m), static_cast<long long>(shape.n),
+      static_cast<long long>(shape.k), phase == Phase::kDecode ? 1 : 0);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    return it->second;
+  }
+  PartitionDecision decision = phase == Phase::kDecode
+                                   ? solver_->DecideDecode(shape)
+                                   : solver_->DecidePrefill(shape);
+  HLOG(kDebug) << "solver " << MatmulSiteName(site) << " [" << shape.m << ","
+               << shape.n << "," << shape.k << "] "
+               << (phase == Phase::kDecode ? "decode" : "prefill") << " -> "
+               << decision.plan.ToString() << " (est "
+               << decision.est_total << " us)";
+  plan_cache_.emplace(key, decision.plan);
+  return decision.plan;
+}
+
+}  // namespace heterollm::core

@@ -1,0 +1,85 @@
+// HeteroLLM engines: layer-level and tensor-level heterogeneous execution.
+//
+// Hetero-layer (§4): each operator runs whole on its best backend — matmuls
+// on the NPU (with the order-fixing permutation), norms/attention/
+// activations on the GPU. In decoding, small-sequence NPU matmuls lose to
+// the GPU, so hetero-layer "always chooses the GPU in decoding layers and
+// performs similarly to PPL-OpenCL" (§5.3).
+//
+// Hetero-tensor (§4.1): additionally partitions individual matmuls across
+// GPU and NPU using the tensor-partition solver — row cuts to patch the
+// NPU's shape-sensitive weak spots (FFN-down), sequence/hybrid cuts to
+// absorb misaligned prompt lengths, and bandwidth-motivated row cuts in
+// decoding.
+
+#ifndef SRC_CORE_HETERO_ENGINE_H_
+#define SRC_CORE_HETERO_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/engine_base.h"
+#include "src/core/profiler.h"
+#include "src/core/solver.h"
+
+namespace heterollm::core {
+
+enum class HeteroLevel { kLayer, kTensor };
+
+struct HeteroOptions {
+  EngineOptions engine;
+  ProfilerMode profiler_mode = ProfilerMode::kRealExecution;
+  SolverConfig solver;
+
+  HeteroOptions() {
+    // Heterogeneous engines run the GPU at a mid DVFS point (see
+    // EngineOptions::gpu_power_scale).
+    engine.gpu_power_scale = 0.33;
+  }
+};
+
+class HeteroEngine : public EngineBase {
+ public:
+  HeteroEngine(HeteroLevel level, Platform* platform,
+               const model::ModelWeights* weights,
+               const HeteroOptions& options = {});
+
+  std::string name() const override {
+    return level_ == HeteroLevel::kLayer ? "Hetero-layer" : "Hetero-tensor";
+  }
+
+  HeteroLevel level() const { return level_; }
+  const HardwareProfiler& profiler() const { return *profiler_; }
+  const PartitionSolver& solver() const { return *solver_; }
+
+  // The plan the engine will use for a site/shape (diagnostics + tests).
+  MatmulPlan PlanFor(MatmulSite site, const MatmulShape& shape, Phase phase) {
+    return PlanMatmul(site, shape, phase);
+  }
+
+  // Persist / restore the solver's decisions (Fig. 12: the solver runs
+  // offline, the runtime decider only executes). Exported text is
+  // line-oriented: "<site>:<m>:<n>:<k>:<phase> <plan>".
+  std::string ExportPlanCache() const;
+  Status ImportPlanCache(const std::string& text);
+  int plan_cache_size() const { return static_cast<int>(plan_cache_.size()); }
+
+ protected:
+  MatmulPlan PlanMatmul(MatmulSite site, const MatmulShape& shape,
+                        Phase phase) override;
+
+ private:
+  MatmulPlan PlanLayerLevel(const MatmulShape& shape, Phase phase) const;
+
+  HeteroLevel level_;
+  std::unique_ptr<HardwareProfiler> profiler_;
+  std::unique_ptr<PartitionSolver> solver_;
+  // Decisions cached per (site, m, n, k, phase); every layer shares shapes,
+  // so after layer 0 the solver is never consulted again.
+  std::unordered_map<std::string, MatmulPlan> plan_cache_;
+};
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_HETERO_ENGINE_H_

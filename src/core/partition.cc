@@ -1,0 +1,204 @@
+#include "src/core/partition.h"
+
+#include <algorithm>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace heterollm::core {
+
+const char* PartitionKindName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kNone:
+      return "none";
+    case PartitionKind::kRowCut:
+      return "row-cut";
+    case PartitionKind::kSeqCut:
+      return "seq-cut";
+    case PartitionKind::kHybridCut:
+      return "hybrid-cut";
+  }
+  return "unknown";
+}
+
+std::string MatmulPlan::ToString() const {
+  switch (kind) {
+    case PartitionKind::kNone:
+      return StrFormat("none(%s)", hal::BackendName(sole_backend));
+    case PartitionKind::kRowCut:
+      return StrFormat("row-cut(npu_k=%lld)",
+                       static_cast<long long>(npu_out_features));
+    case PartitionKind::kSeqCut: {
+      std::string segs;
+      for (int64_t s : npu_seq_segments) {
+        segs += (segs.empty() ? "" : "+") + std::to_string(s);
+      }
+      return StrFormat("seq-cut(npu=%s)", segs.c_str());
+    }
+    case PartitionKind::kHybridCut:
+      return StrFormat("hybrid-cut(npu_k=%lld, pad_seq=%lld)",
+                       static_cast<long long>(npu_out_features),
+                       static_cast<long long>(npu_padded_seq));
+  }
+  return "unknown";
+}
+
+std::string MatmulPlan::Serialize() const {
+  switch (kind) {
+    case PartitionKind::kNone:
+      return StrFormat("none %s", hal::BackendName(sole_backend));
+    case PartitionKind::kRowCut:
+      return StrFormat("row-cut %lld",
+                       static_cast<long long>(npu_out_features));
+    case PartitionKind::kSeqCut: {
+      std::string segs;
+      for (int64_t s : npu_seq_segments) {
+        segs += (segs.empty() ? "" : "+") + std::to_string(s);
+      }
+      return "seq-cut " + segs;
+    }
+    case PartitionKind::kHybridCut:
+      return StrFormat("hybrid-cut %lld %lld",
+                       static_cast<long long>(npu_out_features),
+                       static_cast<long long>(npu_padded_seq));
+  }
+  return "none gpu";
+}
+
+StatusOr<MatmulPlan> MatmulPlan::Parse(const std::string& text) {
+  MatmulPlan plan;
+  const size_t space = text.find(' ');
+  const std::string kind = text.substr(0, space);
+  const std::string rest =
+      space == std::string::npos ? "" : text.substr(space + 1);
+  if (kind == "none") {
+    plan.kind = PartitionKind::kNone;
+    if (rest == "cpu") {
+      plan.sole_backend = hal::Backend::kCpu;
+    } else if (rest == "gpu") {
+      plan.sole_backend = hal::Backend::kGpu;
+    } else if (rest == "npu") {
+      plan.sole_backend = hal::Backend::kNpu;
+    } else {
+      return InvalidArgumentError("bad backend in plan: " + text);
+    }
+    return plan;
+  }
+  if (kind == "row-cut") {
+    plan.kind = PartitionKind::kRowCut;
+    plan.npu_out_features = std::atoll(rest.c_str());
+    if (plan.npu_out_features <= 0) {
+      return InvalidArgumentError("bad row-cut split: " + text);
+    }
+    return plan;
+  }
+  if (kind == "seq-cut") {
+    plan.kind = PartitionKind::kSeqCut;
+    size_t pos = 0;
+    while (pos < rest.size()) {
+      size_t plus = rest.find('+', pos);
+      if (plus == std::string::npos) {
+        plus = rest.size();
+      }
+      const int64_t seg = std::atoll(rest.substr(pos, plus - pos).c_str());
+      if (seg <= 0) {
+        return InvalidArgumentError("bad seq-cut segment: " + text);
+      }
+      plan.npu_seq_segments.push_back(seg);
+      pos = plus + 1;
+    }
+    if (plan.npu_seq_segments.empty()) {
+      return InvalidArgumentError("empty seq-cut: " + text);
+    }
+    return plan;
+  }
+  if (kind == "hybrid-cut") {
+    plan.kind = PartitionKind::kHybridCut;
+    long long k_npu = 0;
+    long long pad = 0;
+    if (std::sscanf(rest.c_str(), "%lld %lld", &k_npu, &pad) != 2 ||
+        k_npu <= 0 || pad <= 0) {
+      return InvalidArgumentError("bad hybrid-cut: " + text);
+    }
+    plan.npu_out_features = k_npu;
+    plan.npu_padded_seq = pad;
+    return plan;
+  }
+  return InvalidArgumentError("unknown plan kind: " + text);
+}
+
+hal::MatmulSpec GpuMatmulSpec(const MatmulShape& shape) {
+  hal::MatmulSpec spec;
+  spec.m = shape.m;
+  spec.n = shape.n;
+  spec.k = shape.k;
+  spec.precision = shape.precision;
+  spec.a_bytes_per_elem = 2.0;  // fp16 activations
+  spec.b_bytes_per_elem = shape.weight_bytes_per_elem;
+  spec.out_bytes_per_elem = 2.0;
+  return spec;
+}
+
+hal::MatmulSpec NpuMatmulSpec(const MatmulShape& shape) {
+  // Permuted execution: A' = Wᵀ [K, N] streams, B' = Xᵀ [N, M] is
+  // stationary. The output transposition is free (strided write).
+  hal::MatmulSpec spec;
+  spec.m = shape.k;
+  spec.n = shape.n;
+  spec.k = shape.m;
+  spec.precision = shape.precision;
+  spec.a_bytes_per_elem = shape.weight_bytes_per_elem;  // weight streams
+  spec.b_bytes_per_elem = 2.0;                          // activation resident
+  spec.out_bytes_per_elem = 2.0;
+  return spec;
+}
+
+hal::MatmulSpec CpuMatmulSpec(const MatmulShape& shape) {
+  return GpuMatmulSpec(shape);
+}
+
+hal::MatmulSpec MatmulSpecFor(hal::Backend backend, const MatmulShape& shape) {
+  switch (backend) {
+    case hal::Backend::kCpu:
+      return CpuMatmulSpec(shape);
+    case hal::Backend::kGpu:
+      return GpuMatmulSpec(shape);
+    case hal::Backend::kNpu:
+      return NpuMatmulSpec(shape);
+  }
+  HCHECK_MSG(false, "unknown backend");
+  __builtin_unreachable();
+}
+
+SeqDecomposition DecomposeSequence(
+    int64_t m, const std::vector<int64_t>& standard_sizes) {
+  HCHECK(m >= 0);
+  HCHECK(!standard_sizes.empty());
+  HCHECK(std::is_sorted(standard_sizes.begin(), standard_sizes.end()));
+  SeqDecomposition out;
+  int64_t remaining = m;
+  for (auto it = standard_sizes.rbegin(); it != standard_sizes.rend(); ++it) {
+    while (remaining >= *it) {
+      out.segments.push_back(*it);
+      remaining -= *it;
+    }
+  }
+  out.remainder = remaining;
+  return out;
+}
+
+int64_t PadToStandard(int64_t m, const std::vector<int64_t>& standard_sizes) {
+  HCHECK(!standard_sizes.empty());
+  HCHECK(std::is_sorted(standard_sizes.begin(), standard_sizes.end()));
+  for (int64_t s : standard_sizes) {
+    if (s >= m) {
+      return s;
+    }
+  }
+  return standard_sizes.back();
+}
+
+}  // namespace heterollm::core

@@ -1,0 +1,102 @@
+// Tensor partition strategies (paper §4.1).
+//
+// For a matmul `activation [M, N] x weight [N, K]` the engine can:
+//   * row-cutting       — split the output features K between NPU and GPU
+//                         (the paper phrases this as splitting the rows of
+//                         the permuted first tensor Wᵀ);
+//   * sequence cutting  — split the token rows M: statically-shaped segments
+//                         run on the NPU, the dynamic remainder on the GPU;
+//   * multi-sequence    — several static segments run back-to-back on the
+//                         NPU plus an optional GPU remainder;
+//   * hybrid cutting    — the NPU takes a padded static sequence but only a
+//                         slice of the output features, the GPU covers the
+//                         remaining features at the true length.
+//
+// This header also builds per-backend `MatmulSpec`s. The NPU spec applies
+// the paper's operand permutation [M,N]x[N,K] -> ([K,N]x[N,M])ᵀ so the large
+// weight streams through the array while the small activation block sits in
+// the weight-stall position (§4, "order-sensitive performance").
+
+#ifndef SRC_CORE_PARTITION_H_
+#define SRC_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hal/device.h"
+
+namespace heterollm::core {
+
+enum class PartitionKind {
+  kNone,      // whole op on a single backend
+  kRowCut,    // output features split NPU/GPU
+  kSeqCut,    // token rows split: static NPU segments + GPU remainder
+  kHybridCut, // padded static sequence on NPU, feature slice on GPU
+};
+
+const char* PartitionKindName(PartitionKind kind);
+
+// A fully-resolved execution plan for one matmul site.
+struct MatmulPlan {
+  PartitionKind kind = PartitionKind::kNone;
+  // kNone: the backend that runs the whole op.
+  hal::Backend sole_backend = hal::Backend::kNpu;
+  // kRowCut / kHybridCut: output features assigned to the NPU ([0, k_npu));
+  // the GPU covers [k_npu, K).
+  int64_t npu_out_features = 0;
+  // kSeqCut: static sequence segment lengths executed on the NPU, in order;
+  // their sum is <= M and the remainder M - sum runs on the GPU.
+  std::vector<int64_t> npu_seq_segments;
+  // kHybridCut: the static (padded) sequence length the NPU graph executes.
+  int64_t npu_padded_seq = 0;
+
+  std::string ToString() const;
+
+  // Compact single-line form for persisting offline solver output
+  // ("none gpu", "row-cut 8192", "seq-cut 512+32", "hybrid-cut 4096 512").
+  std::string Serialize() const;
+  static StatusOr<MatmulPlan> Parse(const std::string& text);
+};
+
+// Logical description of a matmul site, independent of backend.
+struct MatmulShape {
+  int64_t m = 0;  // token rows
+  int64_t n = 0;  // input features (reduction)
+  int64_t k = 0;  // output features
+  hal::Precision precision = hal::Precision::kFp16;
+  double weight_bytes_per_elem = 0.5;  // W4A16 storage
+};
+
+// Spec for running (a slice of) the op on the GPU: no permutation, dynamic
+// shapes are free.
+hal::MatmulSpec GpuMatmulSpec(const MatmulShape& shape);
+
+// Spec for running (a slice of) the op on the NPU: permuted so the weight
+// is the streamed operand and the activation block is stationary.
+hal::MatmulSpec NpuMatmulSpec(const MatmulShape& shape);
+
+// Spec for the CPU baseline (llama.cpp-style): same orientation as GPU.
+hal::MatmulSpec CpuMatmulSpec(const MatmulShape& shape);
+
+hal::MatmulSpec MatmulSpecFor(hal::Backend backend, const MatmulShape& shape);
+
+// Decomposes `m` into standard static sizes (largest-first greedy over
+// `standard_sizes`, which must be sorted ascending); the remainder smaller
+// than the smallest standard size is returned separately. Used by
+// sequence-length cutting and the Pipe baseline.
+struct SeqDecomposition {
+  std::vector<int64_t> segments;  // each a standard size
+  int64_t remainder = 0;          // < smallest standard size
+};
+SeqDecomposition DecomposeSequence(int64_t m,
+                                   const std::vector<int64_t>& standard_sizes);
+
+// Smallest standard size >= m, or the largest standard size when m exceeds
+// them all (callers then chunk).
+int64_t PadToStandard(int64_t m, const std::vector<int64_t>& standard_sizes);
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_PARTITION_H_

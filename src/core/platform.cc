@@ -1,0 +1,39 @@
+#include "src/core/platform.h"
+
+namespace heterollm::core {
+
+PlatformOptions PlatformOptions::Snapdragon8Gen3() {
+  PlatformOptions opts;
+  // 68 GB/s SoC ceiling; with two concurrent streams the paper measures
+  // 59.1 GB/s aggregate (Fig. 6 / §5.3), hence the derating factor.
+  opts.memory.soc_bandwidth_bytes_per_us = 68e3;
+  opts.memory.multi_stream_efficiency = 59.1 / 68.0;
+  // Device defaults already encode the 8 Gen 3 calibration.
+  return opts;
+}
+
+Platform::Platform(const PlatformOptions& options)
+    : options_(options),
+      soc_(options.memory),
+      sync_(options.sync),
+      graph_cache_(options.graph),
+      pool_(options.pool) {
+  cpu_ = std::make_unique<hal::CpuDevice>("cpu", &soc_, options.cpu);
+  gpu_ = std::make_unique<hal::GpuDevice>("gpu", &soc_, options.gpu);
+  npu_ = std::make_unique<hal::NpuDevice>("npu", &soc_, options.npu);
+}
+
+hal::Device& Platform::device(hal::Backend backend) {
+  switch (backend) {
+    case hal::Backend::kCpu:
+      return *cpu_;
+    case hal::Backend::kGpu:
+      return *gpu_;
+    case hal::Backend::kNpu:
+      return *npu_;
+  }
+  HCHECK_MSG(false, "unknown backend");
+  __builtin_unreachable();
+}
+
+}  // namespace heterollm::core

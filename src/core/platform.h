@@ -1,0 +1,65 @@
+// A `Platform` bundles one simulated SoC: the event simulator, the three
+// devices, the sync mechanism, the NPU graph cache and the unified-memory
+// pool. Each engine under evaluation gets its own Platform so runs are
+// independent and the power/bandwidth telemetry is per-engine.
+
+#ifndef SRC_CORE_PLATFORM_H_
+#define SRC_CORE_PLATFORM_H_
+
+#include <memory>
+
+#include "src/hal/cpu_device.h"
+#include "src/hal/gpu_device.h"
+#include "src/hal/npu_device.h"
+#include "src/hal/npu_graph.h"
+#include "src/hal/sync.h"
+#include "src/hal/unified_memory.h"
+#include "src/sim/soc_simulator.h"
+
+namespace heterollm::core {
+
+struct PlatformOptions {
+  sim::MemoryConfig memory;
+  hal::CpuConfig cpu;
+  hal::GpuConfig gpu;
+  hal::NpuConfig npu;
+  hal::SyncConfig sync;
+  hal::NpuGraphConfig graph;
+  hal::UnifiedMemoryConfig pool;
+
+  // Defaults calibrated to the Qualcomm Snapdragon 8 Gen 3 (DESIGN.md §5).
+  static PlatformOptions Snapdragon8Gen3();
+};
+
+class Platform {
+ public:
+  explicit Platform(const PlatformOptions& options = PlatformOptions::Snapdragon8Gen3());
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  sim::SocSimulator& soc() { return soc_; }
+  const sim::SocSimulator& soc() const { return soc_; }
+  hal::CpuDevice& cpu() { return *cpu_; }
+  hal::GpuDevice& gpu() { return *gpu_; }
+  hal::NpuDevice& npu() { return *npu_; }
+  hal::Device& device(hal::Backend backend);
+  hal::SyncMechanism& sync() { return sync_; }
+  hal::NpuGraphCache& graph_cache() { return graph_cache_; }
+  hal::UnifiedMemoryPool& pool() { return pool_; }
+  const PlatformOptions& options() const { return options_; }
+
+ private:
+  PlatformOptions options_;
+  sim::SocSimulator soc_;
+  std::unique_ptr<hal::CpuDevice> cpu_;
+  std::unique_ptr<hal::GpuDevice> gpu_;
+  std::unique_ptr<hal::NpuDevice> npu_;
+  hal::SyncMechanism sync_;
+  hal::NpuGraphCache graph_cache_;
+  hal::UnifiedMemoryPool pool_;
+};
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_PLATFORM_H_

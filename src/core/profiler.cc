@@ -1,0 +1,94 @@
+#include "src/core/profiler.h"
+
+#include <cmath>
+
+namespace heterollm::core {
+
+HardwareProfiler::HardwareProfiler(Platform* platform, ProfilerMode mode)
+    : platform_(platform), mode_(mode) {
+  HCHECK(platform != nullptr);
+}
+
+MicroSeconds HardwareProfiler::MatmulTime(hal::Backend backend,
+                                          const MatmulShape& shape) const {
+  if (mode_ == ProfilerMode::kRealExecution) {
+    return RealTime(backend, shape);
+  }
+  return PredictedTime(backend, shape);
+}
+
+MicroSeconds HardwareProfiler::RealTime(hal::Backend backend,
+                                        const MatmulShape& shape) const {
+  hal::Device& dev = platform_->device(backend);
+  return dev.IsolatedTime(dev.CostMatmul(MatmulSpecFor(backend, shape)));
+}
+
+std::vector<double> HardwareProfiler::Features(const MatmulShape& shape) {
+  // Log-scale features linearize the multiplicative cost surface; the
+  // precision flag separates the FP16 and INT8 regimes.
+  return {std::log2(static_cast<double>(shape.m)),
+          std::log2(static_cast<double>(shape.n)),
+          std::log2(static_cast<double>(shape.k)),
+          shape.precision == hal::Precision::kInt8 ? 1.0 : 0.0};
+}
+
+void HardwareProfiler::TrainPredictors() {
+  // Shape grid covering the LLM operating range. The NPU's stage
+  // performance means times are constant within a 32-tile, so a power-of-2
+  // grid plus the tree's axis-aligned splits generalizes well.
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  const std::vector<int64_t> ms = {1,   16,   32,   64,   128,  256,
+                                   512, 1024, 2048, 4096, 8192, 16384};
+  const std::vector<int64_t> ns = {512, 1024, 2048, 4096, 8192, 16384};
+  const std::vector<int64_t> ks = {128, 256, 512, 1024, 2048, 4096, 8192,
+                                   16384};
+  for (hal::Precision prec : {hal::Precision::kFp16, hal::Precision::kInt8}) {
+    for (int64_t m : ms) {
+      for (int64_t n : ns) {
+        for (int64_t k : ks) {
+          MatmulShape shape{m, n, k, prec, 0.5};
+          features.push_back(Features(shape));
+          targets.push_back(
+              std::log2(RealTime(hal::Backend::kNpu, shape) + 1.0));
+        }
+      }
+    }
+  }
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 16;
+  cfg.min_samples_per_leaf = 1;
+  npu_tree_ = std::make_unique<DecisionTreeRegressor>(cfg);
+  npu_tree_->Fit(features, targets);
+}
+
+MicroSeconds HardwareProfiler::PredictedTime(hal::Backend backend,
+                                             const MatmulShape& shape) const {
+  if (backend != hal::Backend::kNpu) {
+    // "GPU performance is more stable and less dependent on tensor shapes,
+    // we easily estimate GPU execution time ... using a fixed TFLOPS rate."
+    hal::Device& dev = platform_->device(backend);
+    const hal::MatmulSpec spec = MatmulSpecFor(backend, shape);
+    const double rate = dev.PeakMatmulRate(shape.precision);
+    const double bw =
+        platform_->soc().unit_spec(dev.unit()).bandwidth_cap_bytes_per_us;
+    const Bytes bytes = spec.a_bytes() + spec.b_bytes() + spec.out_bytes();
+    return std::max(spec.flops() / rate, bytes / bw) + 10.0;
+  }
+  if (npu_tree_ == nullptr) {
+    const_cast<HardwareProfiler*>(this)->TrainPredictors();
+  }
+  return std::exp2(npu_tree_->Predict(Features(shape))) - 1.0;
+}
+
+double HardwareProfiler::PredictionError(hal::Backend backend,
+                                         const MatmulShape& shape) const {
+  const double real = RealTime(backend, shape);
+  const double predicted = PredictedTime(backend, shape);
+  if (real <= 0) {
+    return 0;
+  }
+  return std::fabs(predicted - real) / real;
+}
+
+}  // namespace heterollm::core

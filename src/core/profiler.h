@@ -1,0 +1,61 @@
+// Hardware performance profiler (paper §4.3, Fig. 12).
+//
+// Two modes, as in the paper:
+//  * Real-execution — runs the target operator shape on the (simulated)
+//    hardware in isolation and reports the measured latency. Exact but
+//    "slow" (offline); in this reproduction it queries the device cost
+//    models directly, which is precisely what executing on idle hardware
+//    measures.
+//  * Prediction — a CART decision-tree regressor fitted on a sampled shape
+//    grid predicts NPU latency; GPU latency is estimated from a fixed
+//    TFLOPS rate plus a bandwidth term, since GPU performance is stable
+//    across shapes.
+
+#ifndef SRC_CORE_PROFILER_H_
+#define SRC_CORE_PROFILER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/decision_tree.h"
+#include "src/core/partition.h"
+#include "src/core/platform.h"
+
+namespace heterollm::core {
+
+enum class ProfilerMode { kRealExecution, kPrediction };
+
+class HardwareProfiler {
+ public:
+  explicit HardwareProfiler(Platform* platform,
+                            ProfilerMode mode = ProfilerMode::kRealExecution);
+
+  // Isolated (contention-free) latency of the logical matmul on `backend`.
+  MicroSeconds MatmulTime(hal::Backend backend,
+                          const MatmulShape& shape) const;
+
+  // Fits the prediction-mode regressors from a grid of real executions.
+  // Called automatically on first prediction-mode query; exposed so tests
+  // can control the training set.
+  void TrainPredictors();
+
+  ProfilerMode mode() const { return mode_; }
+  bool trained() const { return npu_tree_ != nullptr; }
+
+  // Relative |predicted - real| / real for one shape (test/diagnostic hook).
+  double PredictionError(hal::Backend backend, const MatmulShape& shape) const;
+
+ private:
+  MicroSeconds RealTime(hal::Backend backend, const MatmulShape& shape) const;
+  MicroSeconds PredictedTime(hal::Backend backend,
+                             const MatmulShape& shape) const;
+  static std::vector<double> Features(const MatmulShape& shape);
+
+  Platform* platform_;
+  ProfilerMode mode_;
+  std::unique_ptr<DecisionTreeRegressor> npu_tree_;
+};
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_PROFILER_H_

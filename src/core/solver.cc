@@ -1,0 +1,276 @@
+#include "src/core/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/math_util.h"
+
+namespace heterollm::core {
+
+PartitionSolver::PartitionSolver(const HardwareProfiler* profiler,
+                                 Platform* platform,
+                                 const SolverConfig& config)
+    : profiler_(profiler), platform_(platform), config_(config) {
+  HCHECK(profiler != nullptr && platform != nullptr);
+  HCHECK(!config_.standard_seq_sizes.empty());
+  HCHECK(std::is_sorted(config_.standard_seq_sizes.begin(),
+                        config_.standard_seq_sizes.end()));
+}
+
+MicroSeconds PartitionSolver::NpuTime(const MatmulShape& shape) const {
+  return profiler_->MatmulTime(hal::Backend::kNpu, shape);
+}
+
+MicroSeconds PartitionSolver::GpuTime(const MatmulShape& shape) const {
+  return profiler_->MatmulTime(hal::Backend::kGpu, shape);
+}
+
+namespace {
+// Estimated concurrent active power of a candidate's busy processors.
+double CandidatePowerWatts(Platform* platform, bool uses_gpu, bool uses_npu) {
+  double watts = 0;
+  if (uses_gpu) {
+    watts += platform->options().gpu.power.active_watts;
+  }
+  if (uses_npu) {
+    watts += platform->options().npu.power.active_watts;
+  }
+  return watts;
+}
+}  // namespace
+
+PartitionDecision PartitionSolver::DecidePrefill(
+    const MatmulShape& shape) const {
+  const auto& stds = config_.standard_seq_sizes;
+  const MicroSeconds hetero_overhead = config_.t_sync + config_.t_copy;
+
+  PartitionDecision best;
+  best.est_total = std::numeric_limits<MicroSeconds>::infinity();
+  auto consider = [&](const PartitionDecision& cand) {
+    if (config_.max_parallel_power_watts > 0) {
+      const bool uses_gpu = cand.est_gpu > 0;
+      const bool uses_npu = cand.est_npu > 0;
+      if (CandidatePowerWatts(platform_, uses_gpu, uses_npu) >
+          config_.max_parallel_power_watts) {
+        return;
+      }
+    }
+    if (cand.est_total < best.est_total) {
+      best = cand;
+    }
+  };
+
+  // Candidate 1: GPU-only (dynamic shapes are free on the GPU).
+  {
+    PartitionDecision cand;
+    cand.plan.kind = PartitionKind::kNone;
+    cand.plan.sole_backend = hal::Backend::kGpu;
+    cand.est_gpu = GpuTime(shape);
+    cand.est_total = cand.est_gpu;
+    consider(cand);
+  }
+
+  const bool aligned =
+      std::find(stds.begin(), stds.end(), shape.m) != stds.end();
+
+  // Candidate 2a: NPU-only with padding to the next standard size.
+  if (shape.m <= stds.back()) {
+    const int64_t padded = aligned ? shape.m : PadToStandard(shape.m, stds);
+    MatmulShape npu_shape = shape;
+    npu_shape.m = padded;
+    PartitionDecision cand;
+    if (aligned) {
+      cand.plan.kind = PartitionKind::kNone;
+      cand.plan.sole_backend = hal::Backend::kNpu;
+    } else {
+      cand.plan.kind = PartitionKind::kHybridCut;
+      cand.plan.npu_out_features = shape.k;  // NPU takes everything
+      cand.plan.npu_padded_seq = padded;
+    }
+    cand.est_npu = NpuTime(npu_shape);
+    cand.est_total = cand.est_npu + hetero_overhead;
+    consider(cand);
+  }
+
+  // Candidate 2b: NPU-only pipe — decompose the sequence into standard
+  // segments, pad the margin into the smallest standard graph.
+  {
+    SeqDecomposition decomp = DecomposeSequence(shape.m, stds);
+    std::vector<int64_t> segments = decomp.segments;
+    if (decomp.remainder > 0) {
+      segments.push_back(stds.front());
+    }
+    MicroSeconds total_npu = 0;
+    for (int64_t seg : segments) {
+      MatmulShape seg_shape = shape;
+      seg_shape.m = seg;
+      total_npu += NpuTime(seg_shape);
+    }
+    PartitionDecision cand;
+    cand.plan.kind = PartitionKind::kSeqCut;
+    cand.plan.npu_seq_segments = std::move(segments);
+    cand.est_npu = total_npu;
+    cand.est_total = total_npu + hetero_overhead;
+    consider(cand);
+  }
+
+  // Candidate 3: sequence cutting — the GPU absorbs a dynamic tail (at
+  // least the misaligned margin), the NPU runs standard segments.
+  {
+    const int64_t margin =
+        DecomposeSequence(shape.m, stds).remainder;
+    for (int64_t gpu_seq = margin > 0 ? margin : config_.seq_align;
+         gpu_seq < shape.m; gpu_seq += config_.seq_align) {
+      const int64_t npu_len = shape.m - gpu_seq;
+      SeqDecomposition d = DecomposeSequence(npu_len, stds);
+      if (d.remainder != 0) {
+        continue;  // NPU part must land exactly on static graphs
+      }
+      MicroSeconds total_npu = 0;
+      for (int64_t seg : d.segments) {
+        MatmulShape seg_shape = shape;
+        seg_shape.m = seg;
+        total_npu += NpuTime(seg_shape);
+      }
+      MatmulShape gpu_shape = shape;
+      gpu_shape.m = gpu_seq;
+      PartitionDecision cand;
+      cand.plan.kind = PartitionKind::kSeqCut;
+      cand.plan.npu_seq_segments = std::move(d.segments);
+      cand.est_npu = total_npu;
+      cand.est_gpu = GpuTime(gpu_shape);
+      cand.est_total =
+          std::max(cand.est_npu, cand.est_gpu) + hetero_overhead;
+      consider(cand);
+    }
+  }
+
+  // Candidate 4: row/hybrid cutting — NPU runs a (padded) static sequence
+  // over a slice of the output features, GPU covers the rest at the true
+  // length. Row cuts are aligned to 256 (paper's pruning).
+  if (shape.m <= stds.back() && shape.k > config_.row_align) {
+    const int64_t padded = PadToStandard(shape.m, stds);
+    for (int64_t k_npu = config_.row_align; k_npu < shape.k;
+         k_npu += config_.row_align) {
+      MatmulShape npu_shape = shape;
+      npu_shape.m = padded;
+      npu_shape.k = k_npu;
+      MatmulShape gpu_shape = shape;
+      gpu_shape.k = shape.k - k_npu;
+      PartitionDecision cand;
+      cand.plan.kind = aligned && padded == shape.m ? PartitionKind::kRowCut
+                                                    : PartitionKind::kHybridCut;
+      cand.plan.npu_out_features = k_npu;
+      cand.plan.npu_padded_seq = padded;
+      cand.est_npu = NpuTime(npu_shape);
+      cand.est_gpu = GpuTime(gpu_shape);
+      cand.est_total =
+          std::max(cand.est_npu, cand.est_gpu) + hetero_overhead;
+      consider(cand);
+    }
+  }
+
+  if (!std::isfinite(best.est_total)) {
+    // A budget below every single-processor draw: run the lowest-power
+    // backend anyway rather than refusing to execute.
+    best.plan.kind = PartitionKind::kNone;
+    best.plan.sole_backend = hal::Backend::kNpu;
+    best.est_npu = NpuTime(shape);
+    best.est_total = best.est_npu + hetero_overhead;
+  }
+  return best;
+}
+
+PartitionDecision PartitionSolver::DecideDecode(
+    const MatmulShape& shape) const {
+  PartitionDecision best;
+  best.est_total = std::numeric_limits<MicroSeconds>::infinity();
+  auto consider = [&](const PartitionDecision& cand) {
+    if (config_.max_parallel_power_watts > 0) {
+      const bool uses_gpu = cand.est_gpu > 0;
+      const bool uses_npu = cand.est_npu > 0;
+      if (CandidatePowerWatts(platform_, uses_gpu, uses_npu) >
+          config_.max_parallel_power_watts) {
+        return;
+      }
+    }
+    if (cand.est_total < best.est_total) {
+      best = cand;
+    }
+  };
+
+  // Single-backend candidates.
+  {
+    PartitionDecision cand;
+    cand.plan.kind = PartitionKind::kNone;
+    cand.plan.sole_backend = hal::Backend::kGpu;
+    cand.est_gpu = GpuTime(shape);
+    cand.est_total = cand.est_gpu;
+    consider(cand);
+  }
+  {
+    PartitionDecision cand;
+    cand.plan.kind = PartitionKind::kNone;
+    cand.plan.sole_backend = hal::Backend::kNpu;
+    cand.est_npu = NpuTime(shape);
+    cand.est_total = cand.est_npu + config_.t_sync;
+    consider(cand);
+  }
+
+  // Row-cut sweep under bandwidth contention: when both processors stream,
+  // each gets a max-min-fair share of the (derated) SoC ceiling.
+  const sim::MemoryConfig& mem = platform_->soc().memory().config();
+  hal::Device& gpu = platform_->gpu();
+  hal::Device& npu = platform_->npu();
+  const double gpu_cap =
+      platform_->soc().unit_spec(gpu.unit()).bandwidth_cap_bytes_per_us;
+  const double npu_cap =
+      platform_->soc().unit_spec(npu.unit()).bandwidth_cap_bytes_per_us;
+  const double ceiling =
+      mem.soc_bandwidth_bytes_per_us * mem.multi_stream_efficiency;
+  // Water-fill between the two streams.
+  double share_small = std::min(std::min(gpu_cap, npu_cap), ceiling / 2.0);
+  double share_big =
+      std::min(std::max(gpu_cap, npu_cap), ceiling - share_small);
+  const double gpu_share = gpu_cap <= npu_cap ? share_small : share_big;
+  const double npu_share = gpu_cap <= npu_cap ? share_big : share_small;
+
+  if (shape.k > config_.row_align) {
+    for (int64_t k_npu = config_.row_align; k_npu < shape.k;
+         k_npu += config_.row_align) {
+      MatmulShape npu_shape = shape;
+      npu_shape.k = k_npu;
+      MatmulShape gpu_shape = shape;
+      gpu_shape.k = shape.k - k_npu;
+      const sim::KernelDesc npu_kd =
+          npu.CostMatmul(NpuMatmulSpec(npu_shape));
+      const sim::KernelDesc gpu_kd =
+          gpu.CostMatmul(GpuMatmulSpec(gpu_shape));
+      const MicroSeconds t_npu =
+          npu_kd.launch_overhead +
+          std::max(npu_kd.compute_time, npu_kd.memory_bytes / npu_share);
+      const MicroSeconds t_gpu =
+          gpu_kd.launch_overhead +
+          std::max(gpu_kd.compute_time, gpu_kd.memory_bytes / gpu_share);
+      PartitionDecision cand;
+      cand.plan.kind = PartitionKind::kRowCut;
+      cand.plan.npu_out_features = k_npu;
+      cand.est_npu = t_npu;
+      cand.est_gpu = t_gpu;
+      cand.est_total = std::max(t_npu, t_gpu) + config_.decode_cut_overhead_us +
+                       2.0 * config_.t_sync;
+      consider(cand);
+    }
+  }
+
+  if (!std::isfinite(best.est_total)) {
+    best.plan.kind = PartitionKind::kNone;
+    best.plan.sole_backend = hal::Backend::kNpu;
+    best.est_npu = NpuTime(shape);
+    best.est_total = best.est_npu + config_.t_sync;
+  }
+  return best;
+}
+
+}  // namespace heterollm::core

@@ -1,0 +1,83 @@
+// Tensor-partition solver (paper §4.3).
+//
+// For each matmul site the solver evaluates GPU-only, NPU-only and GPU–NPU
+// parallel candidates and minimizes the paper's objective:
+//
+//   T_total = min( max(T_gpu^p1, T_npu^p2) + T_sync + T_copy,
+//                  T_gpu^all,
+//                  T_npu^all + T_sync + T_copy )
+//
+// The search space is pruned as in the paper: row (output-feature) cuts are
+// aligned to 256 and sequence cuts to 32 / the standard static-graph sizes.
+// Prefill decisions optimize compute overlap; decode decisions optimize
+// aggregate memory bandwidth (§4.1.2).
+
+#ifndef SRC_CORE_SOLVER_H_
+#define SRC_CORE_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/partition.h"
+#include "src/core/profiler.h"
+
+namespace heterollm::core {
+
+struct SolverConfig {
+  // Alignment constraints (paper: rows to 256, sequence to 32).
+  int64_t row_align = 256;
+  int64_t seq_align = 32;
+  // Static NPU graph sizes available for prefill (ascending).
+  std::vector<int64_t> standard_seq_sizes = {32, 64, 128, 256, 512, 1024};
+  // Synchronization + merge cost charged to any plan involving the NPU or
+  // both backends (fast-sync regime).
+  MicroSeconds t_sync = 10.0;
+  MicroSeconds t_copy = 10.0;
+  // Non-sync host-side serialization a decoding-phase row cut costs per op
+  // (the two submissions and the merge); two `t_sync` waits are added on
+  // top. Decode kernels run only a few hundred µs, so this total decides
+  // whether cutting a given weight pays.
+  MicroSeconds decode_cut_overhead_us = 15.0;
+  // Optional instantaneous power budget (paper §4: "we avoid exhausting all
+  // available power of heterogeneous processors"). Plans whose concurrent
+  // active-power estimate exceeds the budget are discarded, trading speed
+  // for thermals/battery. <= 0 disables the constraint.
+  double max_parallel_power_watts = 0;
+};
+
+struct PartitionDecision {
+  MatmulPlan plan;
+  MicroSeconds est_total = 0;
+  MicroSeconds est_gpu = 0;  // time of the GPU-side piece (0 if none)
+  MicroSeconds est_npu = 0;  // time of the NPU-side piece (0 if none)
+};
+
+class PartitionSolver {
+ public:
+  PartitionSolver(const HardwareProfiler* profiler, Platform* platform,
+                  const SolverConfig& config = {});
+
+  // Prefill-phase decision: the sequence length shape.m may be arbitrary
+  // (misaligned); NPU pieces must land on standard static-graph sizes, via
+  // padding, sequence cutting or hybrid cutting.
+  PartitionDecision DecidePrefill(const MatmulShape& shape) const;
+
+  // Decoding-phase decision: row-cut ratio maximizing aggregate SoC
+  // bandwidth (the op is memory-bound; shape.m is 1 or the speculative
+  // width, for which a static graph exists).
+  PartitionDecision DecideDecode(const MatmulShape& shape) const;
+
+  const SolverConfig& config() const { return config_; }
+
+ private:
+  MicroSeconds NpuTime(const MatmulShape& shape) const;
+  MicroSeconds GpuTime(const MatmulShape& shape) const;
+
+  const HardwareProfiler* profiler_;
+  Platform* platform_;
+  SolverConfig config_;
+};
+
+}  // namespace heterollm::core
+
+#endif  // SRC_CORE_SOLVER_H_

@@ -1,0 +1,106 @@
+#include "src/graph/cost_analyzer.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm::graph {
+
+CostAnalyzer::CostAnalyzer(core::Platform* platform,
+                           const core::PartitionSolver* solver,
+                           const core::HardwareProfiler* profiler)
+    : platform_(platform), solver_(solver), profiler_(profiler) {
+  HCHECK(platform != nullptr && solver != nullptr && profiler != nullptr);
+}
+
+GraphCost CostAnalyzer::Analyze(const Graph& g, bool decode) const {
+  GraphCost cost;
+  for (NodeId id : g.LiveNodesInOrder()) {
+    const Node& n = g.node(id);
+    NodeCost nc;
+    nc.node = id;
+    nc.name = n.name;
+
+    switch (n.type) {
+      case OpType::kMatmul: {
+        const tensor::Shape& a = g.node(n.inputs[0]).shape;
+        const tensor::Shape& w = g.node(n.inputs[1]).shape;
+        HCHECK_MSG(a.rank() == 2 && w.rank() == 2,
+                   "run InferShapes before Analyze");
+        core::MatmulShape shape{a.rows(), a.cols(), w.cols(),
+                                hal::Precision::kFp16, 0.5};
+        nc.gpu_only = profiler_->MatmulTime(hal::Backend::kGpu, shape);
+        nc.npu_only = profiler_->MatmulTime(hal::Backend::kNpu, shape);
+        const core::PartitionDecision d = decode
+                                              ? solver_->DecideDecode(shape)
+                                              : solver_->DecidePrefill(shape);
+        nc.chosen = d.est_total;
+        nc.chosen_plan = d.plan.ToString();
+        break;
+      }
+      case OpType::kAttention: {
+        const tensor::Shape& q = g.node(n.inputs[0]).shape;
+        hal::AttentionSpec spec;
+        spec.m = q.rows();
+        spec.t = q.rows();  // static estimate: cache == current rows
+        spec.num_heads = n.attrs.num_heads;
+        spec.num_kv_heads = n.attrs.num_kv_heads;
+        spec.head_dim = n.attrs.head_dim;
+        hal::GpuDevice& gpu = platform_->gpu();
+        nc.gpu_only = gpu.IsolatedTime(gpu.CostAttention(spec));
+        nc.npu_only = nc.gpu_only;  // attention stays on the vector backend
+        nc.chosen = nc.gpu_only;
+        nc.chosen_plan = "vector-backend(gpu)";
+        break;
+      }
+      case OpType::kRmsNorm:
+      case OpType::kRope:
+      case OpType::kSilu:
+      case OpType::kMul:
+      case OpType::kAdd:
+      case OpType::kSwiGlu: {
+        hal::ElementwiseSpec spec;
+        spec.elems = n.shape.numel();
+        hal::GpuDevice& gpu = platform_->gpu();
+        nc.gpu_only = gpu.IsolatedTime(gpu.CostElementwise(spec));
+        nc.npu_only = nc.gpu_only;
+        nc.chosen = nc.gpu_only;
+        nc.chosen_plan = "vector-backend(gpu)";
+        break;
+      }
+      default:
+        continue;  // inputs/weights/slices/outputs cost nothing here
+    }
+    cost.total_gpu_only += nc.gpu_only;
+    cost.total_chosen += nc.chosen;
+    cost.nodes.push_back(std::move(nc));
+  }
+  return cost;
+}
+
+std::string GraphCost::Render(int top_n) const {
+  std::vector<NodeCost> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeCost& a, const NodeCost& b) {
+              return a.chosen > b.chosen;
+            });
+  if (static_cast<int>(sorted.size()) > top_n) {
+    sorted.resize(static_cast<size_t>(top_n));
+  }
+  TextTable table({"node", "gpu-only (us)", "npu-only (us)", "chosen (us)",
+                   "plan"});
+  for (const NodeCost& nc : sorted) {
+    table.AddRow({nc.name, StrFormat("%.0f", nc.gpu_only),
+                  StrFormat("%.0f", nc.npu_only),
+                  StrFormat("%.0f", nc.chosen), nc.chosen_plan});
+  }
+  std::string out = table.Render();
+  out += StrFormat(
+      "totals: gpu-only %.1f ms, heterogeneous %.1f ms (%.2fx speedup)\n",
+      ToMillis(total_gpu_only), ToMillis(total_chosen),
+      total_chosen > 0 ? total_gpu_only / total_chosen : 0.0);
+  return out;
+}
+
+}  // namespace heterollm::graph

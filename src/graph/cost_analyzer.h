@@ -1,0 +1,56 @@
+// Static cost analysis over the operator graph.
+//
+// Walks a shape-inferred graph and estimates, per node and in total, the
+// execution time of each backend choice — GPU-only, NPU-only, or the
+// partition the solver would pick. This is the "runtime graph generation"
+// half of the paper's Fig. 12 pipeline operating on the IR instead of the
+// engine: it predicts phase latency without running the simulator's event
+// loop, and the tests check it against actual engine runs.
+
+#ifndef SRC_GRAPH_COST_ANALYZER_H_
+#define SRC_GRAPH_COST_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/solver.h"
+#include "src/graph/graph.h"
+
+namespace heterollm::graph {
+
+struct NodeCost {
+  NodeId node = kInvalidNode;
+  std::string name;
+  MicroSeconds gpu_only = 0;    // run whole op on the GPU
+  MicroSeconds npu_only = 0;    // run whole op on the NPU (matmuls only)
+  MicroSeconds chosen = 0;      // the solver's plan
+  std::string chosen_plan;      // plan description
+};
+
+struct GraphCost {
+  std::vector<NodeCost> nodes;  // matmul/attention/elementwise nodes
+  MicroSeconds total_gpu_only = 0;
+  MicroSeconds total_chosen = 0;
+
+  // ASCII table of the heaviest nodes plus totals.
+  std::string Render(int top_n = 10) const;
+};
+
+class CostAnalyzer {
+ public:
+  CostAnalyzer(core::Platform* platform, const core::PartitionSolver* solver,
+               const core::HardwareProfiler* profiler);
+
+  // Analyzes a shape-inferred graph (HCHECKs shapes present). `decode`
+  // selects the decoding-phase solver policy.
+  GraphCost Analyze(const Graph& g, bool decode = false) const;
+
+ private:
+  core::Platform* platform_;
+  const core::PartitionSolver* solver_;
+  const core::HardwareProfiler* profiler_;
+};
+
+}  // namespace heterollm::graph
+
+#endif  // SRC_GRAPH_COST_ANALYZER_H_

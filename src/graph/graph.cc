@@ -1,0 +1,177 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace heterollm::graph {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kInput:
+      return "input";
+    case OpType::kWeight:
+      return "weight";
+    case OpType::kMatmul:
+      return "matmul";
+    case OpType::kRmsNorm:
+      return "rmsnorm";
+    case OpType::kRope:
+      return "rope";
+    case OpType::kAttention:
+      return "attention";
+    case OpType::kSilu:
+      return "silu";
+    case OpType::kMul:
+      return "mul";
+    case OpType::kAdd:
+      return "add";
+    case OpType::kSwiGlu:
+      return "swiglu";
+    case OpType::kConcatCols:
+      return "concat_cols";
+    case OpType::kSliceCols:
+      return "slice_cols";
+    case OpType::kOutput:
+      return "output";
+  }
+  return "unknown";
+}
+
+int OpArity(OpType type) {
+  switch (type) {
+    case OpType::kInput:
+    case OpType::kWeight:
+      return 0;
+    case OpType::kRope:
+    case OpType::kSilu:
+    case OpType::kSliceCols:
+    case OpType::kOutput:
+      return 1;
+    case OpType::kMatmul:
+    case OpType::kRmsNorm:
+    case OpType::kMul:
+    case OpType::kAdd:
+    case OpType::kSwiGlu:
+      return 2;
+    case OpType::kAttention:
+      return 3;
+    case OpType::kConcatCols:
+      return -1;  // variadic
+  }
+  return -1;
+}
+
+NodeId Graph::Add(OpType type, std::string name, std::vector<NodeId> inputs,
+                  NodeAttrs attrs) {
+  Node node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.type = type;
+  node.name = std::move(name);
+  node.inputs = std::move(inputs);
+  node.attrs = attrs;
+  for (NodeId in : node.inputs) {
+    HCHECK_MSG(in >= 0 && in < node.id,
+               "graph inputs must reference earlier nodes");
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void Graph::MarkOutput(NodeId node) {
+  HCHECK(node >= 0 && node < node_count());
+  outputs_.push_back(node);
+}
+
+const Node& Graph::node(NodeId id) const {
+  HCHECK(id >= 0 && id < node_count());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+Node& Graph::mutable_node(NodeId id) {
+  HCHECK(id >= 0 && id < node_count());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+Status Graph::Validate() const {
+  if (outputs_.empty()) {
+    return FailedPreconditionError("graph has no outputs");
+  }
+  for (const Node& n : nodes_) {
+    const int arity = OpArity(n.type);
+    if (arity >= 0 && static_cast<int>(n.inputs.size()) != arity) {
+      return InvalidArgumentError(StrFormat(
+          "node %s (%s) has %d inputs, expected %d", n.name.c_str(),
+          OpTypeName(n.type), static_cast<int>(n.inputs.size()), arity));
+    }
+    if (arity < 0 && n.inputs.size() < 2) {
+      return InvalidArgumentError(
+          StrFormat("variadic node %s needs >= 2 inputs", n.name.c_str()));
+    }
+    for (NodeId in : n.inputs) {
+      if (in < 0 || in >= n.id) {
+        return InvalidArgumentError(
+            StrFormat("node %s references invalid input %d", n.name.c_str(),
+                      in));
+      }
+    }
+    if (n.type == OpType::kSliceCols && n.attrs.begin >= n.attrs.end) {
+      return InvalidArgumentError(
+          StrFormat("slice node %s has empty range", n.name.c_str()));
+    }
+  }
+  for (NodeId out : outputs_) {
+    if (out < 0 || out >= node_count()) {
+      return InvalidArgumentError("output references invalid node");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<NodeId> Graph::LiveNodesInOrder() const {
+  std::vector<bool> live(nodes_.size(), false);
+  // Ids are topological, so one reverse sweep marks all ancestors.
+  std::vector<NodeId> stack = outputs_;
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    if (live[static_cast<size_t>(id)]) {
+      continue;
+    }
+    live[static_cast<size_t>(id)] = true;
+    for (NodeId in : node(id).inputs) {
+      stack.push_back(in);
+    }
+  }
+  std::vector<NodeId> order;
+  for (NodeId id = 0; id < node_count(); ++id) {
+    if (live[static_cast<size_t>(id)]) {
+      order.push_back(id);
+    }
+  }
+  return order;
+}
+
+int Graph::CountLive(OpType type) const {
+  int count = 0;
+  for (NodeId id : LiveNodesInOrder()) {
+    count += node(id).type == type ? 1 : 0;
+  }
+  return count;
+}
+
+std::string Graph::ToDot() const {
+  std::string out = "digraph heterollm {\n  rankdir=TB;\n";
+  for (NodeId id : LiveNodesInOrder()) {
+    const Node& n = node(id);
+    out += StrFormat("  n%d [label=\"%s\\n%s\"];\n", id, n.name.c_str(),
+                     OpTypeName(n.type));
+    for (NodeId in : n.inputs) {
+      out += StrFormat("  n%d -> n%d;\n", in, id);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace heterollm::graph

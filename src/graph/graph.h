@@ -1,0 +1,110 @@
+// Operator-graph intermediate representation.
+//
+// The paper's framework (Fig. 1) consumes an ONNX-style model graph, applies
+// graph optimizations and operator fusion, and lowers the result onto the
+// heterogeneous backends. This IR is that front end: a small SSA-like DAG of
+// LLM operators with shape inference, validation, optimization passes
+// (`passes.h`) and a reference interpreter (`interpreter.h`) used to prove
+// the passes semantics-preserving.
+
+#ifndef SRC_GRAPH_GRAPH_H_
+#define SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/shape.h"
+
+namespace heterollm::graph {
+
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class OpType {
+  kInput,      // graph input (token embeddings)
+  kWeight,     // model parameter reference (attrs.weight_ref)
+  kMatmul,     // inputs: activation, weight
+  kRmsNorm,    // inputs: activation, gain weight
+  kRope,       // inputs: activation; attrs.head_dim, attrs.pos_offset
+  kAttention,  // inputs: q, k, v (current-step rows; cache handled by env)
+  kSilu,
+  kMul,
+  kAdd,
+  kSwiGlu,     // fused silu(a) * b
+  kConcatCols, // inputs: 2+ tensors, column-wise concat (fused-QKV inverse)
+  kSliceCols,  // input: tensor; attrs.begin/end columns
+  kOutput,     // designates a graph result
+};
+
+const char* OpTypeName(OpType type);
+
+// Per-node attributes; meaning depends on the op type. A tagged union is
+// avoided deliberately — the IR stays introspectable and easily extended.
+struct NodeAttrs {
+  // kWeight: which parameter this references.
+  // Encoded as layer * 16 + site (site: 0=q 1=k 2=v 3=o 4=gate 5=up 6=down,
+  // 7=attn_norm, 8=ffn_norm, 14=final_norm, 15=lm_head).
+  int64_t weight_ref = -1;
+  // kRope / kAttention.
+  int head_dim = 0;
+  int num_heads = 0;
+  int num_kv_heads = 0;
+  int layer = -1;  // kAttention: which KV cache this op appends/reads
+  // kSliceCols.
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  OpType type = OpType::kInput;
+  std::string name;
+  std::vector<NodeId> inputs;
+  NodeAttrs attrs;
+  // Filled by shape inference.
+  tensor::Shape shape;
+};
+
+class Graph {
+ public:
+  // Adds a node; returns its id. Inputs must already exist (ids are
+  // topological by construction).
+  NodeId Add(OpType type, std::string name, std::vector<NodeId> inputs,
+             NodeAttrs attrs = {});
+
+  // Marks `node` as a graph output.
+  void MarkOutput(NodeId node);
+
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id);
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  // Structural checks: input ids valid and strictly smaller than the node's
+  // own id (acyclicity by construction), arities match op types, at least
+  // one output.
+  Status Validate() const;
+
+  // Ids of live nodes in execution order (inputs before consumers), only
+  // those reachable from the outputs.
+  std::vector<NodeId> LiveNodesInOrder() const;
+
+  // Number of nodes of the given type among live nodes.
+  int CountLive(OpType type) const;
+
+  // Graphviz dot rendering (for docs/debugging).
+  std::string ToDot() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+};
+
+// Expected input arity for an op type; -1 = variadic (>= 2).
+int OpArity(OpType type);
+
+}  // namespace heterollm::graph
+
+#endif  // SRC_GRAPH_GRAPH_H_

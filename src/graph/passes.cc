@@ -1,0 +1,190 @@
+#include "src/graph/passes.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "src/common/strings.h"
+#include "src/graph/builder.h"
+
+namespace heterollm::graph {
+
+namespace {
+
+// Incremental graph rebuilder: walks the source graph's live nodes in order,
+// copying them with remapped inputs unless a pass intercepts. Keeps new ids
+// topological by construction.
+class Rebuilder {
+ public:
+  explicit Rebuilder(const Graph& src) : src_(src) {}
+
+  bool emitted(NodeId old_id) const { return remap_.count(old_id) > 0; }
+
+  NodeId remapped(NodeId old_id) const {
+    auto it = remap_.find(old_id);
+    HCHECK_MSG(it != remap_.end(), "node consumed before being emitted");
+    return it->second;
+  }
+
+  // Copies `old_id` (and, recursively, any unemitted inputs) into the new
+  // graph unchanged.
+  NodeId EnsureEmitted(NodeId old_id) {
+    if (emitted(old_id)) {
+      return remapped(old_id);
+    }
+    const Node& n = src_.node(old_id);
+    std::vector<NodeId> inputs;
+    inputs.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) {
+      inputs.push_back(EnsureEmitted(in));
+    }
+    NodeId new_id = out_.Add(n.type, n.name, std::move(inputs), n.attrs);
+    out_.mutable_node(new_id).shape = n.shape;
+    remap_[old_id] = new_id;
+    return new_id;
+  }
+
+  // Registers a replacement produced by the pass for `old_id`.
+  void MapTo(NodeId old_id, NodeId new_id) { remap_[old_id] = new_id; }
+
+  Graph& out() { return out_; }
+
+  Graph Finish() {
+    for (NodeId out_id : src_.outputs()) {
+      out_.MarkOutput(remapped(out_id));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  const Graph& src_;
+  Graph out_;
+  std::unordered_map<NodeId, NodeId> remap_;
+};
+
+}  // namespace
+
+PassResult EliminateDeadNodes(const Graph& g) {
+  Rebuilder rb(g);
+  const std::vector<NodeId> live = g.LiveNodesInOrder();
+  for (NodeId id : live) {
+    rb.EnsureEmitted(id);
+  }
+  PassResult result{rb.Finish(), g.node_count() - static_cast<int>(live.size())};
+  return result;
+}
+
+PassResult FuseSiluMul(const Graph& g) {
+  Rebuilder rb(g);
+  int rewrites = 0;
+  for (NodeId id : g.LiveNodesInOrder()) {
+    const Node& n = g.node(id);
+    if (n.type == OpType::kMul &&
+        g.node(n.inputs[0]).type == OpType::kSilu) {
+      const Node& silu = g.node(n.inputs[0]);
+      NodeId x = rb.EnsureEmitted(silu.inputs[0]);
+      NodeId y = rb.EnsureEmitted(n.inputs[1]);
+      NodeId fused = rb.out().Add(OpType::kSwiGlu, n.name + ".fused", {x, y});
+      rb.out().mutable_node(fused).shape = n.shape;
+      rb.MapTo(id, fused);
+      ++rewrites;
+      continue;
+    }
+    rb.EnsureEmitted(id);
+  }
+  return {rb.Finish(), rewrites};
+}
+
+PassResult FuseQkv(const Graph& g) {
+  // Group projection matmuls by (activation node, layer).
+  struct Triple {
+    NodeId mm[3] = {kInvalidNode, kInvalidNode, kInvalidNode};  // q, k, v
+    NodeId fused = kInvalidNode;  // new-graph id once emitted
+    int64_t offsets[4] = {0, 0, 0, 0};
+  };
+  std::map<std::pair<NodeId, int>, Triple> groups;
+  for (NodeId id : g.LiveNodesInOrder()) {
+    const Node& n = g.node(id);
+    if (n.type != OpType::kMatmul) {
+      continue;
+    }
+    const Node& w = g.node(n.inputs[1]);
+    if (w.type != OpType::kWeight) {
+      continue;
+    }
+    const WeightSite site = WeightRefSite(w.attrs.weight_ref);
+    if (site != WeightSite::kWq && site != WeightSite::kWk &&
+        site != WeightSite::kWv) {
+      continue;
+    }
+    const int layer = WeightRefLayer(w.attrs.weight_ref);
+    groups[{n.inputs[0], layer}].mm[static_cast<int>(site)] = id;
+  }
+  // Keep only complete q/k/v triples; index them by each member matmul.
+  std::unordered_map<NodeId, Triple*> by_member;
+  for (auto& [key, triple] : groups) {
+    if (triple.mm[0] == kInvalidNode || triple.mm[1] == kInvalidNode ||
+        triple.mm[2] == kInvalidNode) {
+      continue;
+    }
+    int64_t offset = 0;
+    for (int i = 0; i < 3; ++i) {
+      const Node& mm = g.node(triple.mm[i]);
+      HCHECK_MSG(mm.shape.rank() == 2,
+                 "run InferShapes before FuseQkv (slice widths needed)");
+      triple.offsets[i] = offset;
+      offset += mm.shape.cols();
+      by_member[triple.mm[i]] = &triple;
+    }
+    triple.offsets[3] = offset;
+  }
+
+  Rebuilder rb(g);
+  int rewrites = 0;
+  for (NodeId id : g.LiveNodesInOrder()) {
+    auto it = by_member.find(id);
+    if (it == by_member.end()) {
+      rb.EnsureEmitted(id);
+      continue;
+    }
+    Triple& triple = *it->second;
+    const Node& n = g.node(id);
+    if (triple.fused == kInvalidNode) {
+      // First member reached: emit the fused matmul.
+      NodeId act = rb.EnsureEmitted(n.inputs[0]);
+      std::vector<NodeId> weights;
+      for (int i = 0; i < 3; ++i) {
+        weights.push_back(
+            rb.EnsureEmitted(g.node(triple.mm[i]).inputs[1]));
+      }
+      NodeId wcat = rb.out().Add(OpType::kConcatCols, n.name + ".wqkv",
+                                 std::move(weights));
+      triple.fused =
+          rb.out().Add(OpType::kMatmul, n.name + ".qkv_fused", {act, wcat});
+      ++rewrites;
+    }
+    // Replace this projection with a column slice of the fused result.
+    int member = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (triple.mm[i] == id) {
+        member = i;
+      }
+    }
+    NodeAttrs slice;
+    slice.begin = triple.offsets[member];
+    slice.end = triple.offsets[member + 1];
+    NodeId sliced = rb.out().Add(OpType::kSliceCols, n.name + ".slice",
+                                 {triple.fused}, slice);
+    rb.out().mutable_node(sliced).shape = n.shape;
+    rb.MapTo(id, sliced);
+  }
+  return {rb.Finish(), rewrites};
+}
+
+PassResult OptimizeGraph(const Graph& g) {
+  PassResult swiglu = FuseSiluMul(g);
+  PassResult qkv = FuseQkv(swiglu.graph);
+  PassResult dce = EliminateDeadNodes(qkv.graph);
+  return {std::move(dce.graph), swiglu.rewrites + qkv.rewrites};
+}
+
+}  // namespace heterollm::graph

@@ -1,0 +1,37 @@
+// Graph-optimization passes (the paper's Fig. 1 "graph optimization /
+// operator fusion" stage). All passes are semantics-preserving — verified
+// against the interpreter in the test suite — and produce a fresh graph so
+// node ids stay topological.
+
+#ifndef SRC_GRAPH_PASSES_H_
+#define SRC_GRAPH_PASSES_H_
+
+#include "src/graph/graph.h"
+
+namespace heterollm::graph {
+
+struct PassResult {
+  Graph graph;
+  int rewrites = 0;  // fusions applied / nodes removed
+};
+
+// Rebuilds the graph keeping only nodes reachable from the outputs.
+PassResult EliminateDeadNodes(const Graph& g);
+
+// Fuses mul(silu(x), y) into swiglu(x, y). The silu node becomes dead (run
+// EliminateDeadNodes afterwards); `rewrites` counts fused pairs.
+PassResult FuseSiluMul(const Graph& g);
+
+// Fuses sibling Q/K/V projections — matmuls sharing an activation input
+// whose weights are the same layer's Wq/Wk/Wv — into one matmul against the
+// column-concatenated weight, followed by column slices. This is the
+// "fused QKV" optimization mobile engines apply before backend lowering;
+// `rewrites` counts fused triples.
+PassResult FuseQkv(const Graph& g);
+
+// Standard pipeline: FuseSiluMul + FuseQkv + dead-node elimination.
+PassResult OptimizeGraph(const Graph& g);
+
+}  // namespace heterollm::graph
+
+#endif  // SRC_GRAPH_PASSES_H_

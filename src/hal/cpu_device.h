@@ -1,0 +1,49 @@
+// Simulated mobile CPU cluster (Arm big.LITTLE, NEON/SVE2 kernels).
+//
+// In HeteroLLM the CPU is the *control plane*: it schedules GPU/NPU kernels,
+// performs synchronization and light tasks like dequantization (§4). It can
+// also execute compute kernels — that is what the llama.cpp baseline does —
+// but at low throughput and poor energy efficiency.
+
+#ifndef SRC_HAL_CPU_DEVICE_H_
+#define SRC_HAL_CPU_DEVICE_H_
+
+#include <string>
+
+#include "src/hal/device.h"
+
+namespace heterollm::hal {
+
+struct CpuConfig {
+  // Effective FP16/FP32 matmul throughput with NEON kernels across the big
+  // cores. Calibrated so llama.cpp-style prefill lands at a few tok/s on
+  // Llama-8B (Fig. 13).
+  double effective_fp16_tflops = 0.11;
+  // INT8 dot-product throughput (SDOT), a bit higher than FP.
+  double effective_int8_tops = 0.22;
+  // Achieved DRAM bandwidth (Fig. 6: 40–45 GB/s ceiling for one processor).
+  double bandwidth_gbps = 40.0;
+  // Multiplier on kernel byte counts; CPU inference stacks read extra
+  // metadata (block scales, interleaved layouts) per weight block.
+  double memory_efficiency = 0.55;
+  MicroSeconds launch_overhead_us = 1.0;
+  sim::PowerRating power = {3.8, 0.15};
+};
+
+class CpuDevice : public Device {
+ public:
+  CpuDevice(std::string name, sim::SocSimulator* soc, const CpuConfig& config);
+
+  sim::KernelDesc CostMatmul(const MatmulSpec& spec) const override;
+  MicroSeconds SubmitOverhead(bool queue_empty) const override;
+  double PeakMatmulRate(Precision precision) const override;
+
+  const CpuConfig& config() const { return config_; }
+
+ private:
+  CpuConfig config_;
+};
+
+}  // namespace heterollm::hal
+
+#endif  // SRC_HAL_CPU_DEVICE_H_

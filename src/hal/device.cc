@@ -1,0 +1,63 @@
+#include "src/hal/device.h"
+
+#include <algorithm>
+
+namespace heterollm::hal {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kCpu:
+      return "cpu";
+    case Backend::kGpu:
+      return "gpu";
+    case Backend::kNpu:
+      return "npu";
+  }
+  return "unknown";
+}
+
+Device::Device(std::string name, Backend backend, sim::SocSimulator* soc,
+               const sim::UnitSpec& unit_spec)
+    : name_(std::move(name)), backend_(backend), soc_(soc) {
+  HCHECK(soc != nullptr);
+  unit_ = soc_->AddUnit(unit_spec);
+}
+
+sim::KernelDesc Device::CostElementwise(const ElementwiseSpec& spec) const {
+  sim::KernelDesc desc;
+  desc.label = name_ + ":elementwise";
+  desc.compute_time = static_cast<double>(spec.elems) * spec.flops_per_elem /
+                      vector_rate_flops_per_us_;
+  desc.memory_bytes = static_cast<double>(spec.elems) * spec.bytes_per_elem;
+  desc.launch_overhead = launch_overhead_us_;
+  return desc;
+}
+
+sim::KernelDesc Device::CostAttention(const AttentionSpec& spec) const {
+  sim::KernelDesc desc;
+  desc.label = name_ + ":attention";
+  desc.compute_time = spec.flops() / vector_rate_flops_per_us_;
+  desc.memory_bytes =
+      spec.kv_bytes() +
+      4.0 * static_cast<double>(spec.m) * spec.num_heads * spec.head_dim;
+  desc.launch_overhead = launch_overhead_us_;
+  return desc;
+}
+
+MicroSeconds Device::SubmitOverhead(bool queue_empty) const {
+  (void)queue_empty;
+  return 5.0;
+}
+
+sim::KernelHandle Device::Submit(const sim::KernelDesc& desc,
+                                 MicroSeconds submit_time) {
+  return soc_->Submit(unit_, desc, submit_time);
+}
+
+MicroSeconds Device::IsolatedTime(const sim::KernelDesc& desc) const {
+  const double bw = soc_->unit_spec(unit_).bandwidth_cap_bytes_per_us;
+  return desc.launch_overhead +
+         std::max(desc.compute_time, desc.memory_bytes / bw);
+}
+
+}  // namespace heterollm::hal

@@ -1,0 +1,64 @@
+// Simulated mobile GPU (Adreno-750-class, OpenCL programming model).
+//
+// Reproduces the paper's GPU characteristics:
+//   GPU-①  Linear performance — small kernels are memory/launch-bound, FLOPS
+//          grow linearly with tensor size, then saturate at the effective
+//          compute rate (~1 TFLOPS FP16 actual on the 8 Gen 3, §1).
+//   GPU-②  High-cost synchronization — submissions into a non-empty queue
+//          cost 10–20 µs, but the first submission after the queue drained
+//          costs 50–100 µs (queueing + ramp-up), and completion detection
+//          through the legacy copy path costs ~400 µs (modelled in
+//          `SyncMechanism`, not here).
+//
+// Unlike the NPU, the GPU runs dynamic shapes: any matmul shape executes
+// without graph preparation, at a shape-independent efficiency.
+
+#ifndef SRC_HAL_GPU_DEVICE_H_
+#define SRC_HAL_GPU_DEVICE_H_
+
+#include <string>
+
+#include "src/hal/device.h"
+
+namespace heterollm::hal {
+
+struct GpuConfig {
+  // Effective (achieved) FP16 matmul throughput. The paper measures ~1
+  // TFLOPS actual against a 2.8 TFLOPS theoretical peak.
+  double effective_fp16_tflops = 1.0;
+  // Achieved DRAM bandwidth in decoding-style streaming workloads (Fig. 6
+  // reports 43.3 GB/s for the GPU alone).
+  double bandwidth_gbps = 43.3;
+  // Device-side kernel launch latency.
+  MicroSeconds launch_overhead_us = 8.0;
+  // Host-side enqueue latency with a busy queue (paper: 10–20 µs).
+  MicroSeconds submit_us = 15.0;
+  // Extra host-side latency when the queue has drained (paper: 50–100 µs).
+  MicroSeconds empty_queue_penalty_us = 75.0;
+  // Multiplier on all kernel byte counts; baseline engines with less
+  // optimized kernels read more than the minimum (layout padding, no
+  // dequant fusion).
+  double memory_efficiency = 1.0;
+  // Multiplier on the effective compute rate; used to model the weaker
+  // kernels of baseline engines (MLC/MNN) without forking the device model.
+  double compute_efficiency = 1.0;
+  sim::PowerRating power = {4.3, 0.05};
+};
+
+class GpuDevice : public Device {
+ public:
+  GpuDevice(std::string name, sim::SocSimulator* soc, const GpuConfig& config);
+
+  sim::KernelDesc CostMatmul(const MatmulSpec& spec) const override;
+  MicroSeconds SubmitOverhead(bool queue_empty) const override;
+  double PeakMatmulRate(Precision precision) const override;
+
+  const GpuConfig& config() const { return config_; }
+
+ private:
+  GpuConfig config_;
+};
+
+}  // namespace heterollm::hal
+
+#endif  // SRC_HAL_GPU_DEVICE_H_

@@ -1,0 +1,84 @@
+// Simulated mobile NPU (Hexagon-class systolic matrix engine, QNN model).
+//
+// Substitute for the closed QNN SDK, reproducing the paper's three NPU
+// characteristics (§3.2) from first principles plus calibration:
+//
+//   NPU-①  Stage performance — the matrix unit computes on a fixed
+//          `tile × tile` grid (32×32). Every matmul dimension is padded up
+//          to the grid, so latency is a staircase in tensor size and odd
+//          shapes waste compute.
+//   NPU-②  Order-sensitive performance — the second (stationary) operand is
+//          kept resident in the PE array ("weight stall"). If it exceeds
+//          on-chip SRAM, it must be re-streamed from DRAM for every block of
+//          streamed rows, and the kernel degrades toward bandwidth-bound
+//          GPU-level performance ([14336,4096]x[4096,K] runs ~6x faster than
+//          [K,4096]x[4096,14336] — Fig. 5).
+//   NPU-③  Shape-sensitive performance — when the streamed operand has
+//          fewer rows than its reduction dimension (M' < N', the FFN-down
+//          shape), PE utilization collapses; modelled as a multiplicative
+//          efficiency `(M'/N')^gamma` with a floor. Calibrated so FFN-down
+//          lands at 0.5–1.5x the GPU, per §4.1.1.
+//
+// The NPU additionally only executes *static* shapes: the engine must hold a
+// compiled graph for the exact matmul shape (see `NpuGraphCache`). This file
+// only prices execution; graph compilation is priced by the cache.
+
+#ifndef SRC_HAL_NPU_DEVICE_H_
+#define SRC_HAL_NPU_DEVICE_H_
+
+#include <string>
+
+#include "src/hal/device.h"
+
+namespace heterollm::hal {
+
+struct NpuConfig {
+  // Effective FP16 matmul throughput in ideal shape/order (paper: ~10
+  // TFLOPS achieved out of 36 theoretical).
+  double effective_fp16_tflops = 8.8;
+  // Effective INT8 throughput (decoding path; paper footnote 2). 73 TOPS
+  // theoretical; achieved rate derated similarly to FP16.
+  double effective_int8_tops = 20.0;
+  // Achieved DRAM bandwidth (Fig. 6: 40–45 GB/s single processor).
+  double bandwidth_gbps = 42.0;
+  // Systolic tile edge; dimensions are padded to multiples of this.
+  int64_t tile = 32;
+  // On-chip SRAM available to hold the stationary operand.
+  Bytes sram_bytes = 16.0 * 1024 * 1024;
+  // When the stationary operand spills SRAM it is re-streamed once per this
+  // many streamed rows.
+  int64_t rows_per_pass = 4096;
+  // Shape penalty exponent and floor for M' < N' (NPU-③).
+  double shape_gamma = 1.5;
+  double shape_floor = 0.15;
+  // GEMV-like kernels (stationary operand narrower than one tile, i.e. the
+  // decoding phase after the engine's permutation) bypass the systolic
+  // array's shape penalty and padding via the vector pipeline; without this
+  // the decoding row-cut would be compute-bound, contradicting Fig. 6.
+  bool gemv_fast_path = true;
+  MicroSeconds launch_overhead_us = 20.0;
+  MicroSeconds submit_us = 10.0;
+  sim::PowerRating power = {1.9, 0.05};
+};
+
+class NpuDevice : public Device {
+ public:
+  NpuDevice(std::string name, sim::SocSimulator* soc, const NpuConfig& config);
+
+  sim::KernelDesc CostMatmul(const MatmulSpec& spec) const override;
+  MicroSeconds SubmitOverhead(bool queue_empty) const override;
+  double PeakMatmulRate(Precision precision) const override;
+
+  // The shape-efficiency multiplier applied to `spec` (1.0 = ideal). Exposed
+  // for tests and the profiler's prediction features.
+  double ShapeEfficiency(const MatmulSpec& spec) const;
+
+  const NpuConfig& config() const { return config_; }
+
+ private:
+  NpuConfig config_;
+};
+
+}  // namespace heterollm::hal
+
+#endif  // SRC_HAL_NPU_DEVICE_H_

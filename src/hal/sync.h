@@ -1,0 +1,75 @@
+// Host <-> accelerator synchronization models.
+//
+// Two mechanisms from the paper (§4.2):
+//
+//  * Baseline ("copy") sync — the OpenCL-style path: the host learns about
+//    kernel completion through a blocking call that includes an implicit
+//    buffer transfer, a fixed ~400 µs regardless of size (GPU-②).
+//
+//  * Fast sync — HeteroLLM's mechanism: input/output tensors live in
+//    pre-mapped unified memory, a flag byte is appended to the output
+//    buffer, the sync thread sleeps for the *predicted* kernel duration
+//    (usleep granularity is 80–100 µs, so it wakes slightly early) and then
+//    busy-polls the flag on a little core, catching completion within a few
+//    microseconds.
+//
+// The predictor exploits that LLM layers repeat identical kernels, so the
+// previous layer's duration predicts the next one's.
+
+#ifndef SRC_HAL_SYNC_H_
+#define SRC_HAL_SYNC_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/soc_simulator.h"
+
+namespace heterollm::hal {
+
+struct SyncConfig {
+  // Legacy completion-detection latency (clFinish + staging copy).
+  MicroSeconds copy_sync_us = 400.0;
+  // Busy-poll detection latency once the flag flips.
+  MicroSeconds fast_poll_us = 5.0;
+  // usleep granularity: the sync thread's wake-up quantizes to this.
+  MicroSeconds usleep_quantum_us = 90.0;
+  // Safety margin subtracted from the predicted duration so the thread
+  // never oversleeps past completion.
+  double predict_undershoot = 0.9;
+};
+
+enum class SyncMode { kBaseline, kFast };
+
+class SyncMechanism {
+ public:
+  explicit SyncMechanism(const SyncConfig& config = {});
+
+  // Blocks the host until `k` completes. `host_now` is the host clock when
+  // the wait begins; returns the host clock when the wait returns.
+  // Fast mode requires the waited-on buffers to be pool-mapped (the engines
+  // guarantee this via UnifiedMemoryPool); baseline mode pays the copy path.
+  MicroSeconds WaitKernel(sim::SocSimulator& soc, sim::KernelHandle k,
+                          MicroSeconds host_now, SyncMode mode) const;
+
+  // Blocks until every kernel in `ks` completes. In baseline mode a single
+  // driver-level sync (one copy-path round trip) covers the whole batch —
+  // how a real runtime waits on several queues at one merge point.
+  MicroSeconds WaitKernels(sim::SocSimulator& soc,
+                           const std::vector<sim::KernelHandle>& ks,
+                           MicroSeconds host_now, SyncMode mode) const;
+
+  // Number of host-side waits performed (telemetry for the evaluation).
+  int64_t wait_count() const { return wait_count_; }
+  MicroSeconds total_sync_overhead() const { return total_overhead_; }
+
+  const SyncConfig& config() const { return config_; }
+
+ private:
+  SyncConfig config_;
+  mutable int64_t wait_count_ = 0;
+  mutable MicroSeconds total_overhead_ = 0;
+};
+
+}  // namespace heterollm::hal
+
+#endif  // SRC_HAL_SYNC_H_

@@ -1,0 +1,55 @@
+#include "src/hal/unified_memory.h"
+
+#include <limits>
+
+namespace heterollm::hal {
+
+UnifiedMemoryPool::UnifiedMemoryPool(const UnifiedMemoryConfig& config)
+    : config_(config) {}
+
+UnifiedMemoryPool::Allocation UnifiedMemoryPool::Acquire(Bytes bytes) {
+  HCHECK(bytes >= 0);
+  ++total_acquisitions_;
+
+  // Best-fit over free mapped slots to keep big slots available for big
+  // tensors.
+  int best = -1;
+  Bytes best_capacity = std::numeric_limits<Bytes>::infinity();
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+    const Slot& s = slots_[static_cast<size_t>(i)];
+    if (!s.in_use && s.capacity >= bytes && s.capacity < best_capacity) {
+      best = i;
+      best_capacity = s.capacity;
+    }
+  }
+  if (best >= 0) {
+    slots_[static_cast<size_t>(best)].in_use = true;
+    ++slots_in_use_;
+    return Allocation{best, 0};
+  }
+
+  HCHECK_MSG(static_cast<int>(slots_.size()) < config_.max_slots,
+             "unified memory pool exhausted — engine is leaking slots");
+  slots_.push_back(Slot{bytes, true});
+  ++slots_in_use_;
+  ++total_map_operations_;
+  return Allocation{static_cast<int>(slots_.size()) - 1, config_.map_cost_us};
+}
+
+void UnifiedMemoryPool::Release(int slot) {
+  HCHECK(slot >= 0 && slot < static_cast<int>(slots_.size()));
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  HCHECK_MSG(s.in_use, "double release of unified memory slot");
+  s.in_use = false;
+  --slots_in_use_;
+}
+
+Bytes UnifiedMemoryPool::mapped_bytes() const {
+  Bytes total = 0;
+  for (const Slot& s : slots_) {
+    total += s.capacity;
+  }
+  return total;
+}
+
+}  // namespace heterollm::hal

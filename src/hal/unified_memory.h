@@ -1,0 +1,70 @@
+// Unified-memory buffer pool shared by host, GPU and NPU.
+//
+// Mobile SoCs have one physical memory, but legacy APIs (OpenCL) still treat
+// device buffers as remote: establishing a host<->device mapping costs ~400
+// µs regardless of size (GPU-②). HeteroLLM therefore reserves a small pool
+// of persistently-mapped buffer slots for operator inputs/outputs; because
+// every decoder layer has the same shapes, a handful of slots is reused
+// across all layers and no mapping is ever re-established during inference
+// (§4.2). The pool also pins slots against driver reclamation — modelled by
+// simply never unmapping.
+
+#ifndef SRC_HAL_UNIFIED_MEMORY_H_
+#define SRC_HAL_UNIFIED_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace heterollm::hal {
+
+struct UnifiedMemoryConfig {
+  // Host latency to create a new host<->device mapping (clEnqueueWriteBuffer
+  // style fixed cost).
+  MicroSeconds map_cost_us = 400.0;
+  // Hard cap on pool slots; exceeding it indicates an engine leak.
+  int max_slots = 256;
+};
+
+class UnifiedMemoryPool {
+ public:
+  struct Allocation {
+    int slot = -1;
+    // Host time consumed by this acquisition (map cost for fresh slots,
+    // ~zero for reused ones).
+    MicroSeconds host_cost = 0;
+  };
+
+  explicit UnifiedMemoryPool(const UnifiedMemoryConfig& config = {});
+
+  // Acquires a mapped slot of at least `bytes`. Reuses a free mapped slot
+  // when one is large enough; otherwise maps a new one (paying map_cost).
+  Allocation Acquire(Bytes bytes);
+
+  // Returns the slot to the free list (the mapping persists).
+  void Release(int slot);
+
+  int slots_in_use() const { return slots_in_use_; }
+  int mapped_slot_count() const { return static_cast<int>(slots_.size()); }
+  int64_t total_map_operations() const { return total_map_operations_; }
+  int64_t total_acquisitions() const { return total_acquisitions_; }
+  Bytes mapped_bytes() const;
+
+ private:
+  struct Slot {
+    Bytes capacity = 0;
+    bool in_use = false;
+  };
+
+  UnifiedMemoryConfig config_;
+  std::vector<Slot> slots_;
+  int slots_in_use_ = 0;
+  int64_t total_map_operations_ = 0;
+  int64_t total_acquisitions_ = 0;
+};
+
+}  // namespace heterollm::hal
+
+#endif  // SRC_HAL_UNIFIED_MEMORY_H_

@@ -1,0 +1,81 @@
+#include "src/model/kv_cache.h"
+
+#include <algorithm>
+
+namespace heterollm::model {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+KvCache::KvCache(const ModelConfig& config, int64_t capacity,
+                 ExecutionMode mode)
+    : config_(config), capacity_(capacity), mode_(mode) {
+  HCHECK(capacity > 0);
+  layers_.resize(static_cast<size_t>(config.num_layers));
+  Reset();
+}
+
+void KvCache::Reset() {
+  length_ = 0;
+  const Shape shape({capacity_, config_.kv_dim()});
+  for (auto& lc : layers_) {
+    lc.length = 0;
+    if (mode_ == ExecutionMode::kCompute) {
+      lc.k = Tensor::Zeros(shape, tensor::DType::kFp16);
+      lc.v = Tensor::Zeros(shape, tensor::DType::kFp16);
+    } else {
+      lc.k = Tensor::Deferred(shape, tensor::DType::kFp16);
+      lc.v = Tensor::Deferred(shape, tensor::DType::kFp16);
+    }
+  }
+}
+
+void KvCache::Append(int layer, const Tensor& k, const Tensor& v) {
+  HCHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  HCHECK(k.shape().rank() == 2 && k.shape() == v.shape());
+  HCHECK(k.shape().cols() == config_.kv_dim());
+  LayerCache& lc = layers_[static_cast<size_t>(layer)];
+  const int64_t rows = k.shape().rows();
+  HCHECK_MSG(lc.length + rows <= capacity_, "KV cache overflow");
+
+  if (mode_ == ExecutionMode::kCompute) {
+    HCHECK(k.has_data() && v.has_data());
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < config_.kv_dim(); ++c) {
+        lc.k.Set(lc.length + r, c, k.At(r, c));
+        lc.v.Set(lc.length + r, c, v.At(r, c));
+      }
+    }
+  }
+  lc.length += rows;
+  // The cache's global length is the minimum across layers, so a partially
+  // appended step never reports as visible.
+  int64_t min_len = lc.length;
+  for (const auto& other : layers_) {
+    min_len = std::min(min_len, other.length);
+  }
+  length_ = min_len;
+}
+
+Tensor KvCache::K(int layer) const {
+  HCHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  const LayerCache& lc = layers_[static_cast<size_t>(layer)];
+  return lc.k.SliceRows(0, lc.length);
+}
+
+Tensor KvCache::V(int layer) const {
+  HCHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  const LayerCache& lc = layers_[static_cast<size_t>(layer)];
+  return lc.v.SliceRows(0, lc.length);
+}
+
+Bytes KvCache::populated_bytes() const {
+  Bytes total = 0;
+  for (const auto& lc : layers_) {
+    total += 2.0 * static_cast<double>(lc.length) *
+             static_cast<double>(config_.kv_dim()) * 2.0;  // K+V, fp16
+  }
+  return total;
+}
+
+}  // namespace heterollm::model

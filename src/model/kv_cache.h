@@ -1,0 +1,51 @@
+// Per-layer key/value cache for autoregressive decoding.
+
+#ifndef SRC_MODEL_KV_CACHE_H_
+#define SRC_MODEL_KV_CACHE_H_
+
+#include <vector>
+
+#include "src/model/model_config.h"
+#include "src/tensor/tensor.h"
+
+namespace heterollm::model {
+
+class KvCache {
+ public:
+  // Builds an empty cache for `config` with room for `capacity` positions.
+  KvCache(const ModelConfig& config, int64_t capacity, ExecutionMode mode);
+
+  // Appends `k`/`v` rows ([rows, kv_dim]) for `layer`. All layers must be
+  // appended the same number of rows per step; `length()` reflects the most
+  // recent fully-appended position count.
+  void Append(int layer, const tensor::Tensor& k, const tensor::Tensor& v);
+
+  // Views of the first `length()` cached positions for `layer`.
+  tensor::Tensor K(int layer) const;
+  tensor::Tensor V(int layer) const;
+
+  int64_t length() const { return length_; }
+  int64_t capacity() const { return capacity_; }
+
+  // FP16 byte footprint of the populated cache region across all layers.
+  Bytes populated_bytes() const;
+
+  void Reset();
+
+ private:
+  struct LayerCache {
+    tensor::Tensor k;  // [capacity, kv_dim]
+    tensor::Tensor v;
+    int64_t length = 0;
+  };
+
+  ModelConfig config_;
+  int64_t capacity_ = 0;
+  ExecutionMode mode_ = ExecutionMode::kSimulate;
+  int64_t length_ = 0;
+  std::vector<LayerCache> layers_;
+};
+
+}  // namespace heterollm::model
+
+#endif  // SRC_MODEL_KV_CACHE_H_

@@ -1,0 +1,110 @@
+#include "src/sim/memory_system.h"
+
+#include <algorithm>
+
+namespace heterollm::sim {
+
+MemorySystem::MemorySystem(const MemoryConfig& config) : config_(config) {
+  HCHECK(config.soc_bandwidth_bytes_per_us > 0);
+  HCHECK(config.multi_stream_efficiency > 0 &&
+         config.multi_stream_efficiency <= 1.0);
+}
+
+StreamId MemorySystem::OpenStream(double cap_bytes_per_us, Bytes bytes) {
+  HCHECK(cap_bytes_per_us > 0);
+  HCHECK(bytes >= 0);
+  StreamId id = next_id_++;
+  streams_[id] = Stream{cap_bytes_per_us, bytes, 0.0};
+  Reallocate();
+  return id;
+}
+
+void MemorySystem::AdvanceTo(MicroSeconds t) {
+  HCHECK_MSG(t >= now_ - 1e-9, "memory time must be monotonic");
+  if (t <= now_) {
+    return;
+  }
+  MicroSeconds dt = t - now_;
+  for (auto& [id, s] : streams_) {
+    Bytes moved = std::min(s.remaining, s.rate * dt);
+    s.remaining -= moved;
+    total_bytes_transferred_ += moved;
+  }
+  now_ = t;
+  // Streams that drained stop consuming bandwidth immediately.
+  Reallocate();
+}
+
+MicroSeconds MemorySystem::EstimateCompletion(StreamId id) const {
+  auto it = streams_.find(id);
+  HCHECK(it != streams_.end());
+  const Stream& s = it->second;
+  if (s.remaining <= 0) {
+    return now_;
+  }
+  if (s.rate <= 0) {
+    return std::numeric_limits<MicroSeconds>::infinity();
+  }
+  return now_ + s.remaining / s.rate;
+}
+
+bool MemorySystem::IsDone(StreamId id) const {
+  auto it = streams_.find(id);
+  HCHECK(it != streams_.end());
+  return it->second.remaining <= 1e-9;
+}
+
+void MemorySystem::CloseStream(StreamId id) {
+  auto erased = streams_.erase(id);
+  HCHECK(erased == 1);
+  Reallocate();
+}
+
+double MemorySystem::AllocatedRate(StreamId id) const {
+  auto it = streams_.find(id);
+  HCHECK(it != streams_.end());
+  return it->second.rate;
+}
+
+double MemorySystem::TotalAllocatedRate() const {
+  double total = 0;
+  for (const auto& [id, s] : streams_) {
+    total += s.rate;
+  }
+  return total;
+}
+
+void MemorySystem::Reallocate() {
+  // Collect streams that still need bandwidth.
+  std::vector<Stream*> active;
+  active.reserve(streams_.size());
+  for (auto& [id, s] : streams_) {
+    s.rate = 0;
+    if (s.remaining > 1e-9) {
+      active.push_back(&s);
+    }
+  }
+  if (active.empty()) {
+    return;
+  }
+
+  double ceiling = config_.soc_bandwidth_bytes_per_us;
+  if (active.size() > 1) {
+    ceiling *= config_.multi_stream_efficiency;
+  }
+
+  // Max-min fair water-filling: repeatedly grant the equal share, freeze the
+  // streams whose caps bind, and redistribute the slack.
+  std::sort(active.begin(), active.end(),
+            [](const Stream* a, const Stream* b) { return a->cap < b->cap; });
+  double remaining_bw = ceiling;
+  size_t remaining_streams = active.size();
+  for (Stream* s : active) {
+    double fair = remaining_bw / static_cast<double>(remaining_streams);
+    s->rate = std::min(s->cap, fair);
+    remaining_bw -= s->rate;
+    --remaining_streams;
+  }
+}
+
+}  // namespace heterollm::sim

@@ -1,0 +1,62 @@
+#include "src/sim/power_model.h"
+
+#include <utility>
+
+namespace heterollm::sim {
+
+int PowerMeter::AddUnit(std::string name, PowerRating rating) {
+  units_.push_back(UnitState{std::move(name), rating, 0});
+  return static_cast<int>(units_.size()) - 1;
+}
+
+void PowerMeter::AddActive(int unit, MicroSeconds duration) {
+  HCHECK(unit >= 0 && unit < unit_count());
+  HCHECK(duration >= 0);
+  units_[static_cast<size_t>(unit)].active_time += duration;
+}
+
+MicroJoules PowerMeter::UnitEnergy(int unit, MicroSeconds total_elapsed) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  const UnitState& u = units_[static_cast<size_t>(unit)];
+  MicroSeconds active = u.active_time;
+  // Clamp: a unit cannot be active for longer than the window (can happen by
+  // a rounding hair when the window ends exactly at a kernel boundary).
+  if (active > total_elapsed) {
+    active = total_elapsed;
+  }
+  MicroSeconds idle = total_elapsed - active;
+  return active * u.rating.active_watts + idle * u.rating.idle_watts;
+}
+
+MicroJoules PowerMeter::TotalEnergy(MicroSeconds total_elapsed) const {
+  MicroJoules total = 0;
+  for (int i = 0; i < unit_count(); ++i) {
+    total += UnitEnergy(i, total_elapsed);
+  }
+  return total;
+}
+
+double PowerMeter::AveragePowerWatts(MicroSeconds total_elapsed) const {
+  if (total_elapsed <= 0) {
+    return 0;
+  }
+  return TotalEnergy(total_elapsed) / total_elapsed;
+}
+
+MicroSeconds PowerMeter::ActiveTime(int unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  return units_[static_cast<size_t>(unit)].active_time;
+}
+
+const std::string& PowerMeter::unit_name(int unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  return units_[static_cast<size_t>(unit)].name;
+}
+
+void PowerMeter::Reset() {
+  for (auto& u : units_) {
+    u.active_time = 0;
+  }
+}
+
+}  // namespace heterollm::sim

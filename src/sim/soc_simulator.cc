@@ -1,0 +1,233 @@
+#include "src/sim/soc_simulator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+namespace heterollm::sim {
+
+namespace {
+// Comparison slack and minimum forward step. Must stay above the double ULP
+// at the largest simulated times (1e-6 µs covers clocks beyond an hour of
+// simulated time), otherwise `now + epsilon == now` and the event loop
+// cannot make progress.
+constexpr double kTimeEpsilon = 1e-6;
+}  // namespace
+
+SocSimulator::SocSimulator(const MemoryConfig& mem_config)
+    : memory_(mem_config) {}
+
+UnitId SocSimulator::AddUnit(const UnitSpec& spec) {
+  HCHECK(spec.bandwidth_cap_bytes_per_us > 0);
+  Unit unit;
+  unit.spec = spec;
+  unit.power_index = power_.AddUnit(spec.name, spec.power);
+  units_.push_back(std::move(unit));
+  return static_cast<UnitId>(units_.size()) - 1;
+}
+
+const UnitSpec& SocSimulator::unit_spec(UnitId unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  return units_[static_cast<size_t>(unit)].spec;
+}
+
+KernelHandle SocSimulator::Submit(UnitId unit, KernelDesc desc,
+                                  MicroSeconds submit_time) {
+  HCHECK(unit >= 0 && unit < unit_count());
+  HCHECK_MSG(submit_time >= now_ - kTimeEpsilon,
+             "kernel submitted in the resolved past");
+  HCHECK(desc.compute_time >= 0 && desc.memory_bytes >= 0 &&
+         desc.launch_overhead >= 0);
+  Kernel k;
+  k.unit = unit;
+  k.desc = std::move(desc);
+  k.submit_time = std::max(submit_time, now_);
+  kernels_.push_back(std::move(k));
+  KernelHandle handle = static_cast<KernelHandle>(kernels_.size()) - 1;
+  // The device executes commands in arrival-time order: a submission with an
+  // earlier timestamp (e.g. the control plane enqueueing ahead of a
+  // pre-scheduled frame) runs first, stable for equal times.
+  auto& queue = units_[static_cast<size_t>(unit)].queue;
+  auto pos = queue.end();
+  while (pos != queue.begin() &&
+         kernel(*(pos - 1)).submit_time >
+             kernels_[static_cast<size_t>(handle)].submit_time) {
+    --pos;
+  }
+  queue.insert(pos, handle);
+  return handle;
+}
+
+SocSimulator::Kernel& SocSimulator::kernel(KernelHandle k) {
+  HCHECK(k >= 0 && k < static_cast<KernelHandle>(kernels_.size()));
+  return kernels_[static_cast<size_t>(k)];
+}
+
+const SocSimulator::Kernel& SocSimulator::kernel(KernelHandle k) const {
+  HCHECK(k >= 0 && k < static_cast<KernelHandle>(kernels_.size()));
+  return kernels_[static_cast<size_t>(k)];
+}
+
+bool SocSimulator::IsFinished(KernelHandle k) const {
+  return kernel(k).state == KernelState::kFinished;
+}
+
+MicroSeconds SocSimulator::CompletionTime(KernelHandle k) const {
+  const Kernel& kn = kernel(k);
+  HCHECK_MSG(kn.state == KernelState::kFinished, "kernel not finished");
+  return kn.end_time;
+}
+
+MicroSeconds SocSimulator::StartTime(KernelHandle k) const {
+  const Kernel& kn = kernel(k);
+  HCHECK_MSG(kn.state != KernelState::kPending, "kernel not started");
+  return kn.start_time;
+}
+
+bool SocSimulator::UnitHasWork(UnitId unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  const Unit& u = units_[static_cast<size_t>(unit)];
+  return u.running != kInvalidKernel || !u.queue.empty();
+}
+
+MicroSeconds SocSimulator::UnitBusyTime(UnitId unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  return units_[static_cast<size_t>(unit)].busy_time;
+}
+
+void SocSimulator::StartEligibleKernels() {
+  for (auto& unit : units_) {
+    while (unit.running == kInvalidKernel && !unit.queue.empty()) {
+      KernelHandle head = unit.queue.front();
+      Kernel& k = kernel(head);
+      if (k.submit_time > now_ + kTimeEpsilon) {
+        break;
+      }
+      unit.queue.pop_front();
+      unit.running = head;
+      k.state = KernelState::kRunning;
+      k.start_time = now_;
+      MicroSeconds work_begin = now_ + k.desc.launch_overhead;
+      k.compute_end = work_begin + k.desc.compute_time;
+      if (k.desc.memory_bytes > 0) {
+        // The stream opens immediately; the launch overhead is folded into
+        // the compute deadline (negligible skew at µs scale, avoids a
+        // two-phase kernel state machine).
+        k.stream = memory_.OpenStream(unit.spec.bandwidth_cap_bytes_per_us,
+                                      k.desc.memory_bytes);
+        k.stream_done = false;
+      } else {
+        k.stream = -1;
+        k.stream_done = true;
+      }
+    }
+  }
+}
+
+void SocSimulator::FinishCompletedKernels() {
+  for (auto& unit : units_) {
+    if (unit.running == kInvalidKernel) {
+      continue;
+    }
+    Kernel& k = kernel(unit.running);
+    if (!k.stream_done && memory_.IsDone(k.stream)) {
+      memory_.CloseStream(k.stream);
+      k.stream = -1;
+      k.stream_done = true;
+    }
+    if (k.stream_done && k.compute_end <= now_ + kTimeEpsilon) {
+      k.state = KernelState::kFinished;
+      k.end_time = now_;
+      MicroSeconds busy = k.end_time - k.start_time;
+      unit.busy_time += busy;
+      unit.last_completion = k.end_time;
+      power_.AddActive(unit.power_index, busy * k.desc.power_scale);
+      unit.running = kInvalidKernel;
+    }
+  }
+}
+
+void SocSimulator::RunUntil(const std::function<bool()>& done) {
+  // Bound the loop to catch scheduling bugs; real workloads stay far below.
+  for (int64_t iterations = 0; iterations < (1 << 26); ++iterations) {
+    StartEligibleKernels();
+    FinishCompletedKernels();
+    StartEligibleKernels();
+    if (done()) {
+      return;
+    }
+
+    MicroSeconds next = std::numeric_limits<MicroSeconds>::infinity();
+    for (const auto& unit : units_) {
+      if (unit.running != kInvalidKernel) {
+        const Kernel& k = kernel(unit.running);
+        MicroSeconds est = k.compute_end;
+        if (!k.stream_done) {
+          est = std::max(est, memory_.EstimateCompletion(k.stream));
+        }
+        next = std::min(next, est);
+      } else if (!unit.queue.empty()) {
+        next = std::min(next, kernel(unit.queue.front()).submit_time);
+      }
+    }
+    HCHECK_MSG(next != std::numeric_limits<MicroSeconds>::infinity(),
+               "simulator deadlock: wait cannot be satisfied by queued work");
+    // Guarantee forward progress even when the next event is "now".
+    next = std::max(next, now_ + kTimeEpsilon);
+    memory_.AdvanceTo(next);
+    now_ = next;
+  }
+  for (const auto& unit : units_) {
+    if (unit.running != kInvalidKernel) {
+      const Kernel& k = kernel(unit.running);
+      std::fprintf(stderr,
+                   "stuck unit=%s kernel=%s compute_end=%.9f stream_done=%d "
+                   "now=%.9f\n",
+                   unit.spec.name.c_str(), k.desc.label.c_str(),
+                   k.compute_end, k.stream_done ? 1 : 0, now_);
+      if (!k.stream_done) {
+        std::fprintf(stderr, "  stream est=%.9f rate=%.6f\n",
+                     memory_.EstimateCompletion(k.stream),
+                     memory_.AllocatedRate(k.stream));
+      }
+    }
+  }
+  HCHECK_MSG(false, "simulator exceeded event budget (livelock?)");
+}
+
+void SocSimulator::VisitFinishedKernels(
+    const std::function<void(const std::string&, UnitId, MicroSeconds,
+                             MicroSeconds)>& visitor) const {
+  for (const Kernel& k : kernels_) {
+    if (k.state == KernelState::kFinished) {
+      visitor(k.desc.label, k.unit, k.start_time, k.end_time);
+    }
+  }
+}
+
+MicroSeconds SocSimulator::WaitForKernel(KernelHandle k) {
+  RunUntil([&] { return IsFinished(k); });
+  return CompletionTime(k);
+}
+
+MicroSeconds SocSimulator::WaitForUnitIdle(UnitId unit) {
+  HCHECK(unit >= 0 && unit < unit_count());
+  Unit& u = units_[static_cast<size_t>(unit)];
+  RunUntil([&] { return u.running == kInvalidKernel && u.queue.empty(); });
+  return u.last_completion;
+}
+
+MicroSeconds SocSimulator::DrainAll() {
+  RunUntil([&] {
+    for (const auto& unit : units_) {
+      if (unit.running != kInvalidKernel || !unit.queue.empty()) {
+        return false;
+      }
+    }
+    return true;
+  });
+  return now_;
+}
+
+}  // namespace heterollm::sim

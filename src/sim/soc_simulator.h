@@ -1,0 +1,164 @@
+// Discrete-event simulator for a heterogeneous mobile SoC.
+//
+// The simulator models a set of execution units (CPU, GPU, NPU) that each
+// execute kernels serially from a FIFO queue, all contending for one shared
+// memory system (`MemorySystem`). A kernel is described by a contention-free
+// compute duration and a DRAM byte count; it finishes when both the compute
+// phase and the memory stream complete (roofline semantics). Completion times
+// therefore depend on which other units are streaming at the same moment —
+// the effect the paper's decoding-phase partitioning exploits.
+//
+// Time advances lazily: `Submit` only enqueues; `WaitForKernel` /
+// `WaitForUnitIdle` / `DrainAll` run the event loop forward just far enough
+// to answer. The control-plane (engine) interleaves its own simulated CPU
+// time with these waits, mirroring how the real runtime's host thread
+// schedules GPU/NPU work.
+
+#ifndef SRC_SIM_SOC_SIMULATOR_H_
+#define SRC_SIM_SOC_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/memory_system.h"
+#include "src/sim/power_model.h"
+
+namespace heterollm::sim {
+
+using UnitId = int;
+using KernelHandle = int64_t;
+inline constexpr KernelHandle kInvalidKernel = -1;
+
+// Static description of an execution unit.
+struct UnitSpec {
+  std::string name;
+  // Peak DRAM bandwidth this unit's memory pipeline can absorb, bytes/µs.
+  double bandwidth_cap_bytes_per_us = 45e3;
+  PowerRating power;
+};
+
+// One unit of work on a device queue.
+struct KernelDesc {
+  std::string label;
+  // Contention-free compute duration (already includes the device's
+  // shape-dependent efficiency — computed by the HAL cost models).
+  MicroSeconds compute_time = 0;
+  // DRAM traffic streamed during execution.
+  Bytes memory_bytes = 0;
+  // Fixed device-side latency before compute/memory begin (launch, queue pop,
+  // warp ramp-up, ...).
+  MicroSeconds launch_overhead = 0;
+  // Multiplier on the unit's active power while this kernel runs (DVFS
+  // operating-point modelling; 1.0 = the unit's rated active power).
+  double power_scale = 1.0;
+};
+
+class SocSimulator {
+ public:
+  explicit SocSimulator(const MemoryConfig& mem_config);
+
+  SocSimulator(const SocSimulator&) = delete;
+  SocSimulator& operator=(const SocSimulator&) = delete;
+
+  // Registers an execution unit; returns its id.
+  UnitId AddUnit(const UnitSpec& spec);
+
+  // Enqueues `desc` on `unit`, visible to the device no earlier than
+  // `submit_time` (which must be >= the currently resolved time).
+  KernelHandle Submit(UnitId unit, KernelDesc desc, MicroSeconds submit_time);
+
+  // Advances simulation until `k` finishes; returns its completion time.
+  MicroSeconds WaitForKernel(KernelHandle k);
+
+  // Advances until everything submitted to `unit` so far has finished.
+  // Returns the time the unit went idle (== now() afterwards only if the
+  // unit finished last).
+  MicroSeconds WaitForUnitIdle(UnitId unit);
+
+  // Advances until all queues are empty; returns the final time.
+  MicroSeconds DrainAll();
+
+  // True once `k` has been resolved as finished.
+  bool IsFinished(KernelHandle k) const;
+
+  // Completion time of a finished kernel (HCHECKs that it is finished).
+  MicroSeconds CompletionTime(KernelHandle k) const;
+
+  // Start time of a started kernel (HCHECKs that it has started).
+  MicroSeconds StartTime(KernelHandle k) const;
+
+  // True if `unit` has a running kernel or a non-empty queue (at the
+  // currently resolved time) — used to model the extra submission latency an
+  // empty GPU queue incurs.
+  bool UnitHasWork(UnitId unit) const;
+
+  // Cumulative busy time of `unit` (only counts resolved kernels).
+  MicroSeconds UnitBusyTime(UnitId unit) const;
+
+  // Visits every kernel resolved as finished, in submission order
+  // (label, unit, start time, end time). Used by the trace exporter.
+  void VisitFinishedKernels(
+      const std::function<void(const std::string&, UnitId, MicroSeconds,
+                               MicroSeconds)>& visitor) const;
+
+  MicroSeconds now() const { return now_; }
+  MemorySystem& memory() { return memory_; }
+  const MemorySystem& memory() const { return memory_; }
+  PowerMeter& power() { return power_; }
+  const PowerMeter& power() const { return power_; }
+  int unit_count() const { return static_cast<int>(units_.size()); }
+  const UnitSpec& unit_spec(UnitId unit) const;
+
+ private:
+  enum class KernelState { kPending, kRunning, kFinished };
+
+  struct Kernel {
+    UnitId unit = -1;
+    KernelDesc desc;
+    MicroSeconds submit_time = 0;
+    KernelState state = KernelState::kPending;
+    MicroSeconds start_time = 0;
+    MicroSeconds compute_end = 0;  // valid once running
+    StreamId stream = -1;          // -1 when no memory traffic / closed
+    bool stream_done = false;
+    MicroSeconds end_time = 0;  // valid once finished
+  };
+
+  struct Unit {
+    UnitSpec spec;
+    std::deque<KernelHandle> queue;
+    KernelHandle running = kInvalidKernel;
+    int power_index = -1;
+    MicroSeconds busy_time = 0;
+    MicroSeconds last_completion = 0;
+  };
+
+  Kernel& kernel(KernelHandle k);
+  const Kernel& kernel(KernelHandle k) const;
+
+  // Moves queue heads whose submit time has arrived onto idle units.
+  void StartEligibleKernels();
+
+  // Runs the event loop until `done()` returns true. HCHECK-fails on
+  // deadlock (no event can advance the predicate).
+  void RunUntil(const std::function<bool()>& done);
+
+  // Completes any running kernel whose compute and memory phases are both
+  // done at the current time.
+  void FinishCompletedKernels();
+
+  MemorySystem memory_;
+  PowerMeter power_;
+  MicroSeconds now_ = 0;
+  std::vector<Unit> units_;
+  std::vector<Kernel> kernels_;
+};
+
+}  // namespace heterollm::sim
+
+#endif  // SRC_SIM_SOC_SIMULATOR_H_

@@ -1,0 +1,26 @@
+#include "src/sim/soc_spec.h"
+
+namespace heterollm::sim {
+
+const std::vector<SocSpec>& SocSpecCatalog() {
+  static const std::vector<SocSpec>* kCatalog = new std::vector<SocSpec>{
+      {"Qualcomm", "8 Gen 3", "Adreno 750", 2.8, "Hexagon", 73, 36},
+      {"MTK", "K9300", "Mali-G720", 4.0, "APU 790", 48, 24},
+      {"Apple", "A18", "Bionic GPU", 1.8, "Neural Engine", 35, 17},
+      {"Nvidia", "Orin", "Ampere GPU", 10.0, "DLA", 87, 0},
+      {"Tesla", "FSD", "FSD GPU", 0.6, "FSD D1", 73, 0},
+  };
+  return *kCatalog;
+}
+
+const SocSpec& FindSocSpec(const std::string& soc) {
+  for (const SocSpec& spec : SocSpecCatalog()) {
+    if (spec.soc == soc) {
+      return spec;
+    }
+  }
+  HCHECK_MSG(false, "unknown SoC: " + soc);
+  __builtin_unreachable();
+}
+
+}  // namespace heterollm::sim

@@ -1,0 +1,38 @@
+// Catalog of mobile heterogeneous SoC specifications (paper Table 1).
+//
+// The evaluation targets the Qualcomm Snapdragon 8 Gen 3; the other entries
+// are retained so benchmarks can regenerate Table 1 and so the simulator can
+// be parameterized for other SoCs.
+
+#ifndef SRC_SIM_SOC_SPEC_H_
+#define SRC_SIM_SOC_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace heterollm::sim {
+
+struct SocSpec {
+  std::string vendor;
+  std::string soc;
+  std::string gpu_name;
+  double gpu_fp16_tflops = 0;  // Theoretical peak.
+  std::string npu_name;
+  double npu_int8_tops = 0;
+  // FP16 NPU throughput; vendors do not disclose it, the paper estimates it
+  // as half the INT8 rate. <= 0 means the NPU has no FP16 path.
+  double npu_fp16_tflops = 0;
+};
+
+// Returns the five Table-1 rows, in paper order.
+const std::vector<SocSpec>& SocSpecCatalog();
+
+// Looks up a catalog entry by SoC name ("8 Gen 3", "K9300", "A18", "Orin",
+// "FSD"); HCHECK-fails on unknown names.
+const SocSpec& FindSocSpec(const std::string& soc);
+
+}  // namespace heterollm::sim
+
+#endif  // SRC_SIM_SOC_SPEC_H_

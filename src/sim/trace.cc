@@ -1,0 +1,71 @@
+#include "src/sim/trace.h"
+
+#include "src/common/strings.h"
+
+namespace heterollm::sim {
+
+namespace {
+
+// Escapes the minimal JSON-string-breaking characters in kernel labels.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<KernelRecord> CollectFinishedKernels(const SocSimulator& soc) {
+  std::vector<KernelRecord> records;
+  soc.VisitFinishedKernels([&](const std::string& label, UnitId unit,
+                               MicroSeconds start, MicroSeconds end) {
+    records.push_back(
+        {label, unit, soc.unit_spec(unit).name, start, end});
+  });
+  return records;
+}
+
+void WriteChromeTrace(const SocSimulator& soc, std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  // Thread-name metadata so the viewer labels the unit tracks.
+  for (int u = 0; u < soc.unit_count(); ++u) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << StrFormat(
+        "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+        u, JsonEscape(soc.unit_spec(u).name).c_str());
+  }
+  soc.VisitFinishedKernels([&](const std::string& label, UnitId unit,
+                               MicroSeconds start, MicroSeconds end) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << StrFormat(
+        "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": %d, "
+        "\"ts\": %.3f, \"dur\": %.3f}",
+        JsonEscape(label).c_str(), unit, start, end - start);
+  });
+  os << "\n]\n";
+}
+
+}  // namespace heterollm::sim

@@ -1,0 +1,71 @@
+#include "src/tensor/attention.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace heterollm::tensor {
+
+Tensor GqaAttention(const Tensor& q, const Tensor& k_cache,
+                    const Tensor& v_cache, const AttentionParams& params) {
+  HCHECK(params.num_heads > 0 && params.num_kv_heads > 0 &&
+         params.head_dim > 0);
+  HCHECK(params.num_heads % params.num_kv_heads == 0);
+  HCHECK(q.shape().rank() == 2);
+  HCHECK(q.shape().cols() ==
+         static_cast<int64_t>(params.num_heads) * params.head_dim);
+  HCHECK(k_cache.shape().cols() ==
+         static_cast<int64_t>(params.num_kv_heads) * params.head_dim);
+  HCHECK(k_cache.shape() == v_cache.shape());
+
+  const int64_t m = q.shape().rows();
+  if (!q.has_data() || !k_cache.has_data() || !v_cache.has_data()) {
+    return Tensor::Deferred(q.shape(), q.dtype());
+  }
+  HCHECK_MSG(k_cache.shape().rows() >= params.q_pos_offset + m,
+             "KV cache shorter than attended span");
+
+  const int hd = params.head_dim;
+  const int group = params.num_heads / params.num_kv_heads;
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
+  Tensor out = Tensor::Zeros(q.shape(), q.dtype());
+  std::vector<double> scores;
+
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t span = params.q_pos_offset + i + 1;  // causal window
+    for (int h = 0; h < params.num_heads; ++h) {
+      const int kv_h = h / group;
+      const int64_t q_col0 = static_cast<int64_t>(h) * hd;
+      const int64_t kv_col0 = static_cast<int64_t>(kv_h) * hd;
+
+      scores.assign(static_cast<size_t>(span), 0.0);
+      double max_score = -1e30;
+      for (int64_t t = 0; t < span; ++t) {
+        double dot = 0;
+        for (int d = 0; d < hd; ++d) {
+          dot += static_cast<double>(q.At(i, q_col0 + d)) *
+                 k_cache.At(t, kv_col0 + d);
+        }
+        scores[static_cast<size_t>(t)] = dot * inv_sqrt_d;
+        max_score = std::max(max_score, scores[static_cast<size_t>(t)]);
+      }
+      double denom = 0;
+      for (int64_t t = 0; t < span; ++t) {
+        scores[static_cast<size_t>(t)] =
+            std::exp(scores[static_cast<size_t>(t)] - max_score);
+        denom += scores[static_cast<size_t>(t)];
+      }
+      for (int d = 0; d < hd; ++d) {
+        double acc = 0;
+        for (int64_t t = 0; t < span; ++t) {
+          acc += scores[static_cast<size_t>(t)] * v_cache.At(t, kv_col0 + d);
+        }
+        out.Set(i, q_col0 + d, static_cast<float>(acc / denom));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace heterollm::tensor

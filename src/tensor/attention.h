@@ -1,0 +1,29 @@
+// Grouped-query causal attention over a KV cache.
+
+#ifndef SRC_TENSOR_ATTENTION_H_
+#define SRC_TENSOR_ATTENTION_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace heterollm::tensor {
+
+struct AttentionParams {
+  int num_heads = 0;     // Query heads.
+  int num_kv_heads = 0;  // Key/value heads (GQA when < num_heads).
+  int head_dim = 0;
+  // Cache position of query row 0; query row i attends to cache rows
+  // [0, q_pos_offset + i].
+  int64_t q_pos_offset = 0;
+};
+
+// q: [M, num_heads * head_dim]; k_cache / v_cache: [T, num_kv_heads *
+// head_dim] with T >= q_pos_offset + M. Returns [M, num_heads * head_dim].
+// Deferred inputs yield a deferred output of the correct shape.
+Tensor GqaAttention(const Tensor& q, const Tensor& k_cache,
+                    const Tensor& v_cache, const AttentionParams& params);
+
+}  // namespace heterollm::tensor
+
+#endif  // SRC_TENSOR_ATTENTION_H_

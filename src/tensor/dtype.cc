@@ -1,0 +1,36 @@
+#include "src/tensor/dtype.h"
+
+#include "src/common/status.h"
+
+namespace heterollm::tensor {
+
+double DTypeSizeBytes(DType dtype) {
+  switch (dtype) {
+    case DType::kFp32:
+      return 4.0;
+    case DType::kFp16:
+      return 2.0;
+    case DType::kInt8:
+      return 1.0;
+    case DType::kInt4:
+      return 0.5;
+  }
+  HCHECK_MSG(false, "unknown dtype");
+  return 0;
+}
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFp32:
+      return "fp32";
+    case DType::kFp16:
+      return "fp16";
+    case DType::kInt8:
+      return "int8";
+    case DType::kInt4:
+      return "int4";
+  }
+  return "unknown";
+}
+
+}  // namespace heterollm::tensor

@@ -1,0 +1,30 @@
+// Element types used by the inference engine.
+//
+// Numerics note: all host-side *computation* is performed in FP32 regardless
+// of the declared storage type (mirroring the paper's "FLOAT computation"
+// setting); the storage dtype determines simulated memory traffic and the
+// quantization applied to stored weights (W4A16).
+
+#ifndef SRC_TENSOR_DTYPE_H_
+#define SRC_TENSOR_DTYPE_H_
+
+#include <cstdint>
+
+namespace heterollm::tensor {
+
+enum class DType {
+  kFp32,
+  kFp16,
+  kInt8,
+  kInt4,  // Weight-only storage (W4A16); always dequantized before compute.
+};
+
+// Bytes per element; fractional for sub-byte types (kInt4 == 0.5).
+double DTypeSizeBytes(DType dtype);
+
+// Short human-readable name ("fp32", "fp16", "int8", "int4").
+const char* DTypeName(DType dtype);
+
+}  // namespace heterollm::tensor
+
+#endif  // SRC_TENSOR_DTYPE_H_

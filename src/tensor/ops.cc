@@ -1,0 +1,214 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+
+namespace heterollm::tensor::ops {
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  HCHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  HCHECK_MSG(a.shape().cols() == b.shape().rows(), "matmul shape mismatch");
+  Shape out_shape({a.shape().rows(), b.shape().cols()});
+  if (!a.has_data() || !b.has_data()) {
+    return Tensor::Deferred(std::move(out_shape), a.dtype());
+  }
+  const int64_t m = a.shape().rows();
+  const int64_t n = a.shape().cols();
+  const int64_t k = b.shape().cols();
+  Tensor out = Tensor::Zeros(std::move(out_shape), a.dtype());
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float aij = av[static_cast<size_t>(i * n + j)];
+      if (aij == 0.0f) {
+        continue;
+      }
+      const size_t brow = static_cast<size_t>(j * k);
+      const size_t orow = static_cast<size_t>(i * k);
+      for (int64_t c = 0; c < k; ++c) {
+        ov[orow + static_cast<size_t>(c)] +=
+            aij * bv[brow + static_cast<size_t>(c)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MatmulQuant(const Tensor& a, const QuantizedTensor& w) {
+  HCHECK(a.shape().rank() == 2 && w.shape().rank() == 2);
+  HCHECK_MSG(a.shape().cols() == w.shape().rows(),
+             "quant matmul shape mismatch");
+  Shape out_shape({a.shape().rows(), w.shape().cols()});
+  if (!a.has_data() || !w.has_data()) {
+    return Tensor::Deferred(std::move(out_shape), a.dtype());
+  }
+  // Dequantize once; the per-element path exists for spot checks but a full
+  // matmul touches every weight anyway.
+  return Matmul(a, w.Dequantize());
+}
+
+Tensor MatmulInt8(const Tensor& a, const QuantizedTensor& w) {
+  HCHECK(a.shape().rank() == 2 && w.shape().rank() == 2);
+  HCHECK_MSG(a.shape().cols() == w.shape().rows(),
+             "int8 matmul shape mismatch");
+  Shape out_shape({a.shape().rows(), w.shape().cols()});
+  if (!a.has_data() || !w.has_data()) {
+    return Tensor::Deferred(std::move(out_shape), a.dtype());
+  }
+  const QuantizedActivation qa = QuantizedActivation::Quantize(a);
+  const int64_t m = a.shape().rows();
+  const int64_t n = a.shape().cols();
+  const int64_t k = w.shape().cols();
+  const int64_t group = w.group_size();
+  Tensor out = Tensor::Zeros(std::move(out_shape), a.dtype());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      double acc = 0;
+      // Integer accumulation within each weight group; FP rescale per group
+      // (the group carries its own weight scale).
+      for (int64_t g0 = 0; g0 < n; g0 += group) {
+        const int64_t g1 = std::min(n, g0 + group);
+        int64_t int_acc = 0;
+        for (int64_t r = g0; r < g1; ++r) {
+          int_acc += static_cast<int64_t>(qa.code(i, r)) * w.code_at(r, j);
+        }
+        acc += static_cast<double>(int_acc) * qa.scale(i) *
+               w.group_scale(g0, j);
+      }
+      out.Set(i, j, static_cast<float>(acc));
+    }
+  }
+  return out;
+}
+
+Tensor RmsNorm(const Tensor& x, const Tensor& gamma, float eps) {
+  HCHECK(x.shape().rank() == 2);
+  HCHECK(gamma.shape().numel() == x.shape().cols());
+  if (!x.has_data() || !gamma.has_data()) {
+    return Tensor::Deferred(x.shape(), x.dtype());
+  }
+  const int64_t m = x.shape().rows();
+  const int64_t n = x.shape().cols();
+  Tensor out = Tensor::Zeros(x.shape(), x.dtype());
+  for (int64_t i = 0; i < m; ++i) {
+    double sum_sq = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      double v = x.At(i, j);
+      sum_sq += v * v;
+    }
+    const float inv_rms =
+        1.0f / std::sqrt(static_cast<float>(sum_sq / static_cast<double>(n)) +
+                         eps);
+    for (int64_t j = 0; j < n; ++j) {
+      out.Set(i, j, x.At(i, j) * inv_rms * gamma.at(j));
+    }
+  }
+  return out;
+}
+
+Tensor Silu(const Tensor& x) {
+  if (!x.has_data()) {
+    return Tensor::Deferred(x.shape(), x.dtype());
+  }
+  Tensor out = Tensor::Zeros(x.shape(), x.dtype());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float v = x.at(i);
+    out.set(i, v / (1.0f + std::exp(-v)));
+  }
+  return out;
+}
+
+Tensor SwiGlu(const Tensor& gate, const Tensor& up) {
+  HCHECK(gate.shape() == up.shape());
+  if (!gate.has_data() || !up.has_data()) {
+    return Tensor::Deferred(gate.shape(), gate.dtype());
+  }
+  Tensor out = Tensor::Zeros(gate.shape(), gate.dtype());
+  for (int64_t i = 0; i < gate.numel(); ++i) {
+    const float g = gate.at(i);
+    out.set(i, g / (1.0f + std::exp(-g)) * up.at(i));
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  HCHECK(x.shape().rank() == 2);
+  if (!x.has_data()) {
+    return Tensor::Deferred(x.shape(), x.dtype());
+  }
+  const int64_t m = x.shape().rows();
+  const int64_t n = x.shape().cols();
+  Tensor out = Tensor::Zeros(x.shape(), x.dtype());
+  for (int64_t i = 0; i < m; ++i) {
+    float max_v = x.At(i, 0);
+    for (int64_t j = 1; j < n; ++j) {
+      max_v = std::max(max_v, x.At(i, j));
+    }
+    double sum = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      sum += std::exp(static_cast<double>(x.At(i, j) - max_v));
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      out.Set(i, j,
+              static_cast<float>(
+                  std::exp(static_cast<double>(x.At(i, j) - max_v)) / sum));
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  HCHECK(a.shape() == b.shape());
+  if (!a.has_data() || !b.has_data()) {
+    return Tensor::Deferred(a.shape(), a.dtype());
+  }
+  Tensor out = Tensor::Zeros(a.shape(), a.dtype());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out.set(i, a.at(i) + b.at(i));
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  HCHECK(a.shape() == b.shape());
+  if (!a.has_data() || !b.has_data()) {
+    return Tensor::Deferred(a.shape(), a.dtype());
+  }
+  Tensor out = Tensor::Zeros(a.shape(), a.dtype());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out.set(i, a.at(i) * b.at(i));
+  }
+  return out;
+}
+
+void ApplyRope(Tensor& x, int64_t pos_offset, int head_dim, float theta) {
+  HCHECK(x.shape().rank() == 2);
+  HCHECK(head_dim > 0 && head_dim % 2 == 0);
+  HCHECK(x.shape().cols() % head_dim == 0);
+  if (!x.has_data()) {
+    return;
+  }
+  const int64_t m = x.shape().rows();
+  const int64_t heads = x.shape().cols() / head_dim;
+  for (int64_t i = 0; i < m; ++i) {
+    const double pos = static_cast<double>(pos_offset + i);
+    for (int64_t h = 0; h < heads; ++h) {
+      for (int64_t d = 0; d < head_dim / 2; ++d) {
+        const double freq =
+            std::pow(static_cast<double>(theta),
+                     -2.0 * static_cast<double>(d) / head_dim);
+        const double angle = pos * freq;
+        const float cos_a = static_cast<float>(std::cos(angle));
+        const float sin_a = static_cast<float>(std::sin(angle));
+        const int64_t c0 = h * head_dim + 2 * d;
+        const float x0 = x.At(i, c0);
+        const float x1 = x.At(i, c0 + 1);
+        x.Set(i, c0, x0 * cos_a - x1 * sin_a);
+        x.Set(i, c0 + 1, x0 * sin_a + x1 * cos_a);
+      }
+    }
+  }
+}
+
+}  // namespace heterollm::tensor::ops

@@ -1,0 +1,53 @@
+// Reference CPU implementations of the operators used by LLaMA-family models.
+//
+// Every op propagates deferred-ness: if any input lacks a payload the result
+// is a shape-only tensor. This lets the engines run the exact same code path
+// in `ExecutionMode::kSimulate` (timing only, billion-parameter shapes) and
+// `ExecutionMode::kCompute` (real numerics, test-sized shapes).
+
+#ifndef SRC_TENSOR_OPS_H_
+#define SRC_TENSOR_OPS_H_
+
+#include "src/tensor/quant.h"
+#include "src/tensor/tensor.h"
+
+namespace heterollm::tensor::ops {
+
+// Dense matmul: a [M, N] x b [N, K] -> [M, K]. FP32 accumulation.
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+// Matmul against a W4A16 weight: dequantizes each weight element on read,
+// accumulates in FP32 (the "A16" activations are modelled as FP32 host math).
+Tensor MatmulQuant(const Tensor& a, const QuantizedTensor& w);
+
+// The INT pipeline: activations quantized to per-row INT8, weights kept as
+// INT4 codes, integer accumulation per weight group, FP rescale. This is
+// the computation MLLM-NPU/Qualcomm-AI run on the NPU; its output differs
+// from the FLOAT path by the activation-quantization error the paper's
+// Table 2 flags ("accuracy: decreased / depends on activation").
+Tensor MatmulInt8(const Tensor& a, const QuantizedTensor& w);
+
+// Row-wise RMS normalization with learned gain: x [M, N], gamma [1, N].
+Tensor RmsNorm(const Tensor& x, const Tensor& gamma, float eps = 1e-5f);
+
+// SiLU activation, element-wise.
+Tensor Silu(const Tensor& x);
+
+// SwiGLU combine: silu(gate) * up, element-wise (same shapes).
+Tensor SwiGlu(const Tensor& gate, const Tensor& up);
+
+// Row-wise softmax.
+Tensor SoftmaxRows(const Tensor& x);
+
+// Element-wise sum / product of same-shaped tensors.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+// Rotary position embedding applied in-place to q/k laid out as
+// [M, num_heads * head_dim]; row i gets position `pos_offset + i`.
+void ApplyRope(Tensor& x, int64_t pos_offset, int head_dim,
+               float theta = 10000.0f);
+
+}  // namespace heterollm::tensor::ops
+
+#endif  // SRC_TENSOR_OPS_H_

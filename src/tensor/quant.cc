@@ -1,0 +1,136 @@
+#include "src/tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace heterollm::tensor {
+
+QuantizedTensor QuantizedTensor::Quantize(const Tensor& weight,
+                                          int group_size) {
+  HCHECK(weight.shape().rank() == 2);
+  HCHECK(weight.has_data());
+  HCHECK(group_size > 0);
+  const int64_t rows = weight.shape().rows();
+  const int64_t cols = weight.shape().cols();
+
+  QuantizedTensor q;
+  q.shape_ = weight.shape();
+  q.group_size_ = group_size;
+  q.num_groups_ = DivCeil(rows, group_size);
+  q.codes_.resize(static_cast<size_t>(rows * cols));
+  q.scales_.resize(static_cast<size_t>(q.num_groups_ * cols));
+
+  for (int64_t g = 0; g < q.num_groups_; ++g) {
+    const int64_t r0 = g * group_size;
+    const int64_t r1 = std::min(rows, r0 + group_size);
+    for (int64_t c = 0; c < cols; ++c) {
+      float max_abs = 0.0f;
+      for (int64_t r = r0; r < r1; ++r) {
+        max_abs = std::max(max_abs, std::fabs(weight.At(r, c)));
+      }
+      // Symmetric 4-bit range [-8, 7]; use 7 so +max is representable.
+      float scale = max_abs > 0 ? max_abs / 7.0f : 1.0f;
+      q.scales_[static_cast<size_t>(g * cols + c)] = scale;
+      for (int64_t r = r0; r < r1; ++r) {
+        float v = weight.At(r, c) / scale;
+        int code = static_cast<int>(std::lround(v));
+        code = static_cast<int>(Clamp<int64_t>(code, -8, 7));
+        q.codes_[static_cast<size_t>(r * cols + c)] =
+            static_cast<int8_t>(code);
+      }
+    }
+  }
+  return q;
+}
+
+QuantizedTensor QuantizedTensor::Deferred(Shape shape, int group_size) {
+  HCHECK(shape.rank() == 2);
+  QuantizedTensor q;
+  q.shape_ = std::move(shape);
+  q.group_size_ = group_size;
+  q.num_groups_ = DivCeil(q.shape_.rows(), group_size);
+  return q;
+}
+
+float QuantizedTensor::DequantizedAt(int64_t r, int64_t c) const {
+  return static_cast<float>(code_at(r, c)) * group_scale(r, c);
+}
+
+int8_t QuantizedTensor::code_at(int64_t r, int64_t c) const {
+  HCHECK_MSG(has_data(), "code access on deferred weight");
+  const int64_t cols = shape_.cols();
+  HCHECK(r >= 0 && r < shape_.rows() && c >= 0 && c < cols);
+  return codes_[static_cast<size_t>(r * cols + c)];
+}
+
+float QuantizedTensor::group_scale(int64_t r, int64_t c) const {
+  HCHECK_MSG(has_data(), "scale access on deferred weight");
+  const int64_t cols = shape_.cols();
+  HCHECK(r >= 0 && r < shape_.rows() && c >= 0 && c < cols);
+  const int64_t g = r / group_size_;
+  return scales_[static_cast<size_t>(g * cols + c)];
+}
+
+Tensor QuantizedTensor::Dequantize() const {
+  HCHECK_MSG(has_data(), "dequantize of deferred weight");
+  Tensor out = Tensor::Zeros(shape_, DType::kFp32);
+  for (int64_t r = 0; r < shape_.rows(); ++r) {
+    for (int64_t c = 0; c < shape_.cols(); ++c) {
+      out.Set(r, c, DequantizedAt(r, c));
+    }
+  }
+  return out;
+}
+
+QuantizedActivation QuantizedActivation::Quantize(const Tensor& x) {
+  HCHECK(x.shape().rank() == 2);
+  HCHECK(x.has_data());
+  QuantizedActivation q;
+  q.shape_ = x.shape();
+  const int64_t rows = x.shape().rows();
+  const int64_t cols = x.shape().cols();
+  q.codes_.resize(static_cast<size_t>(rows * cols));
+  q.scales_.resize(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    float max_abs = 0;
+    for (int64_t c = 0; c < cols; ++c) {
+      max_abs = std::max(max_abs, std::fabs(x.At(r, c)));
+    }
+    const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+    q.scales_[static_cast<size_t>(r)] = scale;
+    for (int64_t c = 0; c < cols; ++c) {
+      int v = static_cast<int>(std::lround(x.At(r, c) / scale));
+      q.codes_[static_cast<size_t>(r * cols + c)] =
+          static_cast<int8_t>(Clamp<int64_t>(v, -127, 127));
+    }
+  }
+  return q;
+}
+
+Tensor QuantizedActivation::Dequantize() const {
+  Tensor out = Tensor::Zeros(shape_, DType::kFp32);
+  const int64_t cols = shape_.cols();
+  for (int64_t r = 0; r < shape_.rows(); ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out.Set(r, c,
+              static_cast<float>(codes_[static_cast<size_t>(r * cols + c)]) *
+                  scales_[static_cast<size_t>(r)]);
+    }
+  }
+  return out;
+}
+
+int8_t QuantizedActivation::code(int64_t r, int64_t c) const {
+  HCHECK(r >= 0 && r < shape_.rows() && c >= 0 && c < shape_.cols());
+  return codes_[static_cast<size_t>(r * shape_.cols() + c)];
+}
+
+Bytes QuantizedTensor::byte_size() const {
+  // 0.5 bytes per 4-bit code plus one FP16 scale per (group, column).
+  return 0.5 * static_cast<double>(shape_.numel()) +
+         2.0 * static_cast<double>(num_groups_ * shape_.cols());
+}
+
+}  // namespace heterollm::tensor

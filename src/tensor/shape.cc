@@ -1,0 +1,30 @@
+#include "src/tensor/shape.h"
+
+namespace heterollm::tensor {
+
+int64_t Shape::dim(int i) const {
+  HCHECK(i >= 0 && i < rank());
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(dim(i));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace heterollm::tensor

@@ -1,0 +1,52 @@
+// Tensor shape: an ordered list of non-negative dimension extents.
+
+#ifndef SRC_TENSOR_SHAPE_H_
+#define SRC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace heterollm::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const;
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Total element count (1 for rank-0).
+  int64_t numel() const;
+
+  // Convenience accessors for the common 2-D case.
+  int64_t rows() const { return dim(0); }
+  int64_t cols() const { return dim(1); }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // Renders "[M, N]".
+  std::string ToString() const;
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) {
+      HCHECK_MSG(d >= 0, "negative dimension");
+    }
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace heterollm::tensor
+
+#endif  // SRC_TENSOR_SHAPE_H_

@@ -1,0 +1,56 @@
+#include "src/workload/chat_session.h"
+
+#include "src/common/rng.h"
+
+namespace heterollm::workload {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ChatSession::ChatSession(core::EngineBase* engine) : engine_(engine) {
+  HCHECK(engine != nullptr);
+  Reset();
+}
+
+void ChatSession::Reset() {
+  engine_->ResetSession();
+  turns_.clear();
+  history_ = 0;
+}
+
+int64_t ChatSession::history_tokens() const { return history_; }
+
+TurnStats ChatSession::Turn(const Tensor& prompt, int decode_len) {
+  TurnStats stats;
+  stats.history_tokens = history_;
+  stats.prompt_tokens = static_cast<int>(prompt.shape().rows());
+
+  core::PhaseStats prefill = engine_->Prefill(prompt);
+  stats.ttft = prefill.latency;
+  history_ += stats.prompt_tokens;
+
+  const bool compute =
+      prompt.has_data();  // keep the mode consistent with the prompt
+  Rng rng(input_seed_++);
+  for (int i = 0; i < decode_len; ++i) {
+    Tensor token =
+        compute ? Tensor::Random(Shape({1, prompt.shape().cols()}), rng, 0.1f)
+                : Tensor::Deferred(Shape({1, prompt.shape().cols()}),
+                                   tensor::DType::kFp16);
+    core::PhaseStats step = engine_->DecodeStep(token);
+    stats.decode_time += step.latency;
+    ++stats.decoded_tokens;
+    ++history_;
+  }
+  turns_.push_back(stats);
+  return stats;
+}
+
+TurnStats ChatSession::Turn(int prompt_len, int decode_len) {
+  const auto& cfg = engine_->model_config();
+  Tensor prompt =
+      Tensor::Deferred(Shape({prompt_len, cfg.hidden}), tensor::DType::kFp16);
+  return Turn(prompt, decode_len);
+}
+
+}  // namespace heterollm::workload

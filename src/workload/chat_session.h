@@ -1,0 +1,54 @@
+// Multi-turn chat session with KV-cache reuse.
+//
+// Mobile assistants keep the conversation's KV cache resident between turns:
+// each new turn only prefills the *new* tokens (the user's next message)
+// against the cached history. This wrapper drives any engine that way and
+// tracks per-turn TTFT/TPOT. Numerical equivalence with a monolithic prefill
+// is covered by the test suite.
+
+#ifndef SRC_WORKLOAD_CHAT_SESSION_H_
+#define SRC_WORKLOAD_CHAT_SESSION_H_
+
+#include <vector>
+
+#include "src/core/engine_base.h"
+
+namespace heterollm::workload {
+
+struct TurnStats {
+  int prompt_tokens = 0;
+  int decoded_tokens = 0;
+  MicroSeconds ttft = 0;  // prefill latency for the turn's new tokens
+  MicroSeconds decode_time = 0;
+  int64_t history_tokens = 0;  // cache length before the turn
+};
+
+class ChatSession {
+ public:
+  // The session borrows `engine`; the caller keeps it alive. Resets the
+  // engine's KV cache so the session starts fresh.
+  explicit ChatSession(core::EngineBase* engine);
+
+  // Prefills `prompt` (the turn's new tokens only) on top of the cached
+  // history, then decodes `decode_len` tokens (which also enter the cache).
+  TurnStats Turn(const tensor::Tensor& prompt, int decode_len);
+
+  // Synthetic-input convenience (simulate mode or random embeddings).
+  TurnStats Turn(int prompt_len, int decode_len);
+
+  int64_t history_tokens() const;
+  const std::vector<TurnStats>& turns() const { return turns_; }
+
+  // Drops the conversation (KV cache) but keeps the engine.
+  void Reset();
+
+ private:
+  core::EngineBase* engine_;
+  std::vector<TurnStats> turns_;
+  int64_t history_ = 0;
+  uint64_t input_seed_ = 99;
+};
+
+}  // namespace heterollm::workload
+
+#endif  // SRC_WORKLOAD_CHAT_SESSION_H_

@@ -1,0 +1,23 @@
+#include "src/workload/metrics.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm::workload {
+
+std::string RenderComparisonTable(const std::string& title,
+                                  const std::vector<PaperComparison>& rows) {
+  TextTable table({"metric", "paper", "measured", "measured/paper"});
+  for (const PaperComparison& row : rows) {
+    table.AddRow({row.label,
+                  row.paper > 0 ? StrFormat("%.2f %s", row.paper,
+                                            row.unit.c_str())
+                                : std::string("-"),
+                  StrFormat("%.2f %s", row.measured, row.unit.c_str()),
+                  row.paper > 0 ? StrFormat("%.2fx", row.ratio())
+                                : std::string("-")});
+  }
+  return "== " + title + " ==\n" + table.Render();
+}
+
+}  // namespace heterollm::workload

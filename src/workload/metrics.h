@@ -1,0 +1,27 @@
+// Paper-vs-measured reporting helpers used by the benchmark harness.
+
+#ifndef SRC_WORKLOAD_METRICS_H_
+#define SRC_WORKLOAD_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace heterollm::workload {
+
+struct PaperComparison {
+  std::string label;
+  double paper = 0;     // value reported in the paper (0 = not reported)
+  double measured = 0;  // value this reproduction measures
+  std::string unit;
+
+  // measured / paper; 0 when the paper gives no number.
+  double ratio() const { return paper > 0 ? measured / paper : 0; }
+};
+
+// Renders a table "label | paper | measured | measured/paper".
+std::string RenderComparisonTable(const std::string& title,
+                                  const std::vector<PaperComparison>& rows);
+
+}  // namespace heterollm::workload
+
+#endif  // SRC_WORKLOAD_METRICS_H_

@@ -1,0 +1,39 @@
+#include "src/workload/prompt_workload.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace heterollm::workload {
+
+std::vector<int> AlignedPromptLengths() { return {64, 256, 1024}; }
+
+std::vector<int> MisalignedPromptLengths() {
+  // Chosen as in the paper's Fig. 14 narrative: 135 and 1000 are called out
+  // explicitly, 525 is the "slightly exceeds a standard size" case.
+  return {135, 300, 525, 777, 1000};
+}
+
+std::vector<ChatTurn> SyntheticChatTrace(Rng& rng, int turns, int min_prompt,
+                                         int max_prompt, int min_decode,
+                                         int max_decode) {
+  HCHECK(turns > 0);
+  HCHECK(0 < min_prompt && min_prompt <= max_prompt);
+  HCHECK(0 < min_decode && min_decode <= max_decode);
+  std::vector<ChatTurn> trace;
+  trace.reserve(static_cast<size_t>(turns));
+  const double log_lo = std::log(static_cast<double>(min_prompt));
+  const double log_hi = std::log(static_cast<double>(max_prompt));
+  for (int i = 0; i < turns; ++i) {
+    ChatTurn turn;
+    turn.prompt_len = static_cast<int>(
+        std::lround(std::exp(rng.NextUniform(log_lo, log_hi))));
+    turn.decode_len = static_cast<int>(
+        min_decode + rng.NextBelow(
+                         static_cast<uint64_t>(max_decode - min_decode + 1)));
+    trace.push_back(turn);
+  }
+  return trace;
+}
+
+}  // namespace heterollm::workload

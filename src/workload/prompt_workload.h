@@ -1,0 +1,36 @@
+// Workload generators for the evaluation: chat traces, aligned/misaligned
+// prompt-length sweeps and speculative-decoding widths.
+
+#ifndef SRC_WORKLOAD_PROMPT_WORKLOAD_H_
+#define SRC_WORKLOAD_PROMPT_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace heterollm::workload {
+
+struct ChatTurn {
+  int prompt_len = 0;
+  int decode_len = 0;
+};
+
+// The aligned prompt lengths used throughout §5.2.1 (Fig. 13 / 15).
+std::vector<int> AlignedPromptLengths();
+
+// Misaligned lengths for §5.2.2 (Fig. 14): none is a standard graph size.
+std::vector<int> MisalignedPromptLengths();
+
+// A synthetic multi-turn chat trace: prompt lengths log-uniform in
+// [min_prompt, max_prompt] (any alignment), decode lengths uniform in
+// [min_decode, max_decode].
+std::vector<ChatTurn> SyntheticChatTrace(Rng& rng, int turns,
+                                         int min_prompt = 24,
+                                         int max_prompt = 1024,
+                                         int min_decode = 16,
+                                         int max_decode = 128);
+
+}  // namespace heterollm::workload
+
+#endif  // SRC_WORKLOAD_PROMPT_WORKLOAD_H_

@@ -1,0 +1,65 @@
+// A 60 FPS game-rendering workload sharing the GPU with LLM inference
+// (paper §5.5).
+//
+// Frames are GPU kernels submitted at vsync cadence into the same FIFO
+// command queue the inference engine uses. An engine that floods the queue
+// (PPL-OpenCL submits its whole prefill asynchronously) starves rendering —
+// frames complete long after their deadline and the delivered FPS collapses.
+// HeteroLLM's engines submit GPU work incrementally between NPU syncs, so
+// frames slot into the gaps.
+
+#ifndef SRC_WORKLOAD_RENDER_WORKLOAD_H_
+#define SRC_WORKLOAD_RENDER_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/core/platform.h"
+
+namespace heterollm::workload {
+
+struct RenderConfig {
+  double target_fps = 60.0;
+  // GPU time one frame needs at the game's settings.
+  MicroSeconds frame_gpu_time_us = 4000.0;
+  // Games issue many command buffers per frame; finer granularity lets
+  // frame work interleave with compute kernels on the FIFO queue.
+  int draw_calls_per_frame = 8;
+  // A frame counts as delivered on time if it completes within this many
+  // vsync periods of its submission.
+  double deadline_periods = 2.0;
+};
+
+struct RenderStats {
+  int frames_submitted = 0;
+  int frames_on_time = 0;
+  double delivered_fps = 0;        // on-time frames / wall time
+  MicroSeconds avg_frame_latency = 0;
+  MicroSeconds max_frame_latency = 0;
+};
+
+class RenderWorkload {
+ public:
+  RenderWorkload(core::Platform* platform, const RenderConfig& config = {});
+
+  // Pre-submits frames at vsync times covering [0, duration). Call before
+  // running the inference engine so the FIFO interleaving is faithful.
+  void SubmitFrames(MicroSeconds duration);
+
+  // Resolves all frames (drains the simulator) and computes delivery stats
+  // over the frames whose vsync fell inside [0, window).
+  RenderStats Collect(MicroSeconds window);
+
+ private:
+  struct Frame {
+    MicroSeconds vsync = 0;
+    sim::KernelHandle last_kernel = sim::kInvalidKernel;  // frame completion
+  };
+
+  core::Platform* platform_;
+  RenderConfig config_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace heterollm::workload
+
+#endif  // SRC_WORKLOAD_RENDER_WORKLOAD_H_

@@ -1,0 +1,47 @@
+#include "src/common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : saved_(GetLogLevel()) {}
+  ~LogTest() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, ThresholdFilters) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, EmitsFormattedLine) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  HLOG(kInfo) << "prefill took " << 42 << " ms";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("prefill took 42 ms"), std::string::npos);
+  EXPECT_NE(out.find("[I "), std::string::npos);
+  EXPECT_NE(out.find("log_test.cc"), std::string::npos);
+}
+
+TEST_F(LogTest, SuppressedMessagesProduceNoOutput) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  HLOG(kDebug) << "should not appear";
+  HLOG(kWarning) << "also hidden";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, LevelNamesStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "D");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "E");
+}
+
+}  // namespace
+}  // namespace heterollm

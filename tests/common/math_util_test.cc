@@ -1,0 +1,57 @@
+#include "src/common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm {
+namespace {
+
+TEST(MathUtilTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 32), 0);
+  EXPECT_EQ(AlignUp(1, 32), 32);
+  EXPECT_EQ(AlignUp(32, 32), 32);
+  EXPECT_EQ(AlignUp(33, 32), 64);
+  EXPECT_EQ(AlignUp(300, 256), 512);
+}
+
+TEST(MathUtilTest, AlignDown) {
+  EXPECT_EQ(AlignDown(0, 32), 0);
+  EXPECT_EQ(AlignDown(31, 32), 0);
+  EXPECT_EQ(AlignDown(32, 32), 32);
+  EXPECT_EQ(AlignDown(300, 256), 256);
+}
+
+TEST(MathUtilTest, DivCeil) {
+  EXPECT_EQ(DivCeil(0, 4), 0);
+  EXPECT_EQ(DivCeil(1, 4), 1);
+  EXPECT_EQ(DivCeil(4, 4), 1);
+  EXPECT_EQ(DivCeil(5, 4), 2);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(5, 0, 10), 5);
+  EXPECT_EQ(Clamp(-5, 0, 10), 0);
+  EXPECT_EQ(Clamp(15, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, NearlyEqual) {
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0));
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.1));
+  EXPECT_TRUE(NearlyEqual(1.0, 1.05, 0.1));
+}
+
+// Property: AlignUp(x, a) is the smallest multiple of a that is >= x.
+TEST(MathUtilTest, AlignUpProperty) {
+  for (int64_t a : {1, 2, 3, 32, 256}) {
+    for (int64_t x = 0; x < 600; x += 7) {
+      int64_t up = AlignUp(x, a);
+      EXPECT_GE(up, x);
+      EXPECT_EQ(up % a, 0);
+      EXPECT_LT(up - x, a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace heterollm

@@ -1,0 +1,54 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+
+namespace heterollm {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"engine", "tok/s"});
+  t.AddRow({"MLC", "34.2"});
+  t.AddRow({"Hetero-tensor", "247.9"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("engine"), std::string::npos);
+  EXPECT_NE(out.find("Hetero-tensor"), std::string::npos);
+  EXPECT_NE(out.find("247.9"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  int lines = 0;
+  for (char c : out) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t({"x", "yy"});
+  t.AddRow({"longvalue", "1"});
+  std::string out = t.Render();
+  // Every line has equal length when columns are padded consistently.
+  size_t first_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d tok/s at %.1f W", 247, 2.75), "247 tok/s at 2.8 W");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty:%s", ""), "empty:");
+}
+
+}  // namespace
+}  // namespace heterollm

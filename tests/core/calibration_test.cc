@@ -1,0 +1,114 @@
+// Pins the reproduction to the paper's absolute numbers (§5 / DESIGN.md §5).
+// Tolerances are generous (this is a simulator, not the authors' phone) but
+// tight enough that a regression in any cost model trips them.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine_registry.h"
+
+namespace heterollm::core {
+namespace {
+
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+
+GenerationStats RunEngine(const std::string& engine_name, const ModelConfig& cfg,
+                    int prompt, int decode) {
+  ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  Platform plat(PlatformOptionsFor(engine_name));
+  auto engine = CreateEngine(engine_name, &plat, &w, {});
+  return engine->Generate(prompt, decode);
+}
+
+// Paper: Hetero-tensor reaches 247.9 tok/s prefill on Llama-8B @ 1024.
+TEST(CalibrationTest, Llama8BPrefillAnchor) {
+  const double tok_s =
+      RunEngine("Hetero-tensor", ModelConfig::Llama8B(), 1024, 0)
+          .prefill_tokens_per_s();
+  EXPECT_GT(tok_s, 190);
+  EXPECT_LT(tok_s, 330);
+}
+
+// Paper headline: first engine past 1000 tok/s prefill with FLOAT compute —
+// 1092 tok/s on InternLM-1.8B @ 256.
+TEST(CalibrationTest, InternLMPrefillBreaksThousand) {
+  const double tok_s =
+      RunEngine("Hetero-tensor", ModelConfig::InternLM1_8B(), 256, 0)
+          .prefill_tokens_per_s();
+  EXPECT_GT(tok_s, 1000);
+  EXPECT_LT(tok_s, 1500);
+}
+
+// Paper: decode 14.01 tok/s on Llama-8B, +23.4% over PPL-OpenCL.
+TEST(CalibrationTest, Llama8BDecodeAnchor) {
+  const double hetero =
+      RunEngine("Hetero-tensor", ModelConfig::Llama8B(), 256, 12)
+          .decode_tokens_per_s();
+  const double ppl = RunEngine("PPL-OpenCL", ModelConfig::Llama8B(), 256, 12)
+                         .decode_tokens_per_s();
+  EXPECT_GT(hetero, 12.0);
+  EXPECT_LT(hetero, 16.5);
+  EXPECT_NEAR(hetero / ppl, 1.234, 0.12);
+}
+
+// Paper: decode 51.12 tok/s on InternLM-1.8B.
+TEST(CalibrationTest, InternLMDecodeAnchor) {
+  const double tok_s =
+      RunEngine("Hetero-tensor", ModelConfig::InternLM1_8B(), 256, 12)
+          .decode_tokens_per_s();
+  EXPECT_GT(tok_s, 42);
+  EXPECT_LT(tok_s, 60);
+}
+
+// Paper: decode 29.9 tok/s on Llama-3B (+8.52% over PPL).
+TEST(CalibrationTest, Llama3BDecodeAnchor) {
+  const double tok_s = RunEngine("Hetero-tensor", ModelConfig::Llama3B(), 256, 12)
+                           .decode_tokens_per_s();
+  EXPECT_GT(tok_s, 24);
+  EXPECT_LT(tok_s, 38);
+}
+
+// Fig. 13 @256 speedups of Hetero-layer over the baselines:
+// 5.85x MNN, 24.9x llama.cpp, 5.64x MLC, 2.99x PPL.
+TEST(CalibrationTest, HeteroLayerSpeedupsOverBaselines) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const double hetero = RunEngine("Hetero-layer", cfg, 256, 0).prefill_tokens_per_s();
+  const double mnn = RunEngine("MNN-OpenCL", cfg, 256, 0).prefill_tokens_per_s();
+  const double cpu = RunEngine("llama.cpp", cfg, 256, 0).prefill_tokens_per_s();
+  const double mlc = RunEngine("MLC", cfg, 256, 0).prefill_tokens_per_s();
+  const double ppl = RunEngine("PPL-OpenCL", cfg, 256, 0).prefill_tokens_per_s();
+  EXPECT_NEAR(hetero / mnn, 5.85, 2.2);
+  EXPECT_NEAR(hetero / cpu, 24.9, 9.0);
+  EXPECT_NEAR(hetero / mlc, 5.64, 2.2);
+  EXPECT_NEAR(hetero / ppl, 2.99, 1.0);
+}
+
+// Paper: Hetero-layer ~2.23 W; Hetero-tensor +23.2%; PPL-OpenCL ~4.34 W
+// (prefill Llama-8B @ 256).
+TEST(CalibrationTest, PowerAnchors) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const double layer = RunEngine("Hetero-layer", cfg, 256, 0).avg_power_watts;
+  const double tensor = RunEngine("Hetero-tensor", cfg, 256, 0).avg_power_watts;
+  const double ppl = RunEngine("PPL-OpenCL", cfg, 256, 0).avg_power_watts;
+  EXPECT_NEAR(layer, 2.23, 0.6);
+  EXPECT_NEAR(ppl, 4.34, 0.7);
+  EXPECT_GT(tensor / layer, 1.1);
+  EXPECT_LT(tensor / layer, 1.75);
+}
+
+// §5.2.2: at misaligned 525, Hetero-tensor is ~2.2x faster than both
+// Online-prepare and Padding and ~1.35x faster than Pipe.
+TEST(CalibrationTest, MisalignedSpeedupAnchors) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const MicroSeconds hetero = RunEngine("Hetero-tensor", cfg, 525, 0).ttft();
+  const MicroSeconds online = RunEngine("Online-prepare", cfg, 525, 0).ttft();
+  const MicroSeconds padding = RunEngine("Padding", cfg, 525, 0).ttft();
+  const MicroSeconds pipe = RunEngine("Pipe", cfg, 525, 0).ttft();
+  EXPECT_NEAR(online / hetero, 2.24, 1.1);
+  EXPECT_NEAR(padding / hetero, 2.21, 1.1);
+  EXPECT_NEAR(pipe / hetero, 1.35, 0.4);
+}
+
+}  // namespace
+}  // namespace heterollm::core

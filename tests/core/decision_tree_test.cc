@@ -1,0 +1,115 @@
+#include "src/core/decision_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace heterollm::core {
+namespace {
+
+TEST(DecisionTreeTest, FitsConstantFunction) {
+  DecisionTreeRegressor tree;
+  tree.Fit({{0}, {1}, {2}, {3}}, {5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(tree.Predict({1.5}), 5.0);
+}
+
+TEST(DecisionTreeTest, FitsStepFunction) {
+  DecisionTreeRegressor tree;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 25 ? 1.0 : 9.0);
+  }
+  tree.Fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.Predict({10}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({40}), 9.0);
+}
+
+TEST(DecisionTreeTest, InterpolatesPiecewiseConstant) {
+  // Exact training-point recovery with min_samples 1.
+  DecisionTreeConfig cfg;
+  cfg.min_samples_per_leaf = 1;
+  cfg.max_depth = 20;
+  DecisionTreeRegressor tree(cfg);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 32; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(static_cast<double>(i * i));
+  }
+  tree.Fit(x, y);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(tree.Predict({static_cast<double>(i)}),
+                     static_cast<double>(i * i));
+  }
+}
+
+TEST(DecisionTreeTest, UsesMultipleFeatures) {
+  // Target depends on feature 1 only; tree must find it.
+  DecisionTreeRegressor tree;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    double noise_feature = rng.NextUnit();
+    double signal = rng.NextUnit();
+    x.push_back({noise_feature, signal});
+    y.push_back(signal > 0.5 ? 10.0 : -10.0);
+  }
+  tree.Fit(x, y);
+  EXPECT_NEAR(tree.Predict({0.9, 0.9}), 10.0, 1.0);
+  EXPECT_NEAR(tree.Predict({0.9, 0.1}), -10.0, 1.0);
+}
+
+TEST(DecisionTreeTest, DepthIsBounded) {
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.min_samples_per_leaf = 1;
+  DecisionTreeRegressor tree(cfg);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(static_cast<double>(i));
+  }
+  tree.Fit(x, y);
+  EXPECT_LE(tree.depth(), 4);  // max_depth internal nodes + leaf level
+}
+
+TEST(DecisionTreeTest, SmoothFunctionApproximation) {
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 12;
+  cfg.min_samples_per_leaf = 2;
+  DecisionTreeRegressor tree(cfg);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    double v = i / 50.0;
+    x.push_back({v});
+    y.push_back(std::sin(v));
+  }
+  tree.Fit(x, y);
+  double max_err = 0;
+  for (int i = 0; i < 500; ++i) {
+    double v = i / 50.0;
+    max_err = std::max(max_err, std::fabs(tree.Predict({v}) - std::sin(v)));
+  }
+  EXPECT_LT(max_err, 0.1);
+}
+
+TEST(DecisionTreeTest, DuplicateFeatureValuesDoNotSplit) {
+  DecisionTreeRegressor tree;
+  tree.Fit({{1}, {1}, {1}, {1}}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(tree.Predict({1}), 2.5);  // falls back to the mean
+}
+
+TEST(DecisionTreeDeathTest, PredictBeforeFitAborts) {
+  DecisionTreeRegressor tree;
+  EXPECT_DEATH(tree.Predict({1.0}), "before Fit");
+}
+
+}  // namespace
+}  // namespace heterollm::core

@@ -1,0 +1,107 @@
+#include "src/core/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::core {
+namespace {
+
+const std::vector<int64_t> kStds = {32, 64, 128, 256, 512, 1024};
+
+TEST(DecomposeSequenceTest, ExactStandardSize) {
+  SeqDecomposition d = DecomposeSequence(256, kStds);
+  EXPECT_EQ(d.segments, std::vector<int64_t>({256}));
+  EXPECT_EQ(d.remainder, 0);
+}
+
+TEST(DecomposeSequenceTest, PaperExample300) {
+  // §4.1.1: 300 splits into 256 (NPU) and 44 (dynamic margin).
+  SeqDecomposition d = DecomposeSequence(300, kStds);
+  EXPECT_EQ(d.segments, std::vector<int64_t>({256, 32}));
+  EXPECT_EQ(d.remainder, 12);
+}
+
+TEST(DecomposeSequenceTest, PaperExample600) {
+  // §4.1.1: 600 -> 512 + 32 + margin 56 (greedy gives 512+64 exactly... the
+  // paper's illustrative split differs, greedy is also valid: check sums).
+  SeqDecomposition d = DecomposeSequence(600, kStds);
+  int64_t total = d.remainder;
+  for (int64_t s : d.segments) {
+    total += s;
+  }
+  EXPECT_EQ(total, 600);
+  EXPECT_LT(d.remainder, 32);
+}
+
+TEST(DecomposeSequenceTest, LargerThanMaxUsesRepeats) {
+  SeqDecomposition d = DecomposeSequence(2100, kStds);
+  int64_t total = d.remainder;
+  for (int64_t s : d.segments) {
+    total += s;
+  }
+  EXPECT_EQ(total, 2100);
+  EXPECT_GE(d.segments.size(), 2u);
+}
+
+// Property: decomposition always reconstructs m with remainder < smallest.
+TEST(DecomposeSequenceTest, ReconstructionProperty) {
+  for (int64_t m = 1; m <= 2200; m += 13) {
+    SeqDecomposition d = DecomposeSequence(m, kStds);
+    int64_t total = d.remainder;
+    for (int64_t s : d.segments) {
+      total += s;
+      EXPECT_TRUE(std::find(kStds.begin(), kStds.end(), s) != kStds.end());
+    }
+    EXPECT_EQ(total, m) << m;
+    EXPECT_LT(d.remainder, kStds.front());
+  }
+}
+
+TEST(PadToStandardTest, RoundsUp) {
+  EXPECT_EQ(PadToStandard(1, kStds), 32);
+  EXPECT_EQ(PadToStandard(300, kStds), 512);
+  EXPECT_EQ(PadToStandard(512, kStds), 512);
+  EXPECT_EQ(PadToStandard(2000, kStds), 1024);  // clamped to largest
+}
+
+TEST(MatmulSpecTest, GpuSpecKeepsLogicalOrder) {
+  MatmulShape shape{256, 4096, 14336, hal::Precision::kFp16, 0.5};
+  hal::MatmulSpec spec = GpuMatmulSpec(shape);
+  EXPECT_EQ(spec.m, 256);
+  EXPECT_EQ(spec.n, 4096);
+  EXPECT_EQ(spec.k, 14336);
+  EXPECT_DOUBLE_EQ(spec.b_bytes_per_elem, 0.5);
+}
+
+TEST(MatmulSpecTest, NpuSpecAppliesPermutation) {
+  // [M,N]x[N,K] -> ([K,N]x[N,M])ᵀ: the weight streams (first operand), the
+  // activation block is stationary.
+  MatmulShape shape{256, 4096, 14336, hal::Precision::kFp16, 0.5};
+  hal::MatmulSpec spec = NpuMatmulSpec(shape);
+  EXPECT_EQ(spec.m, 14336);
+  EXPECT_EQ(spec.n, 4096);
+  EXPECT_EQ(spec.k, 256);
+  EXPECT_DOUBLE_EQ(spec.a_bytes_per_elem, 0.5);  // weight streams
+  EXPECT_DOUBLE_EQ(spec.b_bytes_per_elem, 2.0);  // activation stationary
+}
+
+TEST(MatmulSpecTest, PermutationPreservesFlops) {
+  MatmulShape shape{300, 1024, 2048, hal::Precision::kFp16, 0.5};
+  EXPECT_DOUBLE_EQ(GpuMatmulSpec(shape).flops(), NpuMatmulSpec(shape).flops());
+}
+
+TEST(MatmulPlanTest, ToStringIsInformative) {
+  MatmulPlan plan;
+  plan.kind = PartitionKind::kRowCut;
+  plan.npu_out_features = 8192;
+  EXPECT_NE(plan.ToString().find("row-cut"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("8192"), std::string::npos);
+}
+
+TEST(MatmulPlanTest, KindNames) {
+  EXPECT_STREQ(PartitionKindName(PartitionKind::kNone), "none");
+  EXPECT_STREQ(PartitionKindName(PartitionKind::kSeqCut), "seq-cut");
+  EXPECT_STREQ(PartitionKindName(PartitionKind::kHybridCut), "hybrid-cut");
+}
+
+}  // namespace
+}  // namespace heterollm::core

@@ -1,0 +1,88 @@
+#include "src/core/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::core {
+namespace {
+
+MatmulShape FfnUp(int64_t m) {
+  return {m, 4096, 14336, hal::Precision::kFp16, 0.5};
+}
+MatmulShape FfnDown(int64_t m) {
+  return {m, 14336, 4096, hal::Precision::kFp16, 0.5};
+}
+
+TEST(ProfilerTest, RealExecutionMatchesDeviceModel) {
+  Platform plat;
+  HardwareProfiler prof(&plat, ProfilerMode::kRealExecution);
+  const MatmulShape shape = FfnUp(256);
+  hal::NpuDevice& npu = plat.npu();
+  const MicroSeconds expected =
+      npu.IsolatedTime(npu.CostMatmul(NpuMatmulSpec(shape)));
+  EXPECT_DOUBLE_EQ(prof.MatmulTime(hal::Backend::kNpu, shape), expected);
+}
+
+TEST(ProfilerTest, NpuBeatsGpuOnGoodShapes) {
+  Platform plat;
+  HardwareProfiler prof(&plat);
+  const MatmulShape shape = FfnUp(256);
+  EXPECT_LT(prof.MatmulTime(hal::Backend::kNpu, shape),
+            prof.MatmulTime(hal::Backend::kGpu, shape) / 5.0);
+}
+
+TEST(ProfilerTest, FfnDownIsTheWeakSpot) {
+  Platform plat;
+  HardwareProfiler prof(&plat);
+  const double up_ratio =
+      prof.MatmulTime(hal::Backend::kGpu, FfnUp(256)) /
+      prof.MatmulTime(hal::Backend::kNpu, FfnUp(256));
+  const double down_ratio =
+      prof.MatmulTime(hal::Backend::kGpu, FfnDown(256)) /
+      prof.MatmulTime(hal::Backend::kNpu, FfnDown(256));
+  EXPECT_GT(up_ratio, 5.0);    // NPU far ahead on FFN-up
+  EXPECT_LT(down_ratio, 2.0);  // nearly tied on FFN-down (paper: 0.5–1.5x)
+  EXPECT_GT(down_ratio, 0.4);
+}
+
+TEST(ProfilerTest, PredictionModeTrainsLazily) {
+  Platform plat;
+  HardwareProfiler prof(&plat, ProfilerMode::kPrediction);
+  EXPECT_FALSE(prof.trained());
+  prof.MatmulTime(hal::Backend::kNpu, FfnUp(256));
+  EXPECT_TRUE(prof.trained());
+}
+
+TEST(ProfilerTest, PredictionErrorTolerable) {
+  // §4.3: "minor inaccuracies in performance results ... are tolerable".
+  Platform plat;
+  HardwareProfiler prof(&plat, ProfilerMode::kPrediction);
+  prof.TrainPredictors();
+  // On-grid shapes should be close; off-grid within a factor acceptable to
+  // the solver.
+  EXPECT_LT(prof.PredictionError(hal::Backend::kNpu, FfnUp(256)), 0.25);
+  EXPECT_LT(prof.PredictionError(hal::Backend::kNpu, FfnDown(512)), 0.25);
+  EXPECT_LT(prof.PredictionError(hal::Backend::kNpu, FfnUp(300)), 0.6);
+}
+
+TEST(ProfilerTest, GpuPredictionUsesFixedRate) {
+  Platform plat;
+  HardwareProfiler prof(&plat, ProfilerMode::kPrediction);
+  // Large compute-bound shape: prediction ~= flops / fixed rate.
+  const MatmulShape shape{2048, 4096, 4096, hal::Precision::kFp16, 0.5};
+  const double flops = 2.0 * 2048 * 4096 * 4096;
+  const double expected = flops / (1.0e6);  // 1 TFLOPS effective
+  const double predicted = prof.MatmulTime(hal::Backend::kGpu, shape);
+  EXPECT_NEAR(predicted / expected, 1.0, 0.05);
+}
+
+TEST(ProfilerTest, PredictionMonotoneInSequenceLength) {
+  Platform plat;
+  HardwareProfiler prof(&plat, ProfilerMode::kPrediction);
+  prof.TrainPredictors();
+  const double t256 = prof.MatmulTime(hal::Backend::kNpu, FfnUp(256));
+  const double t1024 = prof.MatmulTime(hal::Backend::kNpu, FfnUp(1024));
+  EXPECT_GT(t1024, t256 * 2);
+}
+
+}  // namespace
+}  // namespace heterollm::core

@@ -1,0 +1,220 @@
+#include "src/core/solver.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace heterollm::core {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  SolverTest() : prof_(&plat_), solver_(&prof_, &plat_) {}
+
+  static MatmulShape Shape(int64_t m, int64_t n, int64_t k) {
+    return {m, n, k, hal::Precision::kFp16, 0.5};
+  }
+
+  Platform plat_;
+  HardwareProfiler prof_;
+  PartitionSolver solver_;
+};
+
+TEST_F(SolverTest, WellShapedAlignedMatmulIsNpuDominant) {
+  // FFN-up at a standard size is the NPU's home turf (~10x the GPU): the
+  // solver either keeps it NPU-only or gives the GPU only a small slice.
+  const MatmulShape shape = Shape(256, 4096, 14336);
+  PartitionDecision d = solver_.DecidePrefill(shape);
+  if (d.plan.kind == PartitionKind::kNone) {
+    EXPECT_EQ(d.plan.sole_backend, hal::Backend::kNpu);
+  } else if (d.plan.kind == PartitionKind::kRowCut) {
+    EXPECT_GE(static_cast<double>(d.plan.npu_out_features) / shape.k, 0.75);
+  } else {
+    ASSERT_EQ(d.plan.kind, PartitionKind::kSeqCut);
+    int64_t npu_rows = 0;
+    for (int64_t s : d.plan.npu_seq_segments) {
+      npu_rows += s;
+    }
+    EXPECT_GE(static_cast<double>(npu_rows) / shape.m, 0.75);
+  }
+  // And never meaningfully slower than pure NPU execution.
+  EXPECT_LE(d.est_total, prof_.MatmulTime(hal::Backend::kNpu, shape) * 1.05 +
+                             solver_.config().t_sync +
+                             solver_.config().t_copy);
+}
+
+TEST_F(SolverTest, FfnDownGetsPartitioned) {
+  // The NPU's weak shape: the solver must recruit the GPU — via row-cutting
+  // or sequence-cutting — and beat both single-backend options (§4.1.1).
+  const MatmulShape shape = Shape(256, 14336, 4096);
+  PartitionDecision d = solver_.DecidePrefill(shape);
+  ASSERT_NE(d.plan.kind, PartitionKind::kNone);
+  EXPECT_GT(d.est_gpu, 0);
+  EXPECT_GT(d.est_npu, 0);
+  if (d.plan.kind == PartitionKind::kRowCut ||
+      d.plan.kind == PartitionKind::kHybridCut) {
+    EXPECT_GT(d.plan.npu_out_features, 0);
+    EXPECT_LT(d.plan.npu_out_features, 4096);
+    EXPECT_EQ(d.plan.npu_out_features % 256, 0);  // paper's 256 alignment
+  }
+}
+
+TEST_F(SolverTest, RowCutBeatsBothSingles) {
+  const MatmulShape shape = Shape(256, 14336, 4096);
+  PartitionDecision d = solver_.DecidePrefill(shape);
+  const MicroSeconds npu_only =
+      prof_.MatmulTime(hal::Backend::kNpu, shape) + solver_.config().t_sync +
+      solver_.config().t_copy;
+  const MicroSeconds gpu_only = prof_.MatmulTime(hal::Backend::kGpu, shape);
+  EXPECT_LT(d.est_total, npu_only);
+  EXPECT_LT(d.est_total, gpu_only);
+}
+
+TEST_F(SolverTest, PartitionBalancesBackends) {
+  PartitionDecision d = solver_.DecidePrefill(Shape(256, 14336, 4096));
+  ASSERT_NE(d.plan.kind, PartitionKind::kNone);
+  // An ideal partition finishes both sides nearly simultaneously (§4.1.1).
+  const double imbalance = std::abs(d.est_gpu - d.est_npu) /
+                           std::max(d.est_gpu, d.est_npu);
+  EXPECT_LT(imbalance, 0.35);
+}
+
+TEST_F(SolverTest, MisalignedLengthUsesGpuForMargin) {
+  // Sequence 300 = 256 + 44: the margin goes to the GPU (sequence cutting)
+  // or a hybrid plan — never Online-style exact NPU shapes.
+  PartitionDecision d = solver_.DecidePrefill(Shape(300, 4096, 14336));
+  EXPECT_NE(d.plan.kind, PartitionKind::kNone);
+  if (d.plan.kind == PartitionKind::kSeqCut) {
+    int64_t npu_rows = 0;
+    for (int64_t s : d.plan.npu_seq_segments) {
+      npu_rows += s;
+    }
+    EXPECT_LT(npu_rows, 300);  // some rows on the GPU
+  }
+}
+
+TEST_F(SolverTest, MisalignedBeatsPurePadding) {
+  const MatmulShape shape = Shape(300, 4096, 14336);
+  PartitionDecision d = solver_.DecidePrefill(shape);
+  MatmulShape padded = shape;
+  padded.m = 512;
+  const MicroSeconds padding_time =
+      prof_.MatmulTime(hal::Backend::kNpu, padded) + solver_.config().t_sync +
+      solver_.config().t_copy;
+  EXPECT_LE(d.est_total, padding_time);
+}
+
+TEST_F(SolverTest, TinyMatmulPrefersGpuOnly) {
+  // A small op: NPU sync overhead cannot amortize.
+  PartitionDecision d = solver_.DecidePrefill(Shape(8, 64, 64));
+  EXPECT_EQ(d.plan.kind, PartitionKind::kNone);
+  EXPECT_EQ(d.plan.sole_backend, hal::Backend::kGpu);
+}
+
+TEST_F(SolverTest, DecodeBigWeightGetsRowCut) {
+  // Decoding is bandwidth-bound: splitting a big weight across both
+  // processors uses the whole SoC bandwidth (§4.1.2).
+  PartitionDecision d = solver_.DecideDecode(Shape(1, 4096, 14336));
+  EXPECT_EQ(d.plan.kind, PartitionKind::kRowCut);
+  EXPECT_EQ(d.plan.npu_out_features % 256, 0);
+}
+
+TEST_F(SolverTest, DecodeRowCutBeatsGpuOnly) {
+  const MatmulShape shape = Shape(1, 4096, 14336);
+  PartitionDecision d = solver_.DecideDecode(shape);
+  const MicroSeconds gpu_only = prof_.MatmulTime(hal::Backend::kGpu, shape);
+  EXPECT_LT(d.est_total, gpu_only);
+}
+
+TEST_F(SolverTest, DecodeSplitRoughlyHalvesBytes) {
+  // Both processors reach a similar bandwidth share, so the split should be
+  // near the middle (±25%).
+  PartitionDecision d = solver_.DecideDecode(Shape(1, 4096, 14336));
+  ASSERT_EQ(d.plan.kind, PartitionKind::kRowCut);
+  const double frac =
+      static_cast<double>(d.plan.npu_out_features) / 14336.0;
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST_F(SolverTest, DecodeTinyWeightStaysSingle) {
+  PartitionDecision d = solver_.DecideDecode(Shape(1, 64, 128));
+  EXPECT_EQ(d.plan.kind, PartitionKind::kNone);
+}
+
+TEST_F(SolverTest, ExpensiveSyncSuppressesPartitioning) {
+  // With 400 µs baseline sync the solver should stop partitioning small ops
+  // that it would otherwise split.
+  SolverConfig cfg;
+  cfg.t_sync = 400.0;
+  PartitionSolver slow_solver(&prof_, &plat_, cfg);
+  PartitionDecision fast_d = solver_.DecideDecode(Shape(1, 2048, 8192));
+  PartitionDecision slow_d = slow_solver.DecideDecode(Shape(1, 2048, 8192));
+  EXPECT_EQ(fast_d.plan.kind, PartitionKind::kRowCut);
+  EXPECT_EQ(slow_d.plan.kind, PartitionKind::kNone);
+}
+
+TEST_F(SolverTest, ObjectiveNeverWorseThanGpuOnly) {
+  // T_total = min(..., T_gpu_all, ...) — property over a shape sweep.
+  for (int64_t m : {16, 64, 137, 256, 300, 777, 1024}) {
+    for (auto [n, k] : std::vector<std::pair<int64_t, int64_t>>{
+             {4096, 4096}, {4096, 14336}, {14336, 4096}, {2048, 8192}}) {
+      const MatmulShape shape = Shape(m, n, k);
+      PartitionDecision d = solver_.DecidePrefill(shape);
+      EXPECT_LE(d.est_total,
+                prof_.MatmulTime(hal::Backend::kGpu, shape) + 1e-6)
+          << "m=" << m << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_F(SolverTest, PowerBudgetSuppressesParallelism) {
+  // §4 premise: mobile systems cannot burn every processor at once. A
+  // budget below GPU+NPU combined active power forbids dual-backend plans.
+  SolverConfig cfg;
+  cfg.max_parallel_power_watts = 3.0;  // < gpu (4.3) and < gpu+npu
+  PartitionSolver budgeted(&prof_, &plat_, cfg);
+  const MatmulShape ffn_down = Shape(256, 14336, 4096);
+  PartitionDecision free_d = solver_.DecidePrefill(ffn_down);
+  PartitionDecision tight_d = budgeted.DecidePrefill(ffn_down);
+  EXPECT_NE(free_d.plan.kind, PartitionKind::kNone);  // normally split
+  EXPECT_EQ(tight_d.plan.kind, PartitionKind::kNone);
+  EXPECT_EQ(tight_d.plan.sole_backend, hal::Backend::kNpu);  // 1.9 W fits
+  // The constraint costs time, as the paper's framing implies.
+  EXPECT_GE(tight_d.est_total, free_d.est_total);
+}
+
+TEST_F(SolverTest, PowerBudgetAllowsGpuWhenItFits) {
+  SolverConfig cfg;
+  cfg.max_parallel_power_watts = 5.0;  // GPU alone fits, GPU+NPU does not
+  PartitionSolver budgeted(&prof_, &plat_, cfg);
+  PartitionDecision d = budgeted.DecideDecode(Shape(1, 4096, 14336));
+  EXPECT_EQ(d.plan.kind, PartitionKind::kNone);  // no dual-backend row cut
+}
+
+TEST_F(SolverTest, ImpossibleBudgetFallsBackToNpu) {
+  SolverConfig cfg;
+  cfg.max_parallel_power_watts = 0.5;  // below every processor's draw
+  PartitionSolver budgeted(&prof_, &plat_, cfg);
+  PartitionDecision d = budgeted.DecidePrefill(Shape(256, 4096, 4096));
+  EXPECT_EQ(d.plan.kind, PartitionKind::kNone);
+  EXPECT_EQ(d.plan.sole_backend, hal::Backend::kNpu);
+  EXPECT_TRUE(std::isfinite(d.est_total));
+}
+
+TEST_F(SolverTest, PredictionModeAgreesOnStructure) {
+  // The solver should make the same qualitative choices with predicted
+  // latencies (that is the point of prediction mode).
+  HardwareProfiler pred_prof(&plat_, ProfilerMode::kPrediction);
+  pred_prof.TrainPredictors();
+  PartitionSolver pred_solver(&pred_prof, &plat_);
+  PartitionDecision real_d = solver_.DecidePrefill(Shape(256, 14336, 4096));
+  PartitionDecision pred_d =
+      pred_solver.DecidePrefill(Shape(256, 14336, 4096));
+  // Both profilers must lead to a heterogeneous split for the weak shape.
+  EXPECT_NE(real_d.plan.kind, PartitionKind::kNone);
+  EXPECT_NE(pred_d.plan.kind, PartitionKind::kNone);
+}
+
+}  // namespace
+}  // namespace heterollm::core

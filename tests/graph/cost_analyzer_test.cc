@@ -1,0 +1,102 @@
+#include "src/graph/cost_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine_registry.h"
+#include "src/graph/builder.h"
+#include "src/graph/passes.h"
+
+namespace heterollm::graph {
+namespace {
+
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+
+class CostAnalyzerTest : public ::testing::Test {
+ protected:
+  CostAnalyzerTest()
+      : profiler_(&platform_), solver_(&profiler_, &platform_),
+        analyzer_(&platform_, &solver_, &profiler_) {}
+
+  GraphCost AnalyzeModel(const ModelConfig& cfg, int64_t seq, bool decode) {
+    Graph g = BuildModelGraph(cfg);
+    HCHECK(InferShapes(&g, cfg, seq).ok());
+    return analyzer_.Analyze(g, decode);
+  }
+
+  core::Platform platform_;
+  core::HardwareProfiler profiler_;
+  core::PartitionSolver solver_;
+  CostAnalyzer analyzer_;
+};
+
+TEST_F(CostAnalyzerTest, HeterogeneousBeatsGpuOnly) {
+  GraphCost cost = AnalyzeModel(ModelConfig::Llama8B(), 256, /*decode=*/false);
+  EXPECT_LT(cost.total_chosen, cost.total_gpu_only / 3);
+}
+
+TEST_F(CostAnalyzerTest, FfnDownIsPartitioned) {
+  GraphCost cost = AnalyzeModel(ModelConfig::Llama8B(), 256, false);
+  bool found_down = false;
+  for (const NodeCost& nc : cost.nodes) {
+    if (nc.name.find("down_proj") != std::string::npos) {
+      found_down = true;
+      EXPECT_EQ(nc.chosen_plan.find("none"), std::string::npos) << nc.name;
+      EXPECT_LT(nc.chosen, nc.npu_only);
+      EXPECT_LT(nc.chosen, nc.gpu_only);
+    }
+  }
+  EXPECT_TRUE(found_down);
+}
+
+TEST_F(CostAnalyzerTest, StaticEstimateTracksEngineLatency) {
+  // The static sum (which ignores overlap and sync detail) should land in
+  // the same ballpark as the actual simulated engine run.
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  GraphCost cost = AnalyzeModel(cfg, 256, false);
+
+  ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  core::Platform plat;
+  auto engine = core::CreateEngine("Hetero-tensor", &plat, &w);
+  const MicroSeconds engine_latency = engine->Generate(256, 0).ttft();
+
+  // The graph computes LM-head logits over all rows; the engine only over
+  // the last. Subtract that known difference before comparing.
+  MicroSeconds lm_head_cost = 0;
+  for (const NodeCost& nc : cost.nodes) {
+    if (nc.name == "lm_head") {
+      lm_head_cost = nc.chosen;
+    }
+  }
+  const MicroSeconds static_estimate = cost.total_chosen - lm_head_cost;
+  EXPECT_GT(static_estimate / engine_latency, 0.5);
+  EXPECT_LT(static_estimate / engine_latency, 1.5);
+}
+
+TEST_F(CostAnalyzerTest, DecodeModeUsesDecodePolicy) {
+  GraphCost cost = AnalyzeModel(ModelConfig::Llama8B(), 1, /*decode=*/true);
+  // In decode the big weights get bandwidth row-cuts; small ones stay GPU.
+  bool saw_row_cut = false;
+  bool saw_gpu_only = false;
+  for (const NodeCost& nc : cost.nodes) {
+    if (nc.chosen_plan.find("row-cut") != std::string::npos) {
+      saw_row_cut = true;
+    }
+    if (nc.chosen_plan.find("none(gpu)") != std::string::npos) {
+      saw_gpu_only = true;
+    }
+  }
+  EXPECT_TRUE(saw_row_cut);
+  EXPECT_TRUE(saw_gpu_only);
+}
+
+TEST_F(CostAnalyzerTest, RenderListsTotalsAndPlans) {
+  GraphCost cost = AnalyzeModel(ModelConfig::InternLM1_8B(), 256, false);
+  const std::string text = cost.Render(5);
+  EXPECT_NE(text.find("totals:"), std::string::npos);
+  EXPECT_NE(text.find("speedup"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heterollm::graph

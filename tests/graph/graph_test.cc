@@ -1,0 +1,129 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+
+namespace heterollm::graph {
+namespace {
+
+using model::ModelConfig;
+
+TEST(GraphTest, AddAndQuery) {
+  Graph g;
+  NodeId a = g.Add(OpType::kInput, "in", {});
+  NodeId b = g.Add(OpType::kSilu, "act", {a});
+  NodeId out = g.Add(OpType::kOutput, "out", {b});
+  g.MarkOutput(out);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.node(b).inputs[0], a);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, ValidateCatchesArityErrors) {
+  Graph g;
+  NodeId a = g.Add(OpType::kInput, "in", {});
+  NodeId bad = g.Add(OpType::kAdd, "bad_add", {a});  // Add needs 2 inputs
+  g.MarkOutput(bad);
+  Status s = g.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad_add"), std::string::npos);
+}
+
+TEST(GraphTest, ValidateRequiresOutputs) {
+  Graph g;
+  g.Add(OpType::kInput, "in", {});
+  EXPECT_EQ(g.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphTest, ValidateCatchesEmptySlice) {
+  Graph g;
+  NodeId a = g.Add(OpType::kInput, "in", {});
+  NodeAttrs attrs;
+  attrs.begin = 5;
+  attrs.end = 5;
+  NodeId s = g.Add(OpType::kSliceCols, "slice", {a}, attrs);
+  g.MarkOutput(s);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphTest, LiveNodesExcludeUnreachable) {
+  Graph g;
+  NodeId a = g.Add(OpType::kInput, "in", {});
+  g.Add(OpType::kSilu, "dead", {a});
+  NodeId live = g.Add(OpType::kSilu, "live", {a});
+  NodeId out = g.Add(OpType::kOutput, "out", {live});
+  g.MarkOutput(out);
+  const std::vector<NodeId> order = g.LiveNodesInOrder();
+  EXPECT_EQ(order.size(), 3u);
+  for (NodeId id : order) {
+    EXPECT_NE(g.node(id).name, "dead");
+  }
+}
+
+TEST(GraphTest, LiveNodesAreTopological) {
+  Graph g = BuildModelGraph(ModelConfig::Tiny());
+  std::vector<int> position(static_cast<size_t>(g.node_count()), -1);
+  const std::vector<NodeId> order = g.LiveNodesInOrder();
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId id : order) {
+    for (NodeId in : g.node(id).inputs) {
+      EXPECT_LT(position[static_cast<size_t>(in)],
+                position[static_cast<size_t>(id)]);
+    }
+  }
+}
+
+TEST(BuilderTest, ModelGraphValidatesAndCounts) {
+  const ModelConfig cfg = ModelConfig::Tiny();  // 2 layers
+  Graph g = BuildModelGraph(cfg);
+  ASSERT_TRUE(g.Validate().ok());
+  // Per layer: q,k,v,o,gate,up,down = 7 matmuls; plus the LM head.
+  EXPECT_EQ(g.CountLive(OpType::kMatmul), 7 * cfg.num_layers + 1);
+  EXPECT_EQ(g.CountLive(OpType::kAttention), cfg.num_layers);
+  EXPECT_EQ(g.CountLive(OpType::kRmsNorm), 2 * cfg.num_layers + 1);
+  EXPECT_EQ(g.CountLive(OpType::kSilu), cfg.num_layers);
+}
+
+TEST(BuilderTest, ShapeInferenceFillsShapes) {
+  const ModelConfig cfg = ModelConfig::Tiny();
+  Graph g = BuildModelGraph(cfg);
+  ASSERT_TRUE(InferShapes(&g, cfg, /*seq_len=*/8).ok());
+  // The two outputs: hidden [8, hidden] and logits [8, vocab].
+  EXPECT_EQ(g.node(g.outputs()[0]).shape,
+            tensor::Shape({8, cfg.hidden}));
+  EXPECT_EQ(g.node(g.outputs()[1]).shape,
+            tensor::Shape({8, cfg.vocab}));
+}
+
+TEST(BuilderTest, ShapeInferenceCatchesMismatch) {
+  const ModelConfig cfg = ModelConfig::Tiny();
+  Graph g;
+  NodeId x = g.Add(OpType::kInput, "in", {});
+  NodeAttrs wrong;
+  wrong.weight_ref = WeightRef(0, WeightSite::kWDown);  // [inter, hidden]
+  NodeId w = g.Add(OpType::kWeight, "w", {}, wrong);
+  NodeId mm = g.Add(OpType::kMatmul, "bad_mm", {x, w});
+  g.MarkOutput(g.Add(OpType::kOutput, "out", {mm}));
+  // Input is [*, hidden] but the weight expects [*, intermediate] rows.
+  EXPECT_FALSE(InferShapes(&g, cfg, 4).ok());
+}
+
+TEST(BuilderTest, WeightRefRoundTrip) {
+  const int64_t ref = WeightRef(17, WeightSite::kWDown);
+  EXPECT_EQ(WeightRefLayer(ref), 17);
+  EXPECT_EQ(WeightRefSite(ref), WeightSite::kWDown);
+}
+
+TEST(GraphTest, DotExportMentionsOps) {
+  Graph g = BuildModelGraph(ModelConfig::Tiny());
+  const std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("attention"), std::string::npos);
+  EXPECT_NE(dot.find("L1.down_proj"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heterollm::graph

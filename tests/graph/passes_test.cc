@@ -1,0 +1,134 @@
+// Optimization-pass tests: structure changes as expected and semantics are
+// preserved (interpreter outputs identical before/after).
+
+#include "src/graph/passes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/interpreter.h"
+
+namespace heterollm::graph {
+namespace {
+
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+using tensor::Shape;
+using tensor::Tensor;
+
+class PassesTest : public ::testing::Test {
+ protected:
+  PassesTest()
+      : cfg_(ModelConfig::Tiny()),
+        weights_(ModelWeights::Create(cfg_, ExecutionMode::kCompute, 11)) {}
+
+  Graph BuildInferred(int64_t seq) {
+    Graph g = BuildModelGraph(cfg_);
+    HCHECK(InferShapes(&g, cfg_, seq).ok());
+    return g;
+  }
+
+  ModelConfig cfg_;
+  ModelWeights weights_;
+};
+
+TEST_F(PassesTest, DeadNodeEliminationRemovesUnreachable) {
+  Graph g;
+  NodeId a = g.Add(OpType::kInput, "in", {});
+  g.Add(OpType::kSilu, "dead1", {a});
+  NodeId live = g.Add(OpType::kSilu, "live", {a});
+  g.Add(OpType::kSilu, "dead2", {a});
+  g.MarkOutput(g.Add(OpType::kOutput, "out", {live}));
+  PassResult r = EliminateDeadNodes(g);
+  EXPECT_EQ(r.rewrites, 2);
+  EXPECT_EQ(r.graph.node_count(), 3);
+  EXPECT_TRUE(r.graph.Validate().ok());
+}
+
+TEST_F(PassesTest, FuseSiluMulRewritesEachLayer) {
+  Graph g = BuildInferred(8);
+  PassResult r = FuseSiluMul(g);
+  EXPECT_EQ(r.rewrites, cfg_.num_layers);
+  EXPECT_EQ(r.graph.CountLive(OpType::kSwiGlu), cfg_.num_layers);
+  EXPECT_EQ(r.graph.CountLive(OpType::kSilu), 0);  // all dead after fusion
+  EXPECT_EQ(r.graph.CountLive(OpType::kMul), 0);
+}
+
+TEST_F(PassesTest, FuseQkvCreatesFusedMatmulAndSlices) {
+  Graph g = BuildInferred(8);
+  PassResult r = FuseQkv(g);
+  EXPECT_EQ(r.rewrites, cfg_.num_layers);
+  // Per layer: q/k/v merged into 1 matmul + 3 slices; o/gate/up/down stay.
+  EXPECT_EQ(r.graph.CountLive(OpType::kMatmul),
+            (1 + 4) * cfg_.num_layers + 1);
+  EXPECT_EQ(r.graph.CountLive(OpType::kSliceCols), 3 * cfg_.num_layers);
+  EXPECT_EQ(r.graph.CountLive(OpType::kConcatCols), cfg_.num_layers);
+  EXPECT_TRUE(r.graph.Validate().ok());
+}
+
+TEST_F(PassesTest, FusionPreservesSemantics) {
+  Graph g = BuildInferred(9);
+  Rng rng(31);
+  Tensor input = Tensor::Random(Shape({9, cfg_.hidden}), rng, 0.1f);
+
+  GraphInterpreter base_interp(&weights_);
+  auto base = base_interp.Run(g, input);
+  ASSERT_TRUE(base.ok());
+
+  PassResult optimized = OptimizeGraph(g);
+  EXPECT_GT(optimized.rewrites, 0);
+  GraphInterpreter opt_interp(&weights_);
+  auto opt = opt_interp.Run(optimized.graph, input);
+  ASSERT_TRUE(opt.ok());
+
+  ASSERT_EQ(base->size(), opt->size());
+  for (size_t i = 0; i < base->size(); ++i) {
+    EXPECT_LT(Tensor::MaxAbsDiff((*base)[i], (*opt)[i]), 1e-4f) << i;
+  }
+}
+
+TEST_F(PassesTest, OptimizedGraphHasFewerKernelLaunches) {
+  // Fusion trades matmul/elementwise launches for cheap slices: the
+  // expensive-op count drops even though slice bookkeeping nodes appear.
+  Graph g = BuildInferred(8);
+  PassResult r = OptimizeGraph(g);
+  EXPECT_LT(r.graph.CountLive(OpType::kMatmul),
+            g.CountLive(OpType::kMatmul));
+  const int heavy_before = g.CountLive(OpType::kSilu) +
+                           g.CountLive(OpType::kMul) +
+                           g.CountLive(OpType::kMatmul);
+  const int heavy_after = r.graph.CountLive(OpType::kSwiGlu) +
+                          r.graph.CountLive(OpType::kMatmul);
+  EXPECT_LT(heavy_after, heavy_before);
+}
+
+TEST_F(PassesTest, PassesAreIdempotent) {
+  Graph g = BuildInferred(8);
+  PassResult once = OptimizeGraph(g);
+  // Re-inference then re-optimization must change nothing further.
+  ASSERT_TRUE(InferShapes(&once.graph, cfg_, 8).ok());
+  PassResult twice = OptimizeGraph(once.graph);
+  EXPECT_EQ(twice.rewrites, 0);
+  EXPECT_EQ(twice.graph.node_count(), once.graph.node_count());
+}
+
+TEST_F(PassesTest, FuseSiluMulKeepsSiluWithOtherConsumers) {
+  // silu feeding both a mul and a separate output stays alive; the mul is
+  // still fused.
+  Graph g;
+  NodeId x = g.Add(OpType::kInput, "in", {});
+  NodeId y = g.Add(OpType::kSilu, "pre", {x});
+  NodeId act = g.Add(OpType::kSilu, "silu", {x});
+  NodeId mul = g.Add(OpType::kMul, "mul", {act, y});
+  g.MarkOutput(g.Add(OpType::kOutput, "out_mul", {mul}));
+  g.MarkOutput(g.Add(OpType::kOutput, "out_silu", {act}));
+  PassResult r = FuseSiluMul(g);
+  EXPECT_EQ(r.rewrites, 1);
+  EXPECT_TRUE(r.graph.Validate().ok());
+  EXPECT_EQ(r.graph.CountLive(OpType::kSilu), 2);   // "pre" and kept "silu"
+  EXPECT_EQ(r.graph.CountLive(OpType::kSwiGlu), 1);
+}
+
+}  // namespace
+}  // namespace heterollm::graph

@@ -1,0 +1,204 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/hal/cpu_device.h"
+#include "src/hal/gpu_device.h"
+#include "src/hal/npu_device.h"
+
+namespace heterollm::hal {
+namespace {
+
+sim::MemoryConfig DefaultMem() { return sim::MemoryConfig{}; }
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest()
+      : soc_(DefaultMem()),
+        gpu_("gpu", &soc_, GpuConfig{}),
+        npu_("npu", &soc_, NpuConfig{}),
+        cpu_("cpu", &soc_, CpuConfig{}) {}
+
+  static MatmulSpec Spec(int64_t m, int64_t n, int64_t k,
+                         double b_bytes = 2.0) {
+    MatmulSpec s;
+    s.m = m;
+    s.n = n;
+    s.k = k;
+    s.b_bytes_per_elem = b_bytes;
+    return s;
+  }
+
+  sim::SocSimulator soc_;
+  GpuDevice gpu_;
+  NpuDevice npu_;
+  CpuDevice cpu_;
+};
+
+// --- GPU: Characteristic ① linear performance ------------------------------
+
+TEST_F(DeviceTest, GpuComputeTimeLinearInFlops) {
+  const MicroSeconds t1 = gpu_.CostMatmul(Spec(256, 1024, 1024)).compute_time;
+  const MicroSeconds t2 = gpu_.CostMatmul(Spec(512, 1024, 1024)).compute_time;
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST_F(DeviceTest, GpuSmallKernelIsMemoryOrLaunchBound) {
+  // Tiny matmul: flops negligible, isolated time dominated by overheads.
+  const sim::KernelDesc desc = gpu_.CostMatmul(Spec(8, 64, 64));
+  const MicroSeconds iso = gpu_.IsolatedTime(desc);
+  EXPECT_GT(iso, desc.compute_time * 5);
+}
+
+TEST_F(DeviceTest, GpuSaturatesAtEffectiveTflops) {
+  // Large compute-bound matmul achieves the configured effective rate.
+  const MatmulSpec spec = Spec(4096, 4096, 4096);
+  const sim::KernelDesc desc = gpu_.CostMatmul(spec);
+  const double tflops = ToTflops(spec.flops(), gpu_.IsolatedTime(desc));
+  EXPECT_NEAR(tflops, gpu_.config().effective_fp16_tflops, 0.05);
+}
+
+TEST_F(DeviceTest, GpuShapeIndifferenceAtEqualFlops) {
+  // Same FLOPs, transposed-order shapes: GPU time identical (unlike NPU).
+  const MicroSeconds a = gpu_.CostMatmul(Spec(14336, 4096, 64)).compute_time;
+  const MicroSeconds b = gpu_.CostMatmul(Spec(64, 4096, 14336)).compute_time;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+// --- GPU: Characteristic ② submission costs --------------------------------
+
+TEST_F(DeviceTest, GpuEmptyQueuePenalty) {
+  EXPECT_GE(gpu_.SubmitOverhead(/*queue_empty=*/true), 50.0);
+  EXPECT_LE(gpu_.SubmitOverhead(/*queue_empty=*/true), 100.0);
+  EXPECT_GE(gpu_.SubmitOverhead(/*queue_empty=*/false), 10.0);
+  EXPECT_LE(gpu_.SubmitOverhead(/*queue_empty=*/false), 20.0);
+}
+
+// --- NPU: Characteristic ① stage performance -------------------------------
+
+TEST_F(DeviceTest, NpuStageStaircase) {
+  // All sizes within one 32-tile share the same latency...
+  const MicroSeconds t33 = npu_.CostMatmul(Spec(33, 512, 512)).compute_time;
+  const MicroSeconds t64 = npu_.CostMatmul(Spec(64, 512, 512)).compute_time;
+  EXPECT_DOUBLE_EQ(t33, t64);
+  // ...and the next tile is a step up.
+  const MicroSeconds t65 = npu_.CostMatmul(Spec(65, 512, 512)).compute_time;
+  EXPECT_GT(t65, t64 * 1.3);
+}
+
+TEST_F(DeviceTest, NpuPaddingWastesComputeOnOddShapes) {
+  // 33 rows pad to 64: nearly half the array is idle.
+  const MicroSeconds aligned = npu_.CostMatmul(Spec(64, 512, 512)).compute_time;
+  const MicroSeconds odd = npu_.CostMatmul(Spec(33, 512, 512)).compute_time;
+  EXPECT_DOUBLE_EQ(aligned, odd);
+}
+
+// --- NPU: Characteristic ② order sensitivity -------------------------------
+
+TEST_F(DeviceTest, NpuOrderSensitivityAboutSixFold) {
+  // Paper Fig. 5: [14336,4096]x[4096,K] is ~6x faster than
+  // [K,4096]x[4096,14336] (same FLOPs, reversed order).
+  const int64_t kK = 1024;
+  const MicroSeconds fwd =
+      npu_.IsolatedTime(npu_.CostMatmul(Spec(14336, 4096, kK)));
+  const MicroSeconds rev =
+      npu_.IsolatedTime(npu_.CostMatmul(Spec(kK, 4096, 14336)));
+  EXPECT_GE(rev / fwd, 4.0);
+  EXPECT_LE(rev / fwd, 9.0);
+}
+
+TEST_F(DeviceTest, NpuHugeStationaryOperandStreamsFromDram) {
+  // Stationary operand far beyond SRAM turns the kernel bandwidth-bound.
+  const sim::KernelDesc desc = npu_.CostMatmul(Spec(64, 4096, 14336));
+  // Weight bytes ~117 MB dominate the traffic.
+  EXPECT_GT(desc.memory_bytes, 100e6);
+}
+
+// --- NPU: Characteristic ③ shape sensitivity -------------------------------
+
+TEST_F(DeviceTest, NpuShapePenaltyWhenRowsBelowReduction) {
+  EXPECT_DOUBLE_EQ(npu_.ShapeEfficiency(Spec(14336, 4096, 256)), 1.0);
+  const double down_eff = npu_.ShapeEfficiency(Spec(4096, 14336, 256));
+  EXPECT_LT(down_eff, 0.5);
+  EXPECT_GE(down_eff, npu_.config().shape_floor);
+}
+
+TEST_F(DeviceTest, NpuFfnDownLandsNearGpu) {
+  // Paper §4.1.1: on the FFN-down shape the NPU shows only 0.5–1.5x the
+  // GPU. Engine-permuted FFN-down for M=256: Wᵀ[4096,14336] x Xᵀ[14336,256].
+  const MatmulSpec npu_spec = Spec(4096, 14336, 256, /*b_bytes=*/2.0);
+  const MicroSeconds npu_t = npu_.IsolatedTime(npu_.CostMatmul(npu_spec));
+  const MatmulSpec gpu_spec = Spec(256, 14336, 4096, /*b_bytes=*/0.5);
+  const MicroSeconds gpu_t = gpu_.IsolatedTime(gpu_.CostMatmul(gpu_spec));
+  const double advantage = gpu_t / npu_t;
+  EXPECT_GE(advantage, 0.5);
+  EXPECT_LE(advantage, 1.8);
+}
+
+TEST_F(DeviceTest, NpuWellShapedMatmulAboutTenXGpu) {
+  // FFN-up permuted: Wᵀ[14336,4096] x Xᵀ[4096,256] — the NPU's home turf.
+  const MatmulSpec npu_spec = Spec(14336, 4096, 256, /*b_bytes=*/0.5);
+  const MicroSeconds npu_t = npu_.IsolatedTime(npu_.CostMatmul(npu_spec));
+  const MatmulSpec gpu_spec = Spec(256, 4096, 14336, /*b_bytes=*/0.5);
+  const MicroSeconds gpu_t = gpu_.IsolatedTime(gpu_.CostMatmul(gpu_spec));
+  EXPECT_GE(gpu_t / npu_t, 6.0);
+  EXPECT_LE(gpu_t / npu_t, 14.0);
+}
+
+// --- NPU: decode (GEMV) path ------------------------------------------------
+
+TEST_F(DeviceTest, NpuGemvPathIsBandwidthBound) {
+  // Decode-shaped matmul (stationary activation is a vector): the INT8
+  // pipeline keeps it memory-bound, as required for Fig. 6 parallelism.
+  MatmulSpec spec = Spec(4096, 14336, 1, /*b_bytes=*/2.0);
+  spec.a_bytes_per_elem = 0.5;  // streamed W4 weight
+  spec.precision = Precision::kInt8;
+  const sim::KernelDesc desc = npu_.CostMatmul(spec);
+  const double bw = npu_.config().bandwidth_gbps * 1e3;
+  EXPECT_LT(desc.compute_time, desc.memory_bytes / bw);
+}
+
+TEST_F(DeviceTest, NpuInt8FasterThanFp16) {
+  MatmulSpec spec = Spec(4096, 4096, 256);
+  spec.precision = Precision::kInt8;
+  const MicroSeconds int8 = npu_.CostMatmul(spec).compute_time;
+  spec.precision = Precision::kFp16;
+  const MicroSeconds fp16 = npu_.CostMatmul(spec).compute_time;
+  EXPECT_LT(int8, fp16);
+}
+
+// --- CPU --------------------------------------------------------------------
+
+TEST_F(DeviceTest, CpuIsFarSlowerThanNpuOnBigMatmuls) {
+  const MatmulSpec spec = Spec(14336, 4096, 256);
+  const MicroSeconds cpu_t = cpu_.IsolatedTime(cpu_.CostMatmul(spec));
+  const MicroSeconds npu_t = npu_.IsolatedTime(npu_.CostMatmul(spec));
+  EXPECT_GT(cpu_t / npu_t, 20.0);
+}
+
+TEST_F(DeviceTest, CpuSubmitIsCheap) {
+  EXPECT_LT(cpu_.SubmitOverhead(true), 2.0);
+}
+
+TEST_F(DeviceTest, BackendNames) {
+  EXPECT_STREQ(BackendName(Backend::kCpu), "cpu");
+  EXPECT_STREQ(BackendName(Backend::kGpu), "gpu");
+  EXPECT_STREQ(BackendName(Backend::kNpu), "npu");
+}
+
+TEST_F(DeviceTest, ElementwiseCostScalesWithElements) {
+  ElementwiseSpec small{1 << 10, 4.0, 4.0};
+  ElementwiseSpec big{1 << 20, 4.0, 4.0};
+  EXPECT_GT(gpu_.CostElementwise(big).compute_time,
+            gpu_.CostElementwise(small).compute_time * 500);
+}
+
+TEST_F(DeviceTest, AttentionCostGrowsWithCacheLength) {
+  AttentionSpec a{1, 128, 32, 8, 128};
+  AttentionSpec b{1, 1024, 32, 8, 128};
+  EXPECT_GT(gpu_.CostAttention(b).memory_bytes,
+            gpu_.CostAttention(a).memory_bytes * 6);
+}
+
+}  // namespace
+}  // namespace heterollm::hal

@@ -1,0 +1,88 @@
+#include "src/hal/npu_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/types.h"
+
+namespace heterollm::hal {
+namespace {
+
+TEST(NpuGraphCacheTest, PrepareInsertsAndCharges) {
+  NpuGraphCache cache;
+  NpuGraphKey key{256, 4096, 14336};
+  EXPECT_FALSE(cache.Contains(key));
+  const MicroSeconds cost = cache.Prepare(key);
+  EXPECT_GT(cost, 0);
+  EXPECT_TRUE(cache.Contains(key));
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(NpuGraphCacheTest, SecondPrepareIsFree) {
+  NpuGraphCache cache;
+  NpuGraphKey key{128, 1024, 1024};
+  cache.Prepare(key);
+  EXPECT_DOUBLE_EQ(cache.Prepare(key), 0.0);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(NpuGraphCacheTest, CostGrowsWithSequenceLength) {
+  NpuGraphCache cache;
+  const MicroSeconds small = cache.GenerationCost({135, 4096, 4096});
+  const MicroSeconds large = cache.GenerationCost({1000, 4096, 4096});
+  EXPECT_GT(large, small * 4);
+}
+
+TEST(NpuGraphCacheTest, CostPaddedToTileGrid) {
+  NpuGraphCache cache;
+  EXPECT_DOUBLE_EQ(cache.GenerationCost({33, 100, 100}),
+                   cache.GenerationCost({64, 100, 100}));
+}
+
+TEST(NpuGraphCacheTest, DistinctShapesAreDistinctGraphs) {
+  NpuGraphCache cache;
+  cache.Prepare({256, 4096, 4096});
+  EXPECT_FALSE(cache.Contains({256, 4096, 1024}));
+  EXPECT_FALSE(cache.Contains({512, 4096, 4096}));
+}
+
+TEST(NpuGraphCacheTest, ClearResets) {
+  NpuGraphCache cache;
+  cache.Prepare({64, 64, 64});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_DOUBLE_EQ(cache.total_generation_time(), 0.0);
+}
+
+// Calibration anchor (§5.2.2): Online-prepare's whole-model Llama-8B graph
+// set (4 QNN graph variants) costs ~408 ms at sequence length 135 and
+// ~2050 ms at 1000. Sum the per-op costs of one full model.
+TEST(NpuGraphCacheTest, FullModelGenerationCostMatchesPaper) {
+  NpuGraphCache cache;
+  auto model_cost = [&](int64_t m) {
+    MicroSeconds per_layer =
+        cache.GenerationCost({m, 4096, 4096}) +        // Q
+        2 * cache.GenerationCost({m, 4096, 1024}) +    // K, V
+        cache.GenerationCost({m, 4096, 4096}) +        // O
+        2 * cache.GenerationCost({m, 4096, 14336}) +   // gate, up
+        cache.GenerationCost({m, 14336, 4096});        // down
+    return per_layer * 32 + cache.GenerationCost({m, 4096, 128256});
+  };
+  const double ms135 = ToMillis(model_cost(135));
+  const double ms1000 = ToMillis(model_cost(1000));
+  EXPECT_GT(ms135, 280);
+  EXPECT_LT(ms135, 560);
+  EXPECT_GT(ms1000, 1500);
+  EXPECT_LT(ms1000, 2800);
+}
+
+TEST(NpuGraphCacheTest, OpInstancesAreDistinctGraphNodes) {
+  // The same shape in two layers is separate compilation work (a static
+  // graph covers the whole network).
+  NpuGraphCache cache;
+  cache.Prepare({256, 4096, 4096, /*op=*/0});
+  EXPECT_FALSE(cache.Contains({256, 4096, 4096, /*op=*/16}));
+  EXPECT_GT(cache.Prepare({256, 4096, 4096, /*op=*/16}), 0);
+}
+
+}  // namespace
+}  // namespace heterollm::hal

@@ -1,0 +1,98 @@
+#include "src/hal/unified_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::hal {
+namespace {
+
+TEST(UnifiedMemoryPoolTest, FirstAcquireMaps) {
+  UnifiedMemoryPool pool;
+  auto a = pool.Acquire(1024);
+  EXPECT_EQ(a.slot, 0);
+  EXPECT_DOUBLE_EQ(a.host_cost, 400.0);
+  EXPECT_EQ(pool.total_map_operations(), 1);
+}
+
+TEST(UnifiedMemoryPoolTest, ReuseIsFree) {
+  UnifiedMemoryPool pool;
+  auto a = pool.Acquire(1024);
+  pool.Release(a.slot);
+  auto b = pool.Acquire(512);
+  EXPECT_EQ(b.slot, a.slot);
+  EXPECT_DOUBLE_EQ(b.host_cost, 0.0);
+  EXPECT_EQ(pool.total_map_operations(), 1);
+}
+
+TEST(UnifiedMemoryPoolTest, TooSmallSlotIsNotReused) {
+  UnifiedMemoryPool pool;
+  auto a = pool.Acquire(1024);
+  pool.Release(a.slot);
+  auto b = pool.Acquire(2048);
+  EXPECT_NE(b.slot, a.slot);
+  EXPECT_EQ(pool.total_map_operations(), 2);
+}
+
+TEST(UnifiedMemoryPoolTest, BestFitPrefersSmallestSufficientSlot) {
+  UnifiedMemoryPool pool;
+  auto big = pool.Acquire(10000);
+  auto small = pool.Acquire(1000);
+  pool.Release(big.slot);
+  pool.Release(small.slot);
+  auto c = pool.Acquire(500);
+  EXPECT_EQ(c.slot, small.slot);
+}
+
+TEST(UnifiedMemoryPoolTest, SteadyStateReuseAcrossLayers) {
+  // The paper's claim: a few slots suffice for all layers because shapes
+  // repeat. Simulate 32 layers x 4 buffers with release after each layer.
+  UnifiedMemoryPool pool;
+  for (int layer = 0; layer < 32; ++layer) {
+    std::vector<int> slots;
+    for (int b = 0; b < 4; ++b) {
+      slots.push_back(pool.Acquire(1 << 20).slot);
+    }
+    for (int s : slots) {
+      pool.Release(s);
+    }
+  }
+  EXPECT_EQ(pool.mapped_slot_count(), 4);
+  EXPECT_EQ(pool.total_map_operations(), 4);
+  EXPECT_EQ(pool.total_acquisitions(), 128);
+}
+
+TEST(UnifiedMemoryPoolTest, InUseAccounting) {
+  UnifiedMemoryPool pool;
+  auto a = pool.Acquire(10);
+  auto b = pool.Acquire(10);
+  EXPECT_EQ(pool.slots_in_use(), 2);
+  pool.Release(a.slot);
+  EXPECT_EQ(pool.slots_in_use(), 1);
+  pool.Release(b.slot);
+  EXPECT_EQ(pool.slots_in_use(), 0);
+}
+
+TEST(UnifiedMemoryPoolTest, MappedBytesTracksCapacity) {
+  UnifiedMemoryPool pool;
+  pool.Acquire(100);
+  pool.Acquire(200);
+  EXPECT_DOUBLE_EQ(pool.mapped_bytes(), 300.0);
+}
+
+TEST(UnifiedMemoryPoolDeathTest, DoubleReleaseAborts) {
+  UnifiedMemoryPool pool;
+  auto a = pool.Acquire(10);
+  pool.Release(a.slot);
+  EXPECT_DEATH(pool.Release(a.slot), "double release");
+}
+
+TEST(UnifiedMemoryPoolDeathTest, ExhaustionAborts) {
+  UnifiedMemoryConfig cfg;
+  cfg.max_slots = 2;
+  UnifiedMemoryPool pool(cfg);
+  pool.Acquire(10);
+  pool.Acquire(10);
+  EXPECT_DEATH(pool.Acquire(10), "exhausted");
+}
+
+}  // namespace
+}  // namespace heterollm::hal

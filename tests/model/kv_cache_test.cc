@@ -1,0 +1,106 @@
+#include "src/model/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace heterollm::model {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(KvCacheTest, StartsEmpty) {
+  KvCache cache(ModelConfig::Tiny(), 128, ExecutionMode::kCompute);
+  EXPECT_EQ(cache.length(), 0);
+  EXPECT_EQ(cache.K(0).shape().rows(), 0);
+}
+
+TEST(KvCacheTest, AppendGrowsAllLayers) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 128, ExecutionMode::kCompute);
+  Rng rng(1);
+  Tensor k = Tensor::Random(Shape({4, cfg.kv_dim()}), rng);
+  Tensor v = Tensor::Random(Shape({4, cfg.kv_dim()}), rng);
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    cache.Append(l, k, v);
+  }
+  EXPECT_EQ(cache.length(), 4);
+  EXPECT_EQ(cache.K(0).shape(), Shape({4, cfg.kv_dim()}));
+}
+
+TEST(KvCacheTest, LengthIsMinAcrossLayers) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 128, ExecutionMode::kCompute);
+  Rng rng(2);
+  Tensor k = Tensor::Random(Shape({2, cfg.kv_dim()}), rng);
+  cache.Append(0, k, k);  // only layer 0
+  EXPECT_EQ(cache.length(), 0);  // layer 1 not appended yet
+  cache.Append(1, k, k);
+  EXPECT_EQ(cache.length(), 2);
+}
+
+TEST(KvCacheTest, ValuesRoundTrip) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
+  Rng rng(3);
+  Tensor k1 = Tensor::Random(Shape({3, cfg.kv_dim()}), rng);
+  Tensor v1 = Tensor::Random(Shape({3, cfg.kv_dim()}), rng);
+  Tensor k2 = Tensor::Random(Shape({1, cfg.kv_dim()}), rng);
+  Tensor v2 = Tensor::Random(Shape({1, cfg.kv_dim()}), rng);
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    cache.Append(l, k1, v1);
+    cache.Append(l, k2, v2);
+  }
+  Tensor k = cache.K(0);
+  EXPECT_EQ(k.shape().rows(), 4);
+  EXPECT_EQ(tensor::Tensor::MaxAbsDiff(k.SliceRows(0, 3), k1), 0.0f);
+  EXPECT_EQ(tensor::Tensor::MaxAbsDiff(k.SliceRows(3, 4), k2), 0.0f);
+  EXPECT_EQ(tensor::Tensor::MaxAbsDiff(cache.V(0).SliceRows(3, 4), v2), 0.0f);
+}
+
+TEST(KvCacheTest, ResetClears) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
+  Rng rng(4);
+  Tensor k = Tensor::Random(Shape({3, cfg.kv_dim()}), rng);
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    cache.Append(l, k, k);
+  }
+  cache.Reset();
+  EXPECT_EQ(cache.length(), 0);
+}
+
+TEST(KvCacheTest, SimulateModeTracksShapesOnly) {
+  ModelConfig cfg = ModelConfig::Llama8B();
+  KvCache cache(cfg, 2048, ExecutionMode::kSimulate);
+  Tensor k = Tensor::Deferred(Shape({256, cfg.kv_dim()}));
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    cache.Append(l, k, k);
+  }
+  EXPECT_EQ(cache.length(), 256);
+  EXPECT_FALSE(cache.K(5).has_data());
+  EXPECT_EQ(cache.K(5).shape().rows(), 256);
+}
+
+TEST(KvCacheTest, PopulatedBytesFp16) {
+  ModelConfig cfg = ModelConfig::Llama8B();
+  KvCache cache(cfg, 2048, ExecutionMode::kSimulate);
+  Tensor k = Tensor::Deferred(Shape({100, cfg.kv_dim()}));
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    cache.Append(l, k, k);
+  }
+  // 2 (K+V) * 100 rows * 1024 * 2 bytes * 32 layers.
+  EXPECT_DOUBLE_EQ(cache.populated_bytes(), 2.0 * 100 * 1024 * 2 * 32);
+}
+
+TEST(KvCacheDeathTest, OverflowAborts) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 4, ExecutionMode::kCompute);
+  Rng rng(5);
+  Tensor k = Tensor::Random(Shape({5, cfg.kv_dim()}), rng);
+  EXPECT_DEATH(cache.Append(0, k, k), "overflow");
+}
+
+}  // namespace
+}  // namespace heterollm::model

@@ -1,0 +1,58 @@
+#include "src/model/model_config.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::model {
+namespace {
+
+TEST(ModelConfigTest, Llama8BParameterCount) {
+  // Llama-3-8B is 8.03B parameters.
+  EXPECT_NEAR(ModelConfig::Llama8B().param_count() / 1e9, 8.03, 0.15);
+}
+
+TEST(ModelConfigTest, Llama7BParameterCount) {
+  // Llama-2-7B is 6.74B parameters.
+  EXPECT_NEAR(ModelConfig::Llama7B().param_count() / 1e9, 6.74, 0.15);
+}
+
+TEST(ModelConfigTest, Llama3BParameterCount) {
+  // Llama-3.2-3B is 3.21B parameters.
+  EXPECT_NEAR(ModelConfig::Llama3B().param_count() / 1e9, 3.21, 0.2);
+}
+
+TEST(ModelConfigTest, InternLMParameterCount) {
+  // InternLM2-1.8B is 1.89B parameters.
+  EXPECT_NEAR(ModelConfig::InternLM1_8B().param_count() / 1e9, 1.89, 0.15);
+}
+
+TEST(ModelConfigTest, GqaDimensions) {
+  ModelConfig cfg = ModelConfig::Llama8B();
+  EXPECT_EQ(cfg.q_dim(), 4096);
+  EXPECT_EQ(cfg.kv_dim(), 1024);
+}
+
+TEST(ModelConfigTest, DecodeWeightBytesRoughlyHalfParamCount) {
+  // W4A16: ~0.53 bytes per matmul parameter (codes + scales).
+  ModelConfig cfg = ModelConfig::Llama8B();
+  const double bytes = cfg.decode_weight_bytes();
+  EXPECT_GT(bytes, 3.5e9);
+  EXPECT_LT(bytes, 4.5e9);
+}
+
+TEST(ModelConfigTest, TinyIsComputeSized) {
+  EXPECT_LT(ModelConfig::Tiny().param_count(), 5e7);
+  EXPECT_LT(ModelConfig::TinyWide().param_count(), 5e7);
+}
+
+TEST(ModelConfigTest, TinyHeadsDivideEvenly) {
+  for (const ModelConfig& cfg :
+       {ModelConfig::Tiny(), ModelConfig::TinyWide(), ModelConfig::Llama8B(),
+        ModelConfig::Llama7B(), ModelConfig::Llama3B(),
+        ModelConfig::InternLM1_8B()}) {
+    EXPECT_EQ(cfg.num_heads % cfg.num_kv_heads, 0) << cfg.name;
+    EXPECT_EQ(cfg.q_dim(), cfg.num_heads * cfg.head_dim) << cfg.name;
+  }
+}
+
+}  // namespace
+}  // namespace heterollm::model

@@ -1,0 +1,65 @@
+#include "src/model/weights.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::model {
+namespace {
+
+TEST(ModelWeightsTest, ComputeModeMaterializes) {
+  ModelWeights w =
+      ModelWeights::Create(ModelConfig::Tiny(), ExecutionMode::kCompute);
+  EXPECT_TRUE(w.layer(0).wq.has_data());
+  EXPECT_TRUE(w.layer(1).w_down.has_data());
+  EXPECT_TRUE(w.final_norm().has_data());
+  EXPECT_TRUE(w.lm_head().has_data());
+}
+
+TEST(ModelWeightsTest, SimulateModeIsDeferred) {
+  ModelWeights w =
+      ModelWeights::Create(ModelConfig::Llama8B(), ExecutionMode::kSimulate);
+  EXPECT_FALSE(w.layer(0).wq.has_data());
+  EXPECT_FALSE(w.lm_head().has_data());
+}
+
+TEST(ModelWeightsTest, ShapesMatchConfig) {
+  ModelConfig cfg = ModelConfig::TinyWide();
+  ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  const LayerWeights& lw = w.layer(0);
+  EXPECT_EQ(lw.wq.shape(), tensor::Shape({cfg.hidden, cfg.q_dim()}));
+  EXPECT_EQ(lw.wk.shape(), tensor::Shape({cfg.hidden, cfg.kv_dim()}));
+  EXPECT_EQ(lw.wo.shape(), tensor::Shape({cfg.q_dim(), cfg.hidden}));
+  EXPECT_EQ(lw.w_gate.shape(),
+            tensor::Shape({cfg.hidden, cfg.intermediate}));
+  EXPECT_EQ(lw.w_down.shape(),
+            tensor::Shape({cfg.intermediate, cfg.hidden}));
+  EXPECT_EQ(w.lm_head().shape(), tensor::Shape({cfg.hidden, cfg.vocab}));
+}
+
+TEST(ModelWeightsTest, DeterministicPerSeed) {
+  ModelWeights a =
+      ModelWeights::Create(ModelConfig::Tiny(), ExecutionMode::kCompute, 42);
+  ModelWeights b =
+      ModelWeights::Create(ModelConfig::Tiny(), ExecutionMode::kCompute, 42);
+  EXPECT_EQ(tensor::Tensor::MaxAbsDiff(a.layer(0).wq.Dequantize(),
+                                       b.layer(0).wq.Dequantize()),
+            0.0f);
+}
+
+TEST(ModelWeightsTest, SeedsDiffer) {
+  ModelWeights a =
+      ModelWeights::Create(ModelConfig::Tiny(), ExecutionMode::kCompute, 1);
+  ModelWeights b =
+      ModelWeights::Create(ModelConfig::Tiny(), ExecutionMode::kCompute, 2);
+  EXPECT_GT(tensor::Tensor::MaxAbsDiff(a.layer(0).wq.Dequantize(),
+                                       b.layer(0).wq.Dequantize()),
+            0.0f);
+}
+
+TEST(ModelWeightsDeathTest, ComputeModeRejectsBillionScale) {
+  EXPECT_DEATH(
+      ModelWeights::Create(ModelConfig::Llama8B(), ExecutionMode::kCompute),
+      "test-sized");
+}
+
+}  // namespace
+}  // namespace heterollm::model

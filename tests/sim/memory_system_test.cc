@@ -1,0 +1,126 @@
+#include "src/sim/memory_system.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::sim {
+namespace {
+
+MemoryConfig NoLossConfig() {
+  MemoryConfig cfg;
+  cfg.soc_bandwidth_bytes_per_us = 68e3;
+  cfg.multi_stream_efficiency = 1.0;
+  return cfg;
+}
+
+TEST(MemorySystemTest, SingleStreamCappedByProcessor) {
+  MemorySystem mem(NoLossConfig());
+  // 45 GB/s cap moving 45e3 bytes -> exactly 1 µs.
+  StreamId s = mem.OpenStream(/*cap_bytes_per_us=*/45e3, /*bytes=*/45e3);
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(s), 45e3);
+  EXPECT_DOUBLE_EQ(mem.EstimateCompletion(s), 1.0);
+  mem.AdvanceTo(1.0);
+  EXPECT_TRUE(mem.IsDone(s));
+  mem.CloseStream(s);
+}
+
+TEST(MemorySystemTest, TwoStreamsShareSocCeiling) {
+  MemorySystem mem(NoLossConfig());
+  StreamId a = mem.OpenStream(45e3, 1e6);
+  StreamId b = mem.OpenStream(45e3, 1e6);
+  // Equal caps above fair share: each gets 34 GB/s, total 68.
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(a), 34e3);
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(b), 34e3);
+  EXPECT_DOUBLE_EQ(mem.TotalAllocatedRate(), 68e3);
+}
+
+TEST(MemorySystemTest, SmallStreamSlackGoesToBigStream) {
+  MemorySystem mem(NoLossConfig());
+  StreamId small = mem.OpenStream(10e3, 1e6);
+  StreamId big = mem.OpenStream(60e3, 1e6);
+  // Small stream takes its 10 GB/s cap, the rest (58) goes to the big one,
+  // bounded by its own 60 GB/s cap.
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(small), 10e3);
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(big), 58e3);
+}
+
+TEST(MemorySystemTest, MultiStreamEfficiencyShavesCeiling) {
+  MemoryConfig cfg = NoLossConfig();
+  cfg.multi_stream_efficiency = 0.9;
+  MemorySystem mem(cfg);
+  StreamId a = mem.OpenStream(45e3, 1e6);
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(a), 45e3);  // alone: full cap
+  StreamId b = mem.OpenStream(45e3, 1e6);
+  EXPECT_DOUBLE_EQ(mem.TotalAllocatedRate(), 68e3 * 0.9);
+  (void)b;
+}
+
+TEST(MemorySystemTest, RatesReallocatedWhenStreamFinishes) {
+  MemorySystem mem(NoLossConfig());
+  StreamId a = mem.OpenStream(45e3, 34e3);  // finishes at t=1 under sharing
+  StreamId b = mem.OpenStream(45e3, 68e3);
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(b), 34e3);
+  mem.AdvanceTo(1.0);
+  EXPECT_TRUE(mem.IsDone(a));
+  mem.CloseStream(a);
+  // b moved 34e3 in the first µs, has 34e3 left at full 45 GB/s now.
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(b), 45e3);
+  EXPECT_NEAR(mem.EstimateCompletion(b), 1.0 + 34e3 / 45e3, 1e-9);
+}
+
+TEST(MemorySystemTest, TracksTotalBytes) {
+  MemorySystem mem(NoLossConfig());
+  StreamId s = mem.OpenStream(45e3, 90e3);
+  mem.AdvanceTo(2.0);
+  EXPECT_TRUE(mem.IsDone(s));
+  EXPECT_DOUBLE_EQ(mem.total_bytes_transferred(), 90e3);
+}
+
+TEST(MemorySystemTest, AdvancePastCompletionDoesNotOvercount) {
+  MemorySystem mem(NoLossConfig());
+  StreamId s = mem.OpenStream(45e3, 45e3);
+  mem.AdvanceTo(100.0);  // stream needed only 1 µs
+  EXPECT_TRUE(mem.IsDone(s));
+  EXPECT_DOUBLE_EQ(mem.total_bytes_transferred(), 45e3);
+}
+
+TEST(MemorySystemTest, ZeroByteStreamIsImmediatelyDone) {
+  MemorySystem mem(NoLossConfig());
+  StreamId s = mem.OpenStream(45e3, 0);
+  EXPECT_TRUE(mem.IsDone(s));
+}
+
+// Property: with N identical saturating streams, total allocation equals
+// min(N * cap, ceiling) for the single-stream case and the derated ceiling
+// otherwise.
+TEST(MemorySystemTest, AggregateBandwidthProperty) {
+  for (int n = 1; n <= 5; ++n) {
+    MemoryConfig cfg = NoLossConfig();
+    cfg.multi_stream_efficiency = 0.93;
+    MemorySystem mem(cfg);
+    for (int i = 0; i < n; ++i) {
+      mem.OpenStream(45e3, 1e9);
+    }
+    double expected =
+        n == 1 ? 45e3 : std::min(45e3 * n, 68e3 * cfg.multi_stream_efficiency);
+    EXPECT_NEAR(mem.TotalAllocatedRate(), expected, 1e-6) << "n=" << n;
+  }
+}
+
+// The paper's Fig. 6 shape: one processor is capped well below the SoC
+// ceiling; two processors together approach (but do not exceed) it.
+TEST(MemorySystemTest, Figure6Shape) {
+  MemoryConfig cfg;  // default: 68 GB/s, 0.93 efficiency
+  MemorySystem mem(cfg);
+  StreamId gpu = mem.OpenStream(43.3e3, 1e9);
+  double single = mem.TotalAllocatedRate();
+  EXPECT_GE(single, 40e3);
+  EXPECT_LE(single, 45e3);
+  mem.OpenStream(42e3, 1e9);
+  double dual = mem.TotalAllocatedRate();
+  EXPECT_GE(dual, 55e3);
+  EXPECT_LE(dual, 68e3);
+  (void)gpu;
+}
+
+}  // namespace
+}  // namespace heterollm::sim

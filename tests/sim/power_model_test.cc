@@ -1,0 +1,61 @@
+#include "src/sim/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::sim {
+namespace {
+
+TEST(PowerMeterTest, ActiveAndIdleEnergy) {
+  PowerMeter meter;
+  int gpu = meter.AddUnit("gpu", {4.0, 0.1});
+  meter.AddActive(gpu, 100.0);  // 100 µs busy
+  // Window of 300 µs: 100 active + 200 idle.
+  MicroJoules e = meter.TotalEnergy(300.0);
+  EXPECT_DOUBLE_EQ(e, 100.0 * 4.0 + 200.0 * 0.1);
+}
+
+TEST(PowerMeterTest, AveragePower) {
+  PowerMeter meter;
+  int npu = meter.AddUnit("npu", {2.0, 0.0});
+  meter.AddActive(npu, 500.0);
+  EXPECT_DOUBLE_EQ(meter.AveragePowerWatts(1000.0), 1.0);
+}
+
+TEST(PowerMeterTest, MultipleUnitsSum) {
+  PowerMeter meter;
+  int a = meter.AddUnit("a", {1.0, 0.0});
+  int b = meter.AddUnit("b", {2.0, 0.0});
+  meter.AddActive(a, 10.0);
+  meter.AddActive(b, 10.0);
+  EXPECT_DOUBLE_EQ(meter.TotalEnergy(10.0), 10.0 * 1.0 + 10.0 * 2.0);
+  EXPECT_DOUBLE_EQ(meter.UnitEnergy(a, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(meter.UnitEnergy(b, 10.0), 20.0);
+}
+
+TEST(PowerMeterTest, ActiveClampedToWindow) {
+  PowerMeter meter;
+  int u = meter.AddUnit("u", {3.0, 1.0});
+  meter.AddActive(u, 100.0);
+  // Window shorter than recorded activity: all of it counts as active,
+  // nothing as idle.
+  EXPECT_DOUBLE_EQ(meter.UnitEnergy(u, 50.0), 50.0 * 3.0);
+}
+
+TEST(PowerMeterTest, ResetClearsActivityKeepsUnits) {
+  PowerMeter meter;
+  int u = meter.AddUnit("u", {3.0, 0.0});
+  meter.AddActive(u, 100.0);
+  meter.Reset();
+  EXPECT_DOUBLE_EQ(meter.ActiveTime(u), 0.0);
+  EXPECT_EQ(meter.unit_count(), 1);
+  EXPECT_EQ(meter.unit_name(u), "u");
+}
+
+TEST(PowerMeterTest, ZeroWindowAveragePowerIsZero) {
+  PowerMeter meter;
+  meter.AddUnit("u", {3.0, 0.0});
+  EXPECT_DOUBLE_EQ(meter.AveragePowerWatts(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace heterollm::sim

@@ -1,0 +1,161 @@
+// Property tests over randomized simulator workloads: scheduling invariants
+// that must hold for any submission pattern.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/soc_simulator.h"
+#include "src/sim/trace.h"
+
+namespace heterollm::sim {
+namespace {
+
+struct Workload {
+  struct Item {
+    UnitId unit;
+    KernelDesc desc;
+    MicroSeconds submit;
+  };
+  std::vector<Item> items;
+};
+
+Workload RandomWorkload(Rng& rng, int units, int kernels) {
+  Workload w;
+  MicroSeconds t = 0;
+  for (int i = 0; i < kernels; ++i) {
+    Workload::Item item;
+    item.unit = static_cast<UnitId>(rng.NextBelow(static_cast<uint64_t>(units)));
+    item.desc.label = "k" + std::to_string(i);
+    item.desc.compute_time = rng.NextUniform(0.0, 500.0);
+    item.desc.memory_bytes = rng.NextUniform(0.0, 5e6);
+    item.desc.launch_overhead = rng.NextUniform(0.0, 20.0);
+    t += rng.NextUniform(0.0, 100.0);
+    item.submit = t;
+    w.items.push_back(item);
+  }
+  return w;
+}
+
+class SimPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimPropertyTest, RandomWorkloadInvariants) {
+  Rng rng(GetParam());
+  SocSimulator soc(MemoryConfig{});
+  const int kUnits = 3;
+  std::vector<double> caps = {40e3, 43.3e3, 42e3};
+  for (int u = 0; u < kUnits; ++u) {
+    soc.AddUnit({"u" + std::to_string(u), caps[static_cast<size_t>(u)], {}});
+  }
+  Workload w = RandomWorkload(rng, kUnits, 120);
+  std::vector<KernelHandle> handles;
+  for (const auto& item : w.items) {
+    handles.push_back(soc.Submit(item.unit, item.desc, item.submit));
+  }
+  soc.DrainAll();
+
+  // Invariant 1: every kernel runs after its submit time, for at least
+  // launch + compute, and no faster than its unit's bandwidth allows.
+  std::map<UnitId, std::vector<std::pair<MicroSeconds, MicroSeconds>>> spans;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const auto& item = w.items[i];
+    const MicroSeconds start = soc.StartTime(handles[i]);
+    const MicroSeconds end = soc.CompletionTime(handles[i]);
+    EXPECT_GE(start, item.submit - 1e-6);
+    EXPECT_GE(end - start,
+              item.desc.launch_overhead + item.desc.compute_time - 1e-6);
+    const double cap = caps[static_cast<size_t>(item.unit)];
+    EXPECT_GE(end - start, item.desc.memory_bytes / cap - 1e-6);
+    spans[item.unit].push_back({start, end});
+  }
+
+  // Invariant 2: kernels on one unit never overlap (serial execution).
+  for (auto& [unit, list] : spans) {
+    std::sort(list.begin(), list.end());
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GE(list[i].first, list[i - 1].second - 1e-6)
+          << "overlap on unit " << unit;
+    }
+  }
+
+  // Invariant 3: conservation — all bytes were transferred, exactly once.
+  double expected_bytes = 0;
+  for (const auto& item : w.items) {
+    expected_bytes += item.desc.memory_bytes;
+  }
+  EXPECT_NEAR(soc.memory().total_bytes_transferred(), expected_bytes,
+              expected_bytes * 1e-9 + 1e-3);
+
+  // Invariant 4: busy time equals the sum of kernel durations per unit.
+  std::vector<MicroSeconds> busy(kUnits, 0);
+  for (size_t i = 0; i < handles.size(); ++i) {
+    busy[static_cast<size_t>(w.items[i].unit)] +=
+        soc.CompletionTime(handles[i]) - soc.StartTime(handles[i]);
+  }
+  for (int u = 0; u < kUnits; ++u) {
+    EXPECT_NEAR(soc.UnitBusyTime(u), busy[static_cast<size_t>(u)], 1e-3);
+  }
+}
+
+TEST_P(SimPropertyTest, DeterministicReplay) {
+  auto run = [&](uint64_t seed) {
+    Rng rng(seed);
+    SocSimulator soc(MemoryConfig{});
+    for (int u = 0; u < 3; ++u) {
+      soc.AddUnit({"u", 42e3, {}});
+    }
+    Workload w = RandomWorkload(rng, 3, 60);
+    std::vector<KernelHandle> handles;
+    for (const auto& item : w.items) {
+      handles.push_back(soc.Submit(item.unit, item.desc, item.submit));
+    }
+    soc.DrainAll();
+    std::vector<MicroSeconds> ends;
+    for (KernelHandle h : handles) {
+      ends.push_back(soc.CompletionTime(h));
+    }
+    return ends;
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+TEST_P(SimPropertyTest, TraceIsWellFormedAndComplete) {
+  Rng rng(GetParam());
+  SocSimulator soc(MemoryConfig{});
+  soc.AddUnit({"gpu", 43e3, {}});
+  soc.AddUnit({"npu", 42e3, {}});
+  Workload w = RandomWorkload(rng, 2, 40);
+  for (const auto& item : w.items) {
+    soc.Submit(item.unit, item.desc, item.submit);
+  }
+  soc.DrainAll();
+  const std::vector<KernelRecord> records = CollectFinishedKernels(soc);
+  EXPECT_EQ(records.size(), w.items.size());
+  for (const KernelRecord& r : records) {
+    EXPECT_GE(r.end, r.start);
+    EXPECT_TRUE(r.unit_name == "gpu" || r.unit_name == "npu");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 1234u,
+                                           987654321u));
+
+TEST(TraceTest, ChromeJsonParses) {
+  SocSimulator soc(MemoryConfig{});
+  UnitId gpu = soc.AddUnit({"gpu", 43e3, {}});
+  soc.Submit(gpu, {"matmul \"q\"", 100.0, 1e6, 5.0}, 0);
+  soc.DrainAll();
+  std::ostringstream os;
+  WriteChromeTrace(soc, os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("matmul \\\"q\\\""), std::string::npos);  // escaped
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heterollm::sim

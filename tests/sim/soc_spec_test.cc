@@ -1,0 +1,37 @@
+#include "src/sim/soc_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::sim {
+namespace {
+
+TEST(SocSpecTest, CatalogHasFiveVendors) {
+  EXPECT_EQ(SocSpecCatalog().size(), 5u);
+}
+
+TEST(SocSpecTest, QualcommEntryMatchesTable1) {
+  const SocSpec& s = FindSocSpec("8 Gen 3");
+  EXPECT_EQ(s.vendor, "Qualcomm");
+  EXPECT_EQ(s.gpu_name, "Adreno 750");
+  EXPECT_DOUBLE_EQ(s.gpu_fp16_tflops, 2.8);
+  EXPECT_DOUBLE_EQ(s.npu_int8_tops, 73);
+  EXPECT_DOUBLE_EQ(s.npu_fp16_tflops, 36);
+}
+
+TEST(SocSpecTest, NpuFp16IsHalfInt8WhereEstimated) {
+  // The paper estimates FP16 as half of INT8 for SoCs that support it.
+  for (const SocSpec& s : SocSpecCatalog()) {
+    if (s.npu_fp16_tflops > 0) {
+      EXPECT_NEAR(s.npu_fp16_tflops, s.npu_int8_tops / 2.0, 0.51)
+          << s.soc;
+    }
+  }
+}
+
+TEST(SocSpecTest, AutomotiveNpusLackFp16) {
+  EXPECT_LE(FindSocSpec("Orin").npu_fp16_tflops, 0);
+  EXPECT_LE(FindSocSpec("FSD").npu_fp16_tflops, 0);
+}
+
+}  // namespace
+}  // namespace heterollm::sim

@@ -1,0 +1,107 @@
+#include "src/tensor/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+
+namespace heterollm::tensor {
+namespace {
+
+AttentionParams Mha(int heads, int head_dim, int64_t offset = 0) {
+  return AttentionParams{heads, heads, head_dim, offset};
+}
+
+TEST(AttentionTest, SingleTokenSingleHeadIsWeightedAverage) {
+  // One query attending over two cached positions.
+  Tensor q = Tensor::FromData(Shape({1, 2}), {1, 0});
+  Tensor k = Tensor::FromData(Shape({2, 2}), {1, 0, -1, 0});
+  Tensor v = Tensor::FromData(Shape({2, 2}), {10, 0, 20, 0});
+  AttentionParams p = Mha(1, 2, /*offset=*/1);
+  Tensor out = GqaAttention(q, k, v, p);
+  // Scores: (1, -1)/sqrt(2); softmax favors the first key.
+  float w0 = out.At(0, 0);
+  EXPECT_GT(w0, 10.0f);
+  EXPECT_LT(w0, 15.0f);
+}
+
+TEST(AttentionTest, UniformKeysAverageValues) {
+  Tensor q = Tensor::FromData(Shape({1, 2}), {1, 1});
+  Tensor k = Tensor::FromData(Shape({3, 2}), {1, 1, 1, 1, 1, 1});
+  Tensor v =
+      Tensor::FromData(Shape({3, 2}), {0, 0, 3, 0, 6, 0});
+  Tensor out = GqaAttention(q, k, v, Mha(1, 2, /*offset=*/2));
+  EXPECT_NEAR(out.At(0, 0), 3.0f, 1e-5f);
+}
+
+TEST(AttentionTest, CausalMaskLimitsSpan) {
+  // Two query rows: row 0 may only see cache position 0.
+  Tensor q = Tensor::FromData(Shape({2, 2}), {1, 0, 1, 0});
+  Tensor k = Tensor::FromData(Shape({2, 2}), {1, 0, 1, 0});
+  Tensor v = Tensor::FromData(Shape({2, 2}), {5, 0, 9, 0});
+  Tensor out = GqaAttention(q, k, v, Mha(1, 2, /*offset=*/0));
+  EXPECT_NEAR(out.At(0, 0), 5.0f, 1e-5f);   // only position 0 visible
+  EXPECT_NEAR(out.At(1, 0), 7.0f, 1e-4f);   // equal scores -> average
+}
+
+TEST(AttentionTest, GqaSharesKvAcrossHeadGroup) {
+  // 2 query heads, 1 kv head: both heads read the same cache, so with
+  // identical per-head queries the outputs of the two heads match.
+  Rng rng(17);
+  Tensor k = Tensor::Random(Shape({4, 2}), rng);
+  Tensor v = Tensor::Random(Shape({4, 2}), rng);
+  Tensor q = Tensor::FromData(Shape({1, 4}), {0.3f, -0.7f, 0.3f, -0.7f});
+  AttentionParams p{/*num_heads=*/2, /*num_kv_heads=*/1, /*head_dim=*/2,
+                    /*q_pos_offset=*/3};
+  Tensor out = GqaAttention(q, k, v, p);
+  EXPECT_NEAR(out.At(0, 0), out.At(0, 2), 1e-6f);
+  EXPECT_NEAR(out.At(0, 1), out.At(0, 3), 1e-6f);
+}
+
+TEST(AttentionTest, MatchesManualSoftmaxComputation) {
+  Rng rng(19);
+  const int hd = 4;
+  Tensor q = Tensor::Random(Shape({1, hd}), rng);
+  Tensor k = Tensor::Random(Shape({3, hd}), rng);
+  Tensor v = Tensor::Random(Shape({3, hd}), rng);
+  Tensor out = GqaAttention(q, k, v, Mha(1, hd, /*offset=*/2));
+
+  // Manual: softmax(q·kᵀ/sqrt(d))·v.
+  Tensor scores = ops::Matmul(q, k.Transposed());
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    scores.set(i, scores.at(i) / 2.0f);  // sqrt(4) == 2
+  }
+  Tensor weights = ops::SoftmaxRows(scores);
+  Tensor manual = ops::Matmul(weights, v);
+  EXPECT_LT(Tensor::MaxAbsDiff(out, manual), 1e-5f);
+}
+
+TEST(AttentionTest, PrefillMatchesIncrementalDecode) {
+  // Running M rows at once equals running them one at a time against the
+  // growing cache — the invariant that lets the engine split sequences.
+  Rng rng(23);
+  const int hd = 4;
+  const int64_t m = 5;
+  Tensor q = Tensor::Random(Shape({m, hd}), rng);
+  Tensor k = Tensor::Random(Shape({m, hd}), rng);
+  Tensor v = Tensor::Random(Shape({m, hd}), rng);
+
+  Tensor batch = GqaAttention(q, k, v, Mha(1, hd, /*offset=*/0));
+  std::vector<Tensor> rows;
+  for (int64_t i = 0; i < m; ++i) {
+    AttentionParams p = Mha(1, hd, /*offset=*/i);
+    rows.push_back(GqaAttention(q.SliceRows(i, i + 1), k, v, p));
+  }
+  Tensor incremental = Tensor::ConcatRows(rows);
+  EXPECT_LT(Tensor::MaxAbsDiff(batch, incremental), 1e-5f);
+}
+
+TEST(AttentionTest, DeferredInputsGiveDeferredOutput) {
+  Tensor q = Tensor::Deferred(Shape({2, 8}));
+  Tensor kv = Tensor::Deferred(Shape({6, 8}));
+  Tensor out = GqaAttention(q, kv, kv, Mha(1, 8, /*offset=*/4));
+  EXPECT_FALSE(out.has_data());
+  EXPECT_EQ(out.shape(), Shape({2, 8}));
+}
+
+}  // namespace
+}  // namespace heterollm::tensor

@@ -1,0 +1,248 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace heterollm::tensor::ops {
+namespace {
+
+TEST(MatmulTest, KnownSmallProduct) {
+  Tensor a = Tensor::FromData(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(Shape({2, 2}), {5, 6, 7, 8});
+  Tensor c = Matmul(a, b);
+  EXPECT_EQ(c.At(0, 0), 19.0f);
+  EXPECT_EQ(c.At(0, 1), 22.0f);
+  EXPECT_EQ(c.At(1, 0), 43.0f);
+  EXPECT_EQ(c.At(1, 1), 50.0f);
+}
+
+TEST(MatmulTest, IdentityIsNoop) {
+  Rng rng(2);
+  Tensor a = Tensor::Random(Shape({3, 3}), rng);
+  Tensor eye = Tensor::Zeros(Shape({3, 3}));
+  for (int i = 0; i < 3; ++i) {
+    eye.Set(i, i, 1.0f);
+  }
+  EXPECT_LT(Tensor::MaxAbsDiff(Matmul(a, eye), a), 1e-6f);
+}
+
+TEST(MatmulTest, DeferredInputYieldsDeferredOutput) {
+  Tensor a = Tensor::Deferred(Shape({4, 8}));
+  Tensor b = Tensor::Deferred(Shape({8, 2}));
+  Tensor c = Matmul(a, b);
+  EXPECT_FALSE(c.has_data());
+  EXPECT_EQ(c.shape(), Shape({4, 2}));
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+TEST(MatmulTest, TransposeProperty) {
+  Rng rng(3);
+  Tensor a = Tensor::Random(Shape({4, 6}), rng);
+  Tensor b = Tensor::Random(Shape({6, 5}), rng);
+  Tensor lhs = Matmul(a, b).Transposed();
+  Tensor rhs = Matmul(b.Transposed(), a.Transposed());
+  EXPECT_LT(Tensor::MaxAbsDiff(lhs, rhs), 1e-4f);
+}
+
+// Property: row partition of A distributes over matmul.
+TEST(MatmulTest, RowPartitionProperty) {
+  Rng rng(4);
+  Tensor a = Tensor::Random(Shape({8, 6}), rng);
+  Tensor b = Tensor::Random(Shape({6, 5}), rng);
+  Tensor whole = Matmul(a, b);
+  Tensor split = Tensor::ConcatRows(
+      {Matmul(a.SliceRows(0, 3), b), Matmul(a.SliceRows(3, 8), b)});
+  EXPECT_LT(Tensor::MaxAbsDiff(whole, split), 1e-5f);
+}
+
+// Property: column partition of B distributes over matmul.
+TEST(MatmulTest, ColPartitionProperty) {
+  Rng rng(5);
+  Tensor a = Tensor::Random(Shape({4, 6}), rng);
+  Tensor b = Tensor::Random(Shape({6, 10}), rng);
+  Tensor whole = Matmul(a, b);
+  Tensor split = Tensor::ConcatCols(
+      {Matmul(a, b.SliceCols(0, 4)), Matmul(a, b.SliceCols(4, 10))});
+  EXPECT_LT(Tensor::MaxAbsDiff(whole, split), 1e-5f);
+}
+
+// Property: reduction-dim partition sums partial products.
+TEST(MatmulTest, ReductionPartitionProperty) {
+  Rng rng(6);
+  Tensor a = Tensor::Random(Shape({4, 8}), rng);
+  Tensor b = Tensor::Random(Shape({8, 3}), rng);
+  Tensor whole = Matmul(a, b);
+  Tensor partial = Tensor::Sum({Matmul(a.SliceCols(0, 5), b.SliceRows(0, 5)),
+                                Matmul(a.SliceCols(5, 8), b.SliceRows(5, 8))});
+  EXPECT_LT(Tensor::MaxAbsDiff(whole, partial), 1e-5f);
+}
+
+TEST(MatmulQuantTest, MatchesDenseWithinQuantError) {
+  Rng rng(7);
+  Tensor a = Tensor::Random(Shape({4, 64}), rng);
+  Tensor w = Tensor::Random(Shape({64, 8}), rng, 0.1f);
+  QuantizedTensor q = QuantizedTensor::Quantize(w, 32);
+  Tensor dense = Matmul(a, q.Dequantize());
+  Tensor quant = MatmulQuant(a, q);
+  EXPECT_EQ(Tensor::MaxAbsDiff(dense, quant), 0.0f);
+}
+
+TEST(MatmulQuantTest, DeferredWeight) {
+  Tensor a = Tensor::Deferred(Shape({4, 64}));
+  QuantizedTensor q = QuantizedTensor::Deferred(Shape({64, 8}));
+  Tensor out = MatmulQuant(a, q);
+  EXPECT_FALSE(out.has_data());
+  EXPECT_EQ(out.shape(), Shape({4, 8}));
+}
+
+TEST(MatmulInt8Test, CloseToFloatPathButNotIdentical) {
+  Rng rng(71);
+  Tensor a = Tensor::Random(Shape({4, 64}), rng, 0.2f);
+  Tensor w_raw = Tensor::Random(Shape({64, 8}), rng, 0.1f);
+  QuantizedTensor w = QuantizedTensor::Quantize(w_raw, 32);
+  Tensor fp = MatmulQuant(a, w);
+  Tensor i8 = MatmulInt8(a, w);
+  const float err = Tensor::MaxAbsDiff(fp, i8);
+  EXPECT_GT(err, 0.0f);                 // the INT path is genuinely lossy
+  // Error bounded by the activation quantization step times the reduction.
+  EXPECT_LT(err, 0.05f);
+}
+
+TEST(MatmulInt8Test, ExactWhenActivationsAreQuantizationExact) {
+  // Activations already on the int8 grid and weights on the int4 grid:
+  // integer math is exact.
+  Tensor a = Tensor::FromData(Shape({1, 4}), {127.0f, -127.0f, 63.5f, 0.0f});
+  std::vector<float> wvals = {7, -7, 1, 2, 3, -3, 5, 0};
+  Tensor w_raw = Tensor::FromData(Shape({4, 2}), wvals);
+  QuantizedTensor w = QuantizedTensor::Quantize(w_raw, 4);
+  Tensor fp = MatmulQuant(a, w);
+  Tensor i8 = MatmulInt8(a, w);
+  EXPECT_LT(Tensor::MaxAbsDiff(fp, i8), 2.0f);  // one int8 step of 127-range
+}
+
+TEST(MatmulInt8Test, DeferredInputsPropagate) {
+  Tensor a = Tensor::Deferred(Shape({2, 64}));
+  QuantizedTensor w = QuantizedTensor::Deferred(Shape({64, 8}));
+  Tensor out = MatmulInt8(a, w);
+  EXPECT_FALSE(out.has_data());
+  EXPECT_EQ(out.shape(), Shape({2, 8}));
+}
+
+TEST(RmsNormTest, NormalizesRows) {
+  Tensor x = Tensor::FromData(Shape({1, 4}), {2, 2, 2, 2});
+  Tensor gamma = Tensor::FromData(Shape({1, 4}), {1, 1, 1, 1});
+  Tensor y = RmsNorm(x, gamma);
+  // RMS of the row is 2, so each element normalizes to ~1.
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(y.At(0, j), 1.0f, 1e-3f);
+  }
+}
+
+TEST(RmsNormTest, GammaScales) {
+  Tensor x = Tensor::FromData(Shape({1, 2}), {3, 3});
+  Tensor gamma = Tensor::FromData(Shape({1, 2}), {2, 0.5});
+  Tensor y = RmsNorm(x, gamma);
+  EXPECT_NEAR(y.At(0, 0), 2.0f, 1e-3f);
+  EXPECT_NEAR(y.At(0, 1), 0.5f, 1e-3f);
+}
+
+TEST(RmsNormTest, RowsIndependent) {
+  Rng rng(8);
+  Tensor x = Tensor::Random(Shape({4, 16}), rng);
+  Tensor gamma = Tensor::FromData(
+      Shape({1, 16}), std::vector<float>(16, 1.0f));
+  Tensor whole = RmsNorm(x, gamma);
+  Tensor split = Tensor::ConcatRows({RmsNorm(x.SliceRows(0, 1), gamma),
+                                     RmsNorm(x.SliceRows(1, 4), gamma)});
+  EXPECT_LT(Tensor::MaxAbsDiff(whole, split), 1e-6f);
+}
+
+TEST(SiluTest, KnownValues) {
+  Tensor x = Tensor::FromData(Shape({1, 3}), {0.0f, 100.0f, -100.0f});
+  Tensor y = Silu(x);
+  EXPECT_NEAR(y.At(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(y.At(0, 1), 100.0f, 1e-3f);
+  EXPECT_NEAR(y.At(0, 2), 0.0f, 1e-3f);
+}
+
+TEST(SwiGluTest, MatchesSiluTimesUp) {
+  Rng rng(9);
+  Tensor gate = Tensor::Random(Shape({2, 5}), rng);
+  Tensor up = Tensor::Random(Shape({2, 5}), rng);
+  Tensor combined = SwiGlu(gate, up);
+  Tensor manual = Mul(Silu(gate), up);
+  EXPECT_LT(Tensor::MaxAbsDiff(combined, manual), 1e-6f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(10);
+  Tensor x = Tensor::Random(Shape({3, 7}), rng, 3.0f);
+  Tensor y = SoftmaxRows(x);
+  for (int64_t r = 0; r < 3; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 7; ++c) {
+      EXPECT_GE(y.At(r, c), 0.0f);
+      sum += y.At(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeInputs) {
+  Tensor x = Tensor::FromData(Shape({1, 2}), {1000.0f, 1000.0f});
+  Tensor y = SoftmaxRows(x);
+  EXPECT_NEAR(y.At(0, 0), 0.5f, 1e-6f);
+}
+
+TEST(RopeTest, PositionZeroIsIdentity) {
+  Rng rng(11);
+  Tensor x = Tensor::Random(Shape({1, 8}), rng);
+  Tensor orig = x.SliceRows(0, 1);
+  ApplyRope(x, /*pos_offset=*/0, /*head_dim=*/8);
+  EXPECT_LT(Tensor::MaxAbsDiff(x, orig), 1e-6f);
+}
+
+TEST(RopeTest, PreservesPairNorms) {
+  Rng rng(12);
+  Tensor x = Tensor::Random(Shape({3, 8}), rng);
+  Tensor orig = Tensor::FromData(x.shape(), x.data());
+  ApplyRope(x, /*pos_offset=*/5, /*head_dim=*/4);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t p = 0; p < 4; ++p) {
+      float a0 = orig.At(r, 2 * p);
+      float a1 = orig.At(r, 2 * p + 1);
+      float b0 = x.At(r, 2 * p);
+      float b1 = x.At(r, 2 * p + 1);
+      EXPECT_NEAR(a0 * a0 + a1 * a1, b0 * b0 + b1 * b1, 1e-4f);
+    }
+  }
+}
+
+TEST(RopeTest, RelativePositionConsistency) {
+  // Rotating row i with offset p equals rotating row 0 with offset p+i.
+  Rng rng(13);
+  Tensor two_rows = Tensor::Random(Shape({2, 4}), rng);
+  Tensor row1 = two_rows.SliceRows(1, 2);
+  Tensor batch = Tensor::FromData(two_rows.shape(), two_rows.data());
+  ApplyRope(batch, /*pos_offset=*/3, /*head_dim=*/4);
+  ApplyRope(row1, /*pos_offset=*/4, /*head_dim=*/4);
+  EXPECT_LT(Tensor::MaxAbsDiff(batch.SliceRows(1, 2), row1), 1e-5f);
+}
+
+TEST(DeferredOpsTest, AllOpsPropagateDeferred) {
+  Tensor d = Tensor::Deferred(Shape({2, 4}));
+  Tensor gamma = Tensor::Deferred(Shape({1, 4}));
+  EXPECT_FALSE(RmsNorm(d, gamma).has_data());
+  EXPECT_FALSE(Silu(d).has_data());
+  EXPECT_FALSE(SwiGlu(d, d).has_data());
+  EXPECT_FALSE(SoftmaxRows(d).has_data());
+  EXPECT_FALSE(Add(d, d).has_data());
+  EXPECT_FALSE(Mul(d, d).has_data());
+  Tensor copy = d;
+  ApplyRope(copy, 0, 4);  // must not crash
+  EXPECT_FALSE(copy.has_data());
+}
+
+}  // namespace
+}  // namespace heterollm::tensor::ops

@@ -1,0 +1,39 @@
+#include "src/tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace heterollm::tensor {
+namespace {
+
+TEST(ShapeTest, BasicAccessors) {
+  Shape s({3, 4});
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s.cols(), 4);
+  EXPECT_EQ(s.numel(), 12);
+}
+
+TEST(ShapeTest, EmptyShapeIsScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, ZeroDimGivesZeroNumel) {
+  Shape s({0, 5});
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({14336, 4096}).ToString(), "[14336, 4096]");
+  EXPECT_EQ(Shape().ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace heterollm::tensor

@@ -1,0 +1,96 @@
+#include "src/workload/chat_session.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine_registry.h"
+#include "src/tensor/ops.h"
+
+namespace heterollm::workload {
+namespace {
+
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(ChatSessionTest, HistoryAccumulates) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  core::Platform plat;
+  auto engine = core::CreateEngine("Hetero-tensor", &plat, &w);
+  ChatSession session(engine.get());
+  session.Turn(100, 10);
+  EXPECT_EQ(session.history_tokens(), 110);
+  session.Turn(50, 5);
+  EXPECT_EQ(session.history_tokens(), 165);
+  EXPECT_EQ(session.turns().size(), 2u);
+  EXPECT_EQ(session.turns()[1].history_tokens, 110);
+}
+
+TEST(ChatSessionTest, KvReuseMakesFollowupTurnsCheap) {
+  // Turn 2 prefills only its own tokens; re-prefilling the whole history
+  // would cost far more.
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  core::Platform plat;
+  auto engine = core::CreateEngine("Hetero-tensor", &plat, &w);
+  ChatSession session(engine.get());
+  session.Turn(1024, 0);
+  TurnStats turn2 = session.Turn(64, 0);
+
+  core::Platform plat2;
+  auto engine2 = core::CreateEngine("Hetero-tensor", &plat2, &w);
+  ChatSession fresh(engine2.get());
+  TurnStats full = fresh.Turn(1088, 0);
+
+  EXPECT_LT(turn2.ttft, full.ttft / 4);
+}
+
+TEST(ChatSessionTest, MultiTurnMatchesMonolithicPrefillNumerically) {
+  // Splitting a prompt across turns must give the same final logits as one
+  // prefill — the causal-attention invariant KV reuse depends on.
+  const ModelConfig cfg = ModelConfig::Tiny();
+  const ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kCompute, 3);
+  Rng rng(77);
+  Tensor full_prompt = Tensor::Random(Shape({24, cfg.hidden}), rng, 0.1f);
+
+  core::Platform plat_a;
+  auto engine_a = core::CreateEngine("Hetero-tensor", &plat_a, &w);
+  core::PhaseStats mono = engine_a->Prefill(full_prompt);
+
+  core::Platform plat_b;
+  auto engine_b = core::CreateEngine("Hetero-tensor", &plat_b, &w);
+  ChatSession session(engine_b.get());
+  session.Turn(full_prompt.SliceRows(0, 10), /*decode_len=*/0);
+  core::PhaseStats part2 = engine_b->Prefill(full_prompt.SliceRows(10, 24));
+
+  EXPECT_LT(Tensor::MaxAbsDiff(mono.logits, part2.logits), 1e-4f);
+}
+
+TEST(ChatSessionTest, ResetDropsHistory) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  core::Platform plat;
+  auto engine = core::CreateEngine("PPL-OpenCL", &plat, &w);
+  ChatSession session(engine.get());
+  session.Turn(100, 4);
+  session.Reset();
+  EXPECT_EQ(session.history_tokens(), 0);
+  EXPECT_TRUE(session.turns().empty());
+}
+
+TEST(ChatSessionTest, DecodeSlowsWithLongerHistory) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  ModelWeights w = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  core::Platform plat;
+  auto engine = core::CreateEngine("PPL-OpenCL", &plat, &w);
+  ChatSession session(engine.get());
+  TurnStats short_history = session.Turn(32, 8);
+  session.Turn(2048, 0);
+  TurnStats long_history = session.Turn(32, 8);
+  EXPECT_GT(long_history.decode_time, short_history.decode_time);
+}
+
+}  // namespace
+}  // namespace heterollm::workload
