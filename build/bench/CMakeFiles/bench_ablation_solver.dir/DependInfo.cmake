@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_solver.cc" "bench/CMakeFiles/bench_ablation_solver.dir/bench_ablation_solver.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_solver.dir/bench_ablation_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_solver.dir/bench_ablation_solver.cc.o"
+  "CMakeFiles/bench_ablation_solver.dir/bench_ablation_solver.cc.o.d"
+  "bench_ablation_solver"
+  "bench_ablation_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_misaligned.dir/bench_fig14_misaligned.cc.o"
+  "CMakeFiles/bench_fig14_misaligned.dir/bench_fig14_misaligned.cc.o.d"
+  "bench_fig14_misaligned"
+  "bench_fig14_misaligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_misaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_fastsync_prefill.dir/bench_fig15_fastsync_prefill.cc.o"
+  "CMakeFiles/bench_fig15_fastsync_prefill.dir/bench_fig15_fastsync_prefill.cc.o.d"
+  "bench_fig15_fastsync_prefill"
+  "bench_fig15_fastsync_prefill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_fastsync_prefill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

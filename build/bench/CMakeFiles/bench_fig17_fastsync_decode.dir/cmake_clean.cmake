@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fastsync_decode.dir/bench_fig17_fastsync_decode.cc.o"
+  "CMakeFiles/bench_fig17_fastsync_decode.dir/bench_fig17_fastsync_decode.cc.o.d"
+  "bench_fig17_fastsync_decode"
+  "bench_fig17_fastsync_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fastsync_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

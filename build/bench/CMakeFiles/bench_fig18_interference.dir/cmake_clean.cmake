@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_interference.dir/bench_fig18_interference.cc.o"
+  "CMakeFiles/bench_fig18_interference.dir/bench_fig18_interference.cc.o.d"
+  "bench_fig18_interference"
+  "bench_fig18_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_energy.dir/bench_fig19_energy.cc.o"
+  "CMakeFiles/bench_fig19_energy.dir/bench_fig19_energy.cc.o.d"
+  "bench_fig19_energy"
+  "bench_fig19_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

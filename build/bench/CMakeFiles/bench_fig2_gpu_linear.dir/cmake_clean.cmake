@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_gpu_linear.dir/bench_fig2_gpu_linear.cc.o"
+  "CMakeFiles/bench_fig2_gpu_linear.dir/bench_fig2_gpu_linear.cc.o.d"
+  "bench_fig2_gpu_linear"
+  "bench_fig2_gpu_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_gpu_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_npu_stage.dir/bench_fig4_npu_stage.cc.o"
+  "CMakeFiles/bench_fig4_npu_stage.dir/bench_fig4_npu_stage.cc.o.d"
+  "bench_fig4_npu_stage"
+  "bench_fig4_npu_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_npu_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

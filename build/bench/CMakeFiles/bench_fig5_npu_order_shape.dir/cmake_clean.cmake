@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_npu_order_shape.dir/bench_fig5_npu_order_shape.cc.o"
+  "CMakeFiles/bench_fig5_npu_order_shape.dir/bench_fig5_npu_order_shape.cc.o.d"
+  "bench_fig5_npu_order_shape"
+  "bench_fig5_npu_order_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_npu_order_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

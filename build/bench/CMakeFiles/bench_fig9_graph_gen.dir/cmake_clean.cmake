@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_graph_gen.dir/bench_fig9_graph_gen.cc.o"
+  "CMakeFiles/bench_fig9_graph_gen.dir/bench_fig9_graph_gen.cc.o.d"
+  "bench_fig9_graph_gen"
+  "bench_fig9_graph_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_graph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

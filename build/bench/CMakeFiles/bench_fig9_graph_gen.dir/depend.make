@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_graph_gen.
+# This may be replaced when dependencies are built.

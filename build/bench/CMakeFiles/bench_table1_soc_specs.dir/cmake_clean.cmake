@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_soc_specs.dir/bench_table1_soc_specs.cc.o"
+  "CMakeFiles/bench_table1_soc_specs.dir/bench_table1_soc_specs.cc.o.d"
+  "bench_table1_soc_specs"
+  "bench_table1_soc_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_soc_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_frameworks.dir/bench_table2_frameworks.cc.o"
+  "CMakeFiles/bench_table2_frameworks.dir/bench_table2_frameworks.cc.o.d"
+  "bench_table2_frameworks"
+  "bench_table2_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

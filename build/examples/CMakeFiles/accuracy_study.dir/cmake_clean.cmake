@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_study.dir/accuracy_study.cpp.o"
+  "CMakeFiles/accuracy_study.dir/accuracy_study.cpp.o.d"
+  "accuracy_study"
+  "accuracy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_latency.dir/chat_latency.cpp.o"
+  "CMakeFiles/chat_latency.dir/chat_latency.cpp.o.d"
+  "chat_latency"
+  "chat_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

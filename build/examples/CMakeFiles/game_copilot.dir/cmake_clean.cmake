@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_copilot.dir/game_copilot.cpp.o"
+  "CMakeFiles/game_copilot.dir/game_copilot.cpp.o.d"
+  "game_copilot"
+  "game_copilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_copilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

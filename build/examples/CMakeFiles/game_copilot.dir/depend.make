@@ -1,0 +1,2 @@
+# Empty dependencies file for game_copilot.
+# This may be replaced when dependencies are built.

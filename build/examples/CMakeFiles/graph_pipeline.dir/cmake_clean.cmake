@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_pipeline.dir/graph_pipeline.cpp.o"
+  "CMakeFiles/graph_pipeline.dir/graph_pipeline.cpp.o.d"
+  "graph_pipeline"
+  "graph_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

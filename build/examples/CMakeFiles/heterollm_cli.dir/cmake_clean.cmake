@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_cli.dir/heterollm_cli.cpp.o"
+  "CMakeFiles/heterollm_cli.dir/heterollm_cli.cpp.o.d"
+  "heterollm_cli"
+  "heterollm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

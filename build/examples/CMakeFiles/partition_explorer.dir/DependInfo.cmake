@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/partition_explorer.cpp" "examples/CMakeFiles/partition_explorer.dir/partition_explorer.cpp.o" "gcc" "examples/CMakeFiles/partition_explorer.dir/partition_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_graph_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

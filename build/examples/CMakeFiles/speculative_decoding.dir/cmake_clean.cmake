@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_decoding.dir/speculative_decoding.cpp.o"
+  "CMakeFiles/speculative_decoding.dir/speculative_decoding.cpp.o.d"
+  "speculative_decoding"
+  "speculative_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

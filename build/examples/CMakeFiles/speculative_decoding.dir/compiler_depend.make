@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for speculative_decoding.
+# This may be replaced when dependencies are built.

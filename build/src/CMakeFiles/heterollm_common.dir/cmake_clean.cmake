@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_common.dir/common/log.cc.o"
+  "CMakeFiles/heterollm_common.dir/common/log.cc.o.d"
+  "CMakeFiles/heterollm_common.dir/common/status.cc.o"
+  "CMakeFiles/heterollm_common.dir/common/status.cc.o.d"
+  "CMakeFiles/heterollm_common.dir/common/table.cc.o"
+  "CMakeFiles/heterollm_common.dir/common/table.cc.o.d"
+  "libheterollm_common.a"
+  "libheterollm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

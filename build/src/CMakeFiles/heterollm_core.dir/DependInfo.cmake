@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_engines.cc" "src/CMakeFiles/heterollm_core.dir/core/baseline_engines.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/baseline_engines.cc.o.d"
+  "/root/repo/src/core/decision_tree.cc" "src/CMakeFiles/heterollm_core.dir/core/decision_tree.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/decision_tree.cc.o.d"
+  "/root/repo/src/core/engine_base.cc" "src/CMakeFiles/heterollm_core.dir/core/engine_base.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/engine_base.cc.o.d"
+  "/root/repo/src/core/engine_registry.cc" "src/CMakeFiles/heterollm_core.dir/core/engine_registry.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/engine_registry.cc.o.d"
+  "/root/repo/src/core/execution_report.cc" "src/CMakeFiles/heterollm_core.dir/core/execution_report.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/execution_report.cc.o.d"
+  "/root/repo/src/core/hetero_engine.cc" "src/CMakeFiles/heterollm_core.dir/core/hetero_engine.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/hetero_engine.cc.o.d"
+  "/root/repo/src/core/npu_only_strategies.cc" "src/CMakeFiles/heterollm_core.dir/core/npu_only_strategies.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/npu_only_strategies.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/CMakeFiles/heterollm_core.dir/core/partition.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/partition.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/CMakeFiles/heterollm_core.dir/core/platform.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/platform.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/CMakeFiles/heterollm_core.dir/core/profiler.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/profiler.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/heterollm_core.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/heterollm_core.dir/core/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_core.dir/core/baseline_engines.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/baseline_engines.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/decision_tree.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/decision_tree.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/engine_base.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/engine_base.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/engine_registry.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/engine_registry.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/execution_report.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/execution_report.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/hetero_engine.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/hetero_engine.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/npu_only_strategies.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/npu_only_strategies.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/partition.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/partition.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/platform.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/platform.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/profiler.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/profiler.cc.o.d"
+  "CMakeFiles/heterollm_core.dir/core/solver.cc.o"
+  "CMakeFiles/heterollm_core.dir/core/solver.cc.o.d"
+  "libheterollm_core.a"
+  "libheterollm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

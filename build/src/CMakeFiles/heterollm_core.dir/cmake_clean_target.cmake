@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheterollm_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/heterollm_graph.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/heterollm_graph.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/heterollm_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/heterollm_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/interpreter.cc" "src/CMakeFiles/heterollm_graph.dir/graph/interpreter.cc.o" "gcc" "src/CMakeFiles/heterollm_graph.dir/graph/interpreter.cc.o.d"
+  "/root/repo/src/graph/passes.cc" "src/CMakeFiles/heterollm_graph.dir/graph/passes.cc.o" "gcc" "src/CMakeFiles/heterollm_graph.dir/graph/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_graph.dir/graph/builder.cc.o"
+  "CMakeFiles/heterollm_graph.dir/graph/builder.cc.o.d"
+  "CMakeFiles/heterollm_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/heterollm_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/heterollm_graph.dir/graph/interpreter.cc.o"
+  "CMakeFiles/heterollm_graph.dir/graph/interpreter.cc.o.d"
+  "CMakeFiles/heterollm_graph.dir/graph/passes.cc.o"
+  "CMakeFiles/heterollm_graph.dir/graph/passes.cc.o.d"
+  "libheterollm_graph.a"
+  "libheterollm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_graph_analysis.dir/graph/cost_analyzer.cc.o"
+  "CMakeFiles/heterollm_graph_analysis.dir/graph/cost_analyzer.cc.o.d"
+  "libheterollm_graph_analysis.a"
+  "libheterollm_graph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_graph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/cpu_device.cc" "src/CMakeFiles/heterollm_hal.dir/hal/cpu_device.cc.o" "gcc" "src/CMakeFiles/heterollm_hal.dir/hal/cpu_device.cc.o.d"
+  "/root/repo/src/hal/device.cc" "src/CMakeFiles/heterollm_hal.dir/hal/device.cc.o" "gcc" "src/CMakeFiles/heterollm_hal.dir/hal/device.cc.o.d"
+  "/root/repo/src/hal/gpu_device.cc" "src/CMakeFiles/heterollm_hal.dir/hal/gpu_device.cc.o" "gcc" "src/CMakeFiles/heterollm_hal.dir/hal/gpu_device.cc.o.d"
+  "/root/repo/src/hal/npu_device.cc" "src/CMakeFiles/heterollm_hal.dir/hal/npu_device.cc.o" "gcc" "src/CMakeFiles/heterollm_hal.dir/hal/npu_device.cc.o.d"
+  "/root/repo/src/hal/npu_graph.cc" "src/CMakeFiles/heterollm_hal.dir/hal/npu_graph.cc.o" "gcc" "src/CMakeFiles/heterollm_hal.dir/hal/npu_graph.cc.o.d"
+  "/root/repo/src/hal/sync.cc" "src/CMakeFiles/heterollm_hal.dir/hal/sync.cc.o" "gcc" "src/CMakeFiles/heterollm_hal.dir/hal/sync.cc.o.d"
+  "/root/repo/src/hal/unified_memory.cc" "src/CMakeFiles/heterollm_hal.dir/hal/unified_memory.cc.o" "gcc" "src/CMakeFiles/heterollm_hal.dir/hal/unified_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_hal.dir/hal/cpu_device.cc.o"
+  "CMakeFiles/heterollm_hal.dir/hal/cpu_device.cc.o.d"
+  "CMakeFiles/heterollm_hal.dir/hal/device.cc.o"
+  "CMakeFiles/heterollm_hal.dir/hal/device.cc.o.d"
+  "CMakeFiles/heterollm_hal.dir/hal/gpu_device.cc.o"
+  "CMakeFiles/heterollm_hal.dir/hal/gpu_device.cc.o.d"
+  "CMakeFiles/heterollm_hal.dir/hal/npu_device.cc.o"
+  "CMakeFiles/heterollm_hal.dir/hal/npu_device.cc.o.d"
+  "CMakeFiles/heterollm_hal.dir/hal/npu_graph.cc.o"
+  "CMakeFiles/heterollm_hal.dir/hal/npu_graph.cc.o.d"
+  "CMakeFiles/heterollm_hal.dir/hal/sync.cc.o"
+  "CMakeFiles/heterollm_hal.dir/hal/sync.cc.o.d"
+  "CMakeFiles/heterollm_hal.dir/hal/unified_memory.cc.o"
+  "CMakeFiles/heterollm_hal.dir/hal/unified_memory.cc.o.d"
+  "libheterollm_hal.a"
+  "libheterollm_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

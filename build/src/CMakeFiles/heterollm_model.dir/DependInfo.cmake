@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/kv_cache.cc" "src/CMakeFiles/heterollm_model.dir/model/kv_cache.cc.o" "gcc" "src/CMakeFiles/heterollm_model.dir/model/kv_cache.cc.o.d"
+  "/root/repo/src/model/model_config.cc" "src/CMakeFiles/heterollm_model.dir/model/model_config.cc.o" "gcc" "src/CMakeFiles/heterollm_model.dir/model/model_config.cc.o.d"
+  "/root/repo/src/model/weights.cc" "src/CMakeFiles/heterollm_model.dir/model/weights.cc.o" "gcc" "src/CMakeFiles/heterollm_model.dir/model/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

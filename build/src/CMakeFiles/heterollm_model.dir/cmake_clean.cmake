@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_model.dir/model/kv_cache.cc.o"
+  "CMakeFiles/heterollm_model.dir/model/kv_cache.cc.o.d"
+  "CMakeFiles/heterollm_model.dir/model/model_config.cc.o"
+  "CMakeFiles/heterollm_model.dir/model/model_config.cc.o.d"
+  "CMakeFiles/heterollm_model.dir/model/weights.cc.o"
+  "CMakeFiles/heterollm_model.dir/model/weights.cc.o.d"
+  "libheterollm_model.a"
+  "libheterollm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/memory_system.cc" "src/CMakeFiles/heterollm_sim.dir/sim/memory_system.cc.o" "gcc" "src/CMakeFiles/heterollm_sim.dir/sim/memory_system.cc.o.d"
+  "/root/repo/src/sim/power_model.cc" "src/CMakeFiles/heterollm_sim.dir/sim/power_model.cc.o" "gcc" "src/CMakeFiles/heterollm_sim.dir/sim/power_model.cc.o.d"
+  "/root/repo/src/sim/soc_simulator.cc" "src/CMakeFiles/heterollm_sim.dir/sim/soc_simulator.cc.o" "gcc" "src/CMakeFiles/heterollm_sim.dir/sim/soc_simulator.cc.o.d"
+  "/root/repo/src/sim/soc_spec.cc" "src/CMakeFiles/heterollm_sim.dir/sim/soc_spec.cc.o" "gcc" "src/CMakeFiles/heterollm_sim.dir/sim/soc_spec.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/heterollm_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/heterollm_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

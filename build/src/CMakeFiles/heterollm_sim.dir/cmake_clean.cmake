@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_sim.dir/sim/memory_system.cc.o"
+  "CMakeFiles/heterollm_sim.dir/sim/memory_system.cc.o.d"
+  "CMakeFiles/heterollm_sim.dir/sim/power_model.cc.o"
+  "CMakeFiles/heterollm_sim.dir/sim/power_model.cc.o.d"
+  "CMakeFiles/heterollm_sim.dir/sim/soc_simulator.cc.o"
+  "CMakeFiles/heterollm_sim.dir/sim/soc_simulator.cc.o.d"
+  "CMakeFiles/heterollm_sim.dir/sim/soc_spec.cc.o"
+  "CMakeFiles/heterollm_sim.dir/sim/soc_spec.cc.o.d"
+  "CMakeFiles/heterollm_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/heterollm_sim.dir/sim/trace.cc.o.d"
+  "libheterollm_sim.a"
+  "libheterollm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/attention.cc" "src/CMakeFiles/heterollm_tensor.dir/tensor/attention.cc.o" "gcc" "src/CMakeFiles/heterollm_tensor.dir/tensor/attention.cc.o.d"
+  "/root/repo/src/tensor/dtype.cc" "src/CMakeFiles/heterollm_tensor.dir/tensor/dtype.cc.o" "gcc" "src/CMakeFiles/heterollm_tensor.dir/tensor/dtype.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/heterollm_tensor.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/heterollm_tensor.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/quant.cc" "src/CMakeFiles/heterollm_tensor.dir/tensor/quant.cc.o" "gcc" "src/CMakeFiles/heterollm_tensor.dir/tensor/quant.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/heterollm_tensor.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/heterollm_tensor.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/heterollm_tensor.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/heterollm_tensor.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

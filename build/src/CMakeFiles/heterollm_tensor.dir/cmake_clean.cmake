@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_tensor.dir/tensor/attention.cc.o"
+  "CMakeFiles/heterollm_tensor.dir/tensor/attention.cc.o.d"
+  "CMakeFiles/heterollm_tensor.dir/tensor/dtype.cc.o"
+  "CMakeFiles/heterollm_tensor.dir/tensor/dtype.cc.o.d"
+  "CMakeFiles/heterollm_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/heterollm_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/heterollm_tensor.dir/tensor/quant.cc.o"
+  "CMakeFiles/heterollm_tensor.dir/tensor/quant.cc.o.d"
+  "CMakeFiles/heterollm_tensor.dir/tensor/shape.cc.o"
+  "CMakeFiles/heterollm_tensor.dir/tensor/shape.cc.o.d"
+  "CMakeFiles/heterollm_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/heterollm_tensor.dir/tensor/tensor.cc.o.d"
+  "libheterollm_tensor.a"
+  "libheterollm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

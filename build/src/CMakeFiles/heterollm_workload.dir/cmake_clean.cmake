@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterollm_workload.dir/workload/chat_session.cc.o"
+  "CMakeFiles/heterollm_workload.dir/workload/chat_session.cc.o.d"
+  "CMakeFiles/heterollm_workload.dir/workload/metrics.cc.o"
+  "CMakeFiles/heterollm_workload.dir/workload/metrics.cc.o.d"
+  "CMakeFiles/heterollm_workload.dir/workload/prompt_workload.cc.o"
+  "CMakeFiles/heterollm_workload.dir/workload/prompt_workload.cc.o.d"
+  "CMakeFiles/heterollm_workload.dir/workload/render_workload.cc.o"
+  "CMakeFiles/heterollm_workload.dir/workload/render_workload.cc.o.d"
+  "libheterollm_workload.a"
+  "libheterollm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterollm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/log_test.cc" "tests/CMakeFiles/heterollm_tests.dir/common/log_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/common/log_test.cc.o.d"
+  "/root/repo/tests/common/math_util_test.cc" "tests/CMakeFiles/heterollm_tests.dir/common/math_util_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/common/math_util_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/heterollm_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/heterollm_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/heterollm_tests.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/common/table_test.cc.o.d"
+  "/root/repo/tests/core/calibration_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/calibration_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/calibration_test.cc.o.d"
+  "/root/repo/tests/core/decision_tree_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/decision_tree_test.cc.o.d"
+  "/root/repo/tests/core/engine_behavior_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/engine_behavior_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/engine_behavior_test.cc.o.d"
+  "/root/repo/tests/core/engine_numerics_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/engine_numerics_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/engine_numerics_test.cc.o.d"
+  "/root/repo/tests/core/engine_schedule_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/engine_schedule_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/engine_schedule_test.cc.o.d"
+  "/root/repo/tests/core/execution_report_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/execution_report_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/execution_report_test.cc.o.d"
+  "/root/repo/tests/core/partition_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/partition_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/partition_test.cc.o.d"
+  "/root/repo/tests/core/plan_cache_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/plan_cache_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/plan_cache_test.cc.o.d"
+  "/root/repo/tests/core/profiler_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/profiler_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/profiler_test.cc.o.d"
+  "/root/repo/tests/core/solver_test.cc" "tests/CMakeFiles/heterollm_tests.dir/core/solver_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/core/solver_test.cc.o.d"
+  "/root/repo/tests/graph/cost_analyzer_test.cc" "tests/CMakeFiles/heterollm_tests.dir/graph/cost_analyzer_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/graph/cost_analyzer_test.cc.o.d"
+  "/root/repo/tests/graph/graph_test.cc" "tests/CMakeFiles/heterollm_tests.dir/graph/graph_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/graph/graph_test.cc.o.d"
+  "/root/repo/tests/graph/interpreter_test.cc" "tests/CMakeFiles/heterollm_tests.dir/graph/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/graph/interpreter_test.cc.o.d"
+  "/root/repo/tests/graph/passes_test.cc" "tests/CMakeFiles/heterollm_tests.dir/graph/passes_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/graph/passes_test.cc.o.d"
+  "/root/repo/tests/hal/device_property_test.cc" "tests/CMakeFiles/heterollm_tests.dir/hal/device_property_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/hal/device_property_test.cc.o.d"
+  "/root/repo/tests/hal/device_test.cc" "tests/CMakeFiles/heterollm_tests.dir/hal/device_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/hal/device_test.cc.o.d"
+  "/root/repo/tests/hal/npu_graph_test.cc" "tests/CMakeFiles/heterollm_tests.dir/hal/npu_graph_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/hal/npu_graph_test.cc.o.d"
+  "/root/repo/tests/hal/sync_test.cc" "tests/CMakeFiles/heterollm_tests.dir/hal/sync_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/hal/sync_test.cc.o.d"
+  "/root/repo/tests/hal/unified_memory_test.cc" "tests/CMakeFiles/heterollm_tests.dir/hal/unified_memory_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/hal/unified_memory_test.cc.o.d"
+  "/root/repo/tests/model/kv_cache_test.cc" "tests/CMakeFiles/heterollm_tests.dir/model/kv_cache_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/model/kv_cache_test.cc.o.d"
+  "/root/repo/tests/model/model_config_test.cc" "tests/CMakeFiles/heterollm_tests.dir/model/model_config_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/model/model_config_test.cc.o.d"
+  "/root/repo/tests/model/weights_test.cc" "tests/CMakeFiles/heterollm_tests.dir/model/weights_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/model/weights_test.cc.o.d"
+  "/root/repo/tests/sim/memory_system_test.cc" "tests/CMakeFiles/heterollm_tests.dir/sim/memory_system_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/sim/memory_system_test.cc.o.d"
+  "/root/repo/tests/sim/power_model_test.cc" "tests/CMakeFiles/heterollm_tests.dir/sim/power_model_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/sim/power_model_test.cc.o.d"
+  "/root/repo/tests/sim/sim_property_test.cc" "tests/CMakeFiles/heterollm_tests.dir/sim/sim_property_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/sim/sim_property_test.cc.o.d"
+  "/root/repo/tests/sim/soc_simulator_test.cc" "tests/CMakeFiles/heterollm_tests.dir/sim/soc_simulator_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/sim/soc_simulator_test.cc.o.d"
+  "/root/repo/tests/sim/soc_spec_test.cc" "tests/CMakeFiles/heterollm_tests.dir/sim/soc_spec_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/sim/soc_spec_test.cc.o.d"
+  "/root/repo/tests/tensor/attention_test.cc" "tests/CMakeFiles/heterollm_tests.dir/tensor/attention_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/tensor/attention_test.cc.o.d"
+  "/root/repo/tests/tensor/ops_test.cc" "tests/CMakeFiles/heterollm_tests.dir/tensor/ops_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/tensor/ops_test.cc.o.d"
+  "/root/repo/tests/tensor/quant_test.cc" "tests/CMakeFiles/heterollm_tests.dir/tensor/quant_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/tensor/quant_test.cc.o.d"
+  "/root/repo/tests/tensor/shape_test.cc" "tests/CMakeFiles/heterollm_tests.dir/tensor/shape_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/tensor/shape_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/heterollm_tests.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/tensor/tensor_test.cc.o.d"
+  "/root/repo/tests/workload/chat_session_test.cc" "tests/CMakeFiles/heterollm_tests.dir/workload/chat_session_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/workload/chat_session_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/heterollm_tests.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/heterollm_tests.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/heterollm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_graph_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterollm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
