@@ -1,0 +1,139 @@
+// Serving throughput: serial replay vs continuous batching at 4/8/16
+// concurrent chat sessions over one Hetero-tensor SoC.
+//
+// Decode is bandwidth-bound (paper §4.1.2), so batching B sessions into one
+// decode iteration streams the weights from DRAM once instead of B times;
+// the table below shows the resulting aggregate-throughput speedup and the
+// TTFT tail. Results are also written to serving_throughput.bench.json
+// (one JSON object per {sessions, policy} cell, including ttft_p99_us).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/serve/iteration_scheduler.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/serving_metrics.h"
+
+namespace heterollm {
+namespace {
+
+using model::ModelConfig;
+using serve::IterationScheduler;
+using serve::RequestQueue;
+using serve::SchedulePolicy;
+using serve::SchedulerOptions;
+using serve::ServingMetrics;
+
+constexpr const char* kEngine = "Hetero-tensor";
+constexpr int kMaxBatch = 16;
+constexpr MicroSeconds kMeanInterarrivalUs = 5e4;  // 20 req/s offered load
+
+RequestQueue MakeTrace(int sessions) {
+  Rng rng(2024 + sessions);
+  return RequestQueue::Synthetic(rng, sessions, kMeanInterarrivalUs,
+                                 /*min_prompt=*/32, /*max_prompt=*/384,
+                                 /*min_decode=*/16, /*max_decode=*/48);
+}
+
+ServingMetrics ServeOnce(const model::ModelWeights& weights, int sessions,
+                         SchedulePolicy policy) {
+  core::Platform platform(core::PlatformOptionsFor(kEngine));
+  auto engine = core::CreateEngine(
+      kEngine, &platform, &weights,
+      IterationScheduler::ServingEngineOptions(kMaxBatch));
+  SchedulerOptions opts;
+  opts.policy = policy;
+  opts.max_decode_batch = kMaxBatch;
+  return IterationScheduler(engine.get(), opts).Run(MakeTrace(sessions));
+}
+
+void PrintServingComparison() {
+  benchx::PrintHeader("Serving",
+                      "serial replay vs continuous batching (InternLM-1.8B)");
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  model::ModelWeights weights =
+      model::ModelWeights::Create(cfg, model::ExecutionMode::kSimulate);
+
+  TextTable table({"sessions", "policy", "agg tok/s", "speedup",
+                   "ttft p50 (ms)", "ttft p99 (ms)", "e2e p99 (ms)",
+                   "avg batch"});
+  std::string json = "[\n";
+  bool first = true;
+  for (int sessions : {4, 8, 16}) {
+    const ServingMetrics serial =
+        ServeOnce(weights, sessions, SchedulePolicy::kSerial);
+    const ServingMetrics cb =
+        ServeOnce(weights, sessions, SchedulePolicy::kContinuousBatching);
+    const double speedup =
+        cb.aggregate_tokens_per_s() / serial.aggregate_tokens_per_s();
+    struct Row {
+      const char* policy;
+      const ServingMetrics* m;
+      double speedup;
+    };
+    for (const Row& row : {Row{"serial", &serial, 1.0},
+                           Row{"continuous", &cb, speedup}}) {
+      table.AddRow({StrFormat("%d", sessions), row.policy,
+                    StrFormat("%.1f", row.m->aggregate_tokens_per_s()),
+                    StrFormat("%.2fx", row.speedup),
+                    StrFormat("%.1f", row.m->ttft_p50() / 1e3),
+                    StrFormat("%.1f", row.m->ttft_p99() / 1e3),
+                    StrFormat("%.1f", row.m->latency_p99() / 1e3),
+                    StrFormat("%.2f", row.m->avg_decode_batch)});
+      json += StrFormat("%s{\"sessions\": %d, \"policy\": \"%s\", ",
+                        first ? "" : ",\n", sessions, row.policy);
+      json += StrFormat("\"speedup_vs_serial\": %.4f, \"metrics\": %s}",
+                        row.speedup, row.m->ToJson().c_str());
+      first = false;
+    }
+  }
+  json += "\n]\n";
+  std::printf("%s", table.Render().c_str());
+
+  const char* path = "serving_throughput.bench.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+  }
+}
+
+void BM_Serve(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  const SchedulePolicy policy = state.range(1) == 0
+                                    ? SchedulePolicy::kSerial
+                                    : SchedulePolicy::kContinuousBatching;
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  model::ModelWeights weights =
+      model::ModelWeights::Create(cfg, model::ExecutionMode::kSimulate);
+  double tok_s = 0;
+  double ttft_p99_ms = 0;
+  for (auto _ : state) {
+    const ServingMetrics m = ServeOnce(weights, sessions, policy);
+    tok_s = m.aggregate_tokens_per_s();
+    ttft_p99_ms = m.ttft_p99() / 1e3;
+  }
+  state.counters["sim_agg_tok_per_s"] = tok_s;
+  state.counters["sim_ttft_p99_ms"] = ttft_p99_ms;
+  state.SetLabel(StrFormat("%d sessions, %s", sessions,
+                           state.range(1) == 0 ? "serial" : "continuous"));
+}
+BENCHMARK(BM_Serve)
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({16, 0})->Args({16, 1})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  heterollm::PrintServingComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

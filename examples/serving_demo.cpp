@@ -1,0 +1,65 @@
+// serving_demo: multi-session serving on one simulated mobile SoC.
+//
+// Generates a Poisson arrival trace of chat requests, serves it twice over
+// the Hetero-tensor engine — once as serial FIFO replay, once with
+// continuous batching — and prints the per-request table plus aggregate
+// throughput/latency metrics for each.
+//
+//   ./serving_demo [sessions] [seed]
+//
+// Defaults: 8 sessions, seed 7.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/core/engine_registry.h"
+#include "src/serve/iteration_scheduler.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/serving_metrics.h"
+
+using namespace heterollm;  // NOLINT
+
+int main(int argc, char** argv) {
+  const int sessions = argc > 1 ? std::atoi(argv[1]) : 8;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  if (sessions < 1) {
+    std::fprintf(stderr, "usage: %s [sessions>=1] [seed]\n", argv[0]);
+    return 1;
+  }
+
+  const model::ModelConfig cfg = model::ModelConfig::InternLM1_8B();
+  model::ModelWeights weights =
+      model::ModelWeights::Create(cfg, model::ExecutionMode::kSimulate);
+
+  Rng rng(seed);
+  serve::RequestQueue queue = serve::RequestQueue::Synthetic(
+      rng, sessions, /*mean_interarrival_us=*/5e4);
+
+  const int max_batch = std::min(sessions, 16);
+  auto serve_once = [&](serve::SchedulePolicy policy) {
+    core::Platform platform(core::PlatformOptionsFor("Hetero-tensor"));
+    auto engine = core::CreateEngine(
+        "Hetero-tensor", &platform, &weights,
+        serve::IterationScheduler::ServingEngineOptions(max_batch));
+    serve::SchedulerOptions opts;
+    opts.policy = policy;
+    opts.max_decode_batch = max_batch;
+    return serve::IterationScheduler(engine.get(), opts).Run(queue);
+  };
+
+  std::printf("== serial FIFO replay (%d sessions, InternLM-1.8B) ==\n",
+              sessions);
+  const serve::ServingMetrics serial =
+      serve_once(serve::SchedulePolicy::kSerial);
+  std::printf("%s\n", serial.Render().c_str());
+
+  std::printf("== continuous batching ==\n");
+  const serve::ServingMetrics cb =
+      serve_once(serve::SchedulePolicy::kContinuousBatching);
+  std::printf("%s\n", cb.Render().c_str());
+
+  std::printf("continuous batching speedup: %.2fx aggregate tokens/s\n",
+              cb.aggregate_tokens_per_s() / serial.aggregate_tokens_per_s());
+  return 0;
+}

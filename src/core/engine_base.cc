@@ -70,6 +70,45 @@ void EngineBase::ResetSession() {
   synced_kernels_.clear();
 }
 
+model::KvCache& EngineBase::session_cache(size_t slot) {
+  if (batch_caches_.empty()) {
+    HCHECK(slot == 0);
+    return *kv_cache_;
+  }
+  HCHECK(slot < batch_caches_.size());
+  return *batch_caches_[slot];
+}
+
+PhaseStats EngineBase::PrefillInto(model::KvCache* cache,
+                                   const Tensor& prompt) {
+  HCHECK(cache != nullptr);
+  HCHECK_MSG(batch_caches_.empty(), "serving iteration already in flight");
+  batch_caches_ = {cache};
+  PhaseStats stats = Prefill(prompt);
+  batch_caches_.clear();
+  return stats;
+}
+
+PhaseStats EngineBase::BatchedDecodeStep(
+    const std::vector<model::KvCache*>& caches) {
+  HCHECK(!caches.empty());
+  HCHECK_MSG(batch_caches_.empty(), "serving iteration already in flight");
+  for (model::KvCache* cache : caches) {
+    HCHECK(cache != nullptr);
+  }
+  // Batched decoding shares one forward pass across sessions whose cache
+  // contents differ; the serving layer is a timing simulation.
+  HCHECK_MSG(mode_ == ExecutionMode::kSimulate,
+             "batched decoding is timing-only (ExecutionMode::kSimulate)");
+  batch_caches_ = caches;
+  const Tensor tokens = Tensor::Deferred(
+      Shape({static_cast<int64_t>(caches.size()), weights_->config().hidden}),
+      tensor::DType::kFp16);
+  PhaseStats stats = DecodeStep(tokens);
+  batch_caches_.clear();
+  return stats;
+}
+
 namespace {
 // Stable id for one matmul op instance within the compiled network.
 int64_t GraphOpId(int layer, MatmulSite site) {
@@ -433,12 +472,13 @@ EngineBase::Value EngineBase::Rope(Value& x, int64_t pos_offset) {
 EngineBase::Value EngineBase::Attention(Value& q, int layer,
                                         int64_t pos_offset) {
   const auto& cfg = weights_->config();
+  model::KvCache& cache = session_cache(0);
   hal::Device& dev = platform_->device(vector_backend());
   hal::AttentionSpec spec;
   spec.m = q.tensor.shape().rows();
   // Causal attention: query row i attends to pos_offset + i + 1 positions;
   // charge the average span rather than the full rectangle.
-  const int64_t kv_len = kv_cache_->K(layer).shape().rows();
+  const int64_t kv_len = cache.K(layer).shape().rows();
   spec.t = kv_len - spec.m + (spec.m + 1) / 2;
   spec.num_heads = cfg.num_heads;
   spec.num_kv_heads = cfg.num_kv_heads;
@@ -451,15 +491,46 @@ EngineBase::Value EngineBase::Attention(Value& q, int layer,
   params.num_kv_heads = cfg.num_kv_heads;
   params.head_dim = cfg.head_dim;
   params.q_pos_offset = pos_offset;
-  Tensor out = tensor::GqaAttention(q.tensor, kv_cache_->K(layer),
-                                    kv_cache_->V(layer), params);
+  Tensor out = tensor::GqaAttention(q.tensor, cache.K(layer), cache.V(layer),
+                                    params);
   return SubmitKernel(dev, desc, {&q}, std::move(out));
+}
+
+EngineBase::Value EngineBase::BatchedAttention(Value& q, int layer) {
+  const auto& cfg = weights_->config();
+  hal::Device& dev = platform_->device(vector_backend());
+  // One single-token attention kernel per session: each slot reads its own
+  // cache length, so the cost tracks every conversation's true history
+  // (the part of a decode iteration that does NOT amortize with batching).
+  Value merged;
+  for (size_t slot = 0; slot < session_count(); ++slot) {
+    hal::AttentionSpec spec;
+    spec.m = 1;
+    spec.t = session_cache(slot).K(layer).shape().rows();
+    spec.num_heads = cfg.num_heads;
+    spec.num_kv_heads = cfg.num_kv_heads;
+    spec.head_dim = cfg.head_dim;
+    sim::KernelDesc desc = dev.CostAttention(spec);
+    desc.label = StrFormat("attn:L%d", layer);
+    Tensor out = Tensor::Deferred(Shape({1, cfg.q_dim()}), tensor::DType::kFp16);
+    Value piece = SubmitKernel(dev, desc, {&q}, std::move(out));
+    merged.deps.insert(merged.deps.end(), piece.deps.begin(),
+                       piece.deps.end());
+  }
+  merged.tensor =
+      Tensor::Deferred(Shape({static_cast<int64_t>(session_count()),
+                              cfg.q_dim()}),
+                       tensor::DType::kFp16);
+  return merged;
 }
 
 EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
   current_layer_ = layer;
   const model::LayerWeights& lw = weights_->layer(layer);
-  const int64_t past = kv_cache_->length();
+  // In a serving batch the sessions sit at different positions; slot 0's
+  // offset prices the RoPE kernel (cost is position-independent) while
+  // appends/attention below use each slot's own cache.
+  const int64_t past = session_cache(0).length();
 
   Value normed = RmsNorm(hidden, lw.attn_norm);
   Value q = ExecuteMatmul(MatmulSite::kQ, normed, lw.wq, phase);
@@ -470,12 +541,21 @@ EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
 
   // The cache append itself is a strided device-side write folded into the
   // projection kernels; attention's kernel dependencies flow through q/k/v.
-  kv_cache_->Append(layer, k_rot.tensor, v.tensor);
+  if (serving_batch()) {
+    for (size_t slot = 0; slot < session_count(); ++slot) {
+      const int64_t r = static_cast<int64_t>(slot);
+      session_cache(slot).Append(layer, k_rot.tensor.SliceRows(r, r + 1),
+                                 v.tensor.SliceRows(r, r + 1));
+    }
+  } else {
+    session_cache(0).Append(layer, k_rot.tensor, v.tensor);
+  }
   // Attention (on the vector backend) must see k/v results.
   hal::Device& vec_dev = platform_->device(vector_backend());
   EnsureVisible(k_rot, vec_dev);
   EnsureVisible(v, vec_dev);
-  Value attn = Attention(q_rot, layer, past);
+  Value attn = serving_batch() ? BatchedAttention(q_rot, layer)
+                               : Attention(q_rot, layer, past);
 
   Value o = ExecuteMatmul(MatmulSite::kO, attn, lw.wo, phase);
   Value h1 = Add(hidden, o);
@@ -498,10 +578,13 @@ PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
   }
   Value final_norm = RmsNorm(hidden, weights_->final_norm());
 
-  // LM head over the last position only.
+  // LM head over the last position only — in a serving batch every row is
+  // its session's last position, so all of them go through the head.
   const int64_t rows = final_norm.tensor.shape().rows();
   Value last;
-  last.tensor = final_norm.tensor.SliceRows(rows - 1, rows);
+  last.tensor = serving_batch()
+                    ? final_norm.tensor
+                    : final_norm.tensor.SliceRows(rows - 1, rows);
   last.deps = final_norm.deps;
   Value logits =
       ExecuteMatmul(MatmulSite::kLmHead, last, weights_->lm_head(), phase);

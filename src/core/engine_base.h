@@ -23,6 +23,7 @@
 #ifndef SRC_CORE_ENGINE_BASE_H_
 #define SRC_CORE_ENGINE_BASE_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -124,6 +125,26 @@ class EngineBase : public InferenceEngine {
   // `decode_len` steps; gathers latency/energy metrics.
   GenerationStats Generate(int prompt_len, int decode_len);
 
+  // --- multi-session serving (src/serve/) ----------------------------------
+  // The serving scheduler multiplexes many concurrent sessions over one
+  // engine. Each session owns its KV cache; the engine runs an iteration
+  // against the caches handed to it instead of its built-in session cache.
+
+  // Prefills `prompt` into `cache` (instead of the engine's own cache).
+  PhaseStats PrefillInto(model::KvCache* cache, const tensor::Tensor& prompt);
+
+  // One continuous-batching decode iteration: row i of the synthetic
+  // [B, hidden] input is the next token of the session behind `caches[i]`.
+  // Matmuls run once at m = B, streaming each weight once for the whole
+  // batch (the continuous-batching amortization); RoPE offsets, cache
+  // appends and attention remain per-session. B > 1 is timing-only
+  // (requires ExecutionMode::kSimulate).
+  PhaseStats BatchedDecodeStep(const std::vector<model::KvCache*>& caches);
+
+  // Advances the host clock to `t` if it lags (idle wait between arrivals).
+  void AdvanceHostTo(MicroSeconds t) { host_now_ = std::max(host_now_, t); }
+
+  Platform* platform() const { return platform_; }
   MicroSeconds host_now() const { return host_now_; }
   const model::ModelConfig& model_config() const {
     return weights_->config();
@@ -198,6 +219,18 @@ class EngineBase : public InferenceEngine {
   Value Rope(Value& x, int64_t pos_offset);
   Value Attention(Value& q, int layer, int64_t pos_offset);
 
+  // Serving batch mode: attention/cache-append per session slot. Row i of
+  // `q` is slot i's single-token query against its own cache length.
+  Value BatchedAttention(Value& q, int layer);
+
+  // The KV cache backing session slot `slot`: the engine's own cache in
+  // single-session mode, the scheduler-provided one in serving mode.
+  model::KvCache& session_cache(size_t slot);
+  size_t session_count() const {
+    return batch_caches_.empty() ? 1 : batch_caches_.size();
+  }
+  bool serving_batch() const { return batch_caches_.size() > 1; }
+
   // Runs one full decoder layer.
   Value RunLayer(int layer, Value hidden, Phase phase);
 
@@ -209,6 +242,9 @@ class EngineBase : public InferenceEngine {
   EngineOptions options_;
   model::ExecutionMode mode_;
   std::unique_ptr<model::KvCache> kv_cache_;
+  // Non-owning caches of the sessions in the current serving iteration;
+  // empty outside serving mode (kv_cache_ backs the single session).
+  std::vector<model::KvCache*> batch_caches_;
   MicroSeconds host_now_ = 0;
   MicroSeconds graph_gen_accum_ = 0;  // charged online graph time this phase
   std::unordered_set<int64_t> synced_kernels_;

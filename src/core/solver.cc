@@ -13,9 +13,22 @@ PartitionSolver::PartitionSolver(const HardwareProfiler* profiler,
                                  const SolverConfig& config)
     : profiler_(profiler), platform_(platform), config_(config) {
   HCHECK(profiler != nullptr && platform != nullptr);
-  HCHECK(!config_.standard_seq_sizes.empty());
-  HCHECK(std::is_sorted(config_.standard_seq_sizes.begin(),
-                        config_.standard_seq_sizes.end()));
+  HCHECK_MSG(config_.row_align > 0, "row_align must be positive");
+  HCHECK_MSG(config_.seq_align > 0, "seq_align must be positive");
+  HCHECK_MSG(!config_.standard_seq_sizes.empty(),
+             "standard_seq_sizes must not be empty");
+  for (size_t i = 0; i < config_.standard_seq_sizes.size(); ++i) {
+    HCHECK_MSG(config_.standard_seq_sizes[i] > 0,
+               "standard_seq_sizes must be positive");
+    HCHECK_MSG(i == 0 ||
+                   config_.standard_seq_sizes[i - 1] <
+                       config_.standard_seq_sizes[i],
+               "standard_seq_sizes must be strictly ascending");
+  }
+  HCHECK_MSG(config_.t_sync >= 0, "t_sync must be non-negative");
+  HCHECK_MSG(config_.t_copy >= 0, "t_copy must be non-negative");
+  HCHECK_MSG(config_.decode_cut_overhead_us >= 0,
+             "decode_cut_overhead_us must be non-negative");
 }
 
 MicroSeconds PartitionSolver::NpuTime(const MatmulShape& shape) const {

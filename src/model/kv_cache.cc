@@ -69,6 +69,12 @@ Tensor KvCache::V(int layer) const {
   return lc.v.SliceRows(0, lc.length);
 }
 
+Bytes KvCache::BytesForTokens(const ModelConfig& config, int64_t tokens) {
+  // K+V, fp16, every layer.
+  return 2.0 * 2.0 * static_cast<double>(tokens) *
+         static_cast<double>(config.kv_dim()) * config.num_layers;
+}
+
 Bytes KvCache::populated_bytes() const {
   Bytes total = 0;
   for (const auto& lc : layers_) {

@@ -27,6 +27,10 @@ class KvCache {
   int64_t length() const { return length_; }
   int64_t capacity() const { return capacity_; }
 
+  // FP16 K+V byte footprint of `tokens` cached positions across all layers
+  // of `config` — what a serving scheduler reserves against its KV budget.
+  static Bytes BytesForTokens(const ModelConfig& config, int64_t tokens);
+
   // FP16 byte footprint of the populated cache region across all layers.
   Bytes populated_bytes() const;
 

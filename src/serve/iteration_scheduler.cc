@@ -1,0 +1,274 @@
+#include "src/serve/iteration_scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/model/kv_cache.h"
+
+namespace heterollm::serve {
+
+using model::KvCache;
+using tensor::Shape;
+using tensor::Tensor;
+
+IterationScheduler::IterationScheduler(core::EngineBase* engine,
+                                       const SchedulerOptions& options)
+    : engine_(engine), options_(options) {
+  HCHECK(engine != nullptr);
+  HCHECK(options.max_decode_batch >= 1);
+  HCHECK(options.kv_budget_bytes > 0);
+}
+
+core::EngineOptions IterationScheduler::ServingEngineOptions(
+    int max_decode_batch, core::EngineOptions base) {
+  HCHECK(max_decode_batch >= 1);
+  base.decode_widths.clear();
+  for (int b = 1; b <= max_decode_batch; ++b) {
+    base.decode_widths.push_back(b);
+  }
+  return base;
+}
+
+namespace {
+
+Tensor MakePrompt(int prompt_len, int64_t hidden) {
+  return Tensor::Deferred(Shape({prompt_len, hidden}), tensor::DType::kFp16);
+}
+
+}  // namespace
+
+ServingMetrics IterationScheduler::Run(const RequestQueue& queue) {
+  const std::vector<Request>& requests = queue.requests();
+  ServingMetrics metrics;
+  metrics.requests.resize(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    metrics.requests[i].id = requests[i].id;
+    metrics.requests[i].arrival = requests[i].arrival;
+    metrics.requests[i].prompt_tokens = requests[i].prompt_len;
+  }
+  metrics.window_start = engine_->host_now();
+
+  if (options_.policy == SchedulePolicy::kSerial) {
+    RunSerial(requests, &metrics);
+  } else {
+    RunContinuous(requests, &metrics);
+  }
+
+  // Let straggling device queues drain so utilization covers real work only.
+  engine_->platform()->soc().DrainAll();
+  engine_->AdvanceHostTo(engine_->platform()->soc().now());
+  metrics.window_end = engine_->host_now();
+  metrics.report = core::ExecutionReport::Build(
+      *engine_->platform(), metrics.window_start, metrics.window_end);
+  for (const RequestMetrics& r : metrics.requests) {
+    metrics.evictions += r.evictions;
+  }
+  return metrics;
+}
+
+void IterationScheduler::RunSerial(const std::vector<Request>& requests,
+                                   ServingMetrics* m) {
+  const model::ModelConfig& cfg = engine_->model_config();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    RequestMetrics& rm = m->requests[i];
+    engine_->AdvanceHostTo(r.arrival);
+    rm.admitted = engine_->host_now();
+    const Bytes need =
+        KvCache::BytesForTokens(cfg, r.prompt_len + r.decode_len);
+    HCHECK_MSG(need <= options_.kv_budget_bytes,
+               "request KV footprint exceeds the budget");
+    KvCache cache(cfg, r.prompt_len + std::max(r.decode_len, 1),
+                  model::ExecutionMode::kSimulate);
+    engine_->PrefillInto(&cache, MakePrompt(r.prompt_len, cfg.hidden));
+    rm.first_token = engine_->host_now();
+    std::vector<KvCache*> one = {&cache};
+    for (int t = 0; t < r.decode_len; ++t) {
+      engine_->BatchedDecodeStep(one);
+      ++rm.decoded_tokens;
+      ++m->decode_iterations;
+      m->avg_decode_batch += 1.0;
+    }
+    rm.completion = engine_->host_now();
+  }
+  if (m->decode_iterations > 0) {
+    m->avg_decode_batch /= m->decode_iterations;
+  }
+}
+
+void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
+                                       ServingMetrics* m) {
+  const model::ModelConfig& cfg = engine_->model_config();
+
+  struct Slot {
+    size_t idx = 0;  // index into requests/metrics
+    std::unique_ptr<KvCache> cache;
+    Bytes reserved = 0;
+    int decoded = 0;
+    int64_t last_iter = -1;  // round-robin fairness key
+  };
+
+  std::vector<Slot> active;
+  std::deque<size_t> waiting;  // arrived, not (currently) admitted
+  std::vector<bool> was_admitted(requests.size(), false);
+  size_t next_arrival = 0;
+  size_t completed = 0;
+  Bytes reserved_total = 0;
+  int64_t iter = 0;
+  double batch_accum = 0;
+
+  auto admit_arrivals = [&] {
+    const MicroSeconds now = engine_->host_now();
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival <= now) {
+      waiting.push_back(next_arrival++);
+    }
+  };
+
+  auto kv_need = [&](const Request& r) {
+    return KvCache::BytesForTokens(cfg, r.prompt_len + r.decode_len);
+  };
+
+  auto evict = [&](size_t slot_pos) {
+    Slot& victim = active[slot_pos];
+    RequestMetrics& vm = m->requests[victim.idx];
+    ++vm.evictions;
+    vm.decoded_tokens = 0;  // progress is discarded with the cache
+    reserved_total -= victim.reserved;
+    waiting.push_back(victim.idx);
+    active.erase(active.begin() + static_cast<ptrdiff_t>(slot_pos));
+  };
+
+  // Admits (and prefills) the head waiting request if the budget allows,
+  // preempting one active session when permitted. Returns true on admission.
+  auto try_admit = [&]() -> bool {
+    if (waiting.empty()) {
+      return false;
+    }
+    const size_t idx = waiting.front();
+    const Request& r = requests[idx];
+    const Bytes need = kv_need(r);
+    HCHECK_MSG(need <= options_.kv_budget_bytes,
+               "request KV footprint exceeds the whole budget");
+    if (reserved_total + need > options_.kv_budget_bytes) {
+      // Preempt at most one session, and only for a newcomer (a request
+      // that has already held a slot queues instead — prevents eviction
+      // ping-pong).
+      if (!options_.allow_eviction || was_admitted[idx] || active.empty()) {
+        return false;
+      }
+      // Victim: most remaining decode work (least sunk progress relative
+      // to what it still needs); ties fall to the most recent admission.
+      size_t victim = 0;
+      int victim_remaining = -1;
+      for (size_t s = 0; s < active.size(); ++s) {
+        const int remaining =
+            requests[active[s].idx].decode_len - active[s].decoded;
+        if (remaining >= victim_remaining) {
+          victim = s;
+          victim_remaining = remaining;
+        }
+      }
+      if (reserved_total - active[victim].reserved + need >
+          options_.kv_budget_bytes) {
+        return false;  // one eviction would not make room
+      }
+      evict(victim);
+    }
+    waiting.pop_front();
+    Slot slot;
+    slot.idx = idx;
+    slot.cache = std::make_unique<KvCache>(
+        cfg, r.prompt_len + std::max(r.decode_len, 1),
+        model::ExecutionMode::kSimulate);
+    slot.reserved = need;
+    reserved_total += need;
+    was_admitted[idx] = true;
+    RequestMetrics& rm = m->requests[idx];
+    rm.admitted = engine_->host_now();
+    engine_->PrefillInto(slot.cache.get(), MakePrompt(r.prompt_len, cfg.hidden));
+    rm.first_token = engine_->host_now();
+    if (r.decode_len == 0) {
+      rm.completion = rm.first_token;
+      reserved_total -= need;
+      ++completed;
+    } else {
+      active.push_back(std::move(slot));
+    }
+    return true;
+  };
+
+  auto decode_iteration = [&] {
+    // Round-robin fair selection: the max_decode_batch least recently
+    // decoded sessions run this iteration (stable by arrival for ties).
+    std::vector<size_t> order(active.size());
+    for (size_t s = 0; s < order.size(); ++s) {
+      order[s] = s;
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return active[a].last_iter < active[b].last_iter;
+    });
+    if (order.size() > static_cast<size_t>(options_.max_decode_batch)) {
+      order.resize(static_cast<size_t>(options_.max_decode_batch));
+    }
+    std::vector<KvCache*> caches;
+    caches.reserve(order.size());
+    for (size_t s : order) {
+      caches.push_back(active[s].cache.get());
+    }
+    engine_->BatchedDecodeStep(caches);
+    ++iter;
+    ++m->decode_iterations;
+    batch_accum += static_cast<double>(order.size());
+    const MicroSeconds now = engine_->host_now();
+    std::vector<size_t> done;
+    for (size_t s : order) {
+      Slot& slot = active[s];
+      slot.last_iter = iter;
+      ++slot.decoded;
+      RequestMetrics& rm = m->requests[slot.idx];
+      rm.decoded_tokens = slot.decoded;
+      if (slot.decoded >= requests[slot.idx].decode_len) {
+        rm.completion = now;
+        reserved_total -= slot.reserved;
+        ++completed;
+        done.push_back(s);
+      }
+    }
+    std::sort(done.begin(), done.end());
+    for (auto it = done.rbegin(); it != done.rend(); ++it) {
+      active.erase(active.begin() + static_cast<ptrdiff_t>(*it));
+    }
+  };
+
+  while (completed < requests.size()) {
+    admit_arrivals();
+    if (options_.iteration == IterationPolicy::kPrefillFirst) {
+      while (try_admit()) {
+        admit_arrivals();
+      }
+    } else {
+      try_admit();
+    }
+    if (!active.empty()) {
+      decode_iteration();
+    } else if (!waiting.empty()) {
+      // Nothing is running, so the whole budget is free and the head
+      // request must be admissible (its footprint was HCHECKed against the
+      // budget); admit rather than stall.
+      const bool admitted = try_admit();
+      HCHECK_MSG(admitted,
+                 "serving stalled: waiting requests but nothing admissible");
+    } else if (next_arrival < requests.size()) {
+      engine_->AdvanceHostTo(requests[next_arrival].arrival);
+    }
+  }
+  if (m->decode_iterations > 0) {
+    m->avg_decode_batch = batch_accum / m->decode_iterations;
+  }
+}
+
+}  // namespace heterollm::serve

@@ -1,0 +1,88 @@
+// Multi-session serving scheduler (continuous batching over one SoC).
+//
+// Admits N concurrent requests and interleaves their prefill and decode
+// iterations over a single shared engine/Platform. The throughput win is
+// the classic continuous-batching amortization, which the simulator prices
+// faithfully: a decode iteration with B sessions runs its matmuls once at
+// m = B (each weight streamed from DRAM once for the whole batch — decode
+// is bandwidth-bound, paper §4.1.2), while attention and cache appends stay
+// per-session. Serial session replay streams the full weight set once per
+// token per user; continuous batching streams it once per iteration.
+//
+// Admission is governed by a KV-cache memory budget: a request reserves its
+// whole-conversation footprint (prompt + decode positions) on admission and
+// queues while the budget is exhausted. Optionally the scheduler preempts
+// (evicts) an active session to admit a newcomer; an evicted session drops
+// its cache and restarts from prefill when re-admitted.
+//
+// The scheduler drives `ExecutionMode::kSimulate` engines only — batched
+// decoding shares one forward pass across sessions with different cache
+// contents, so only the timing path is meaningful.
+
+#ifndef SRC_SERVE_ITERATION_SCHEDULER_H_
+#define SRC_SERVE_ITERATION_SCHEDULER_H_
+
+#include "src/core/engine_base.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/serving_metrics.h"
+
+namespace heterollm::serve {
+
+enum class SchedulePolicy {
+  // One request at a time, FIFO by arrival: full prefill + all decode steps
+  // before the next request starts (the pre-serving replay baseline).
+  kSerial,
+  // Iteration-level scheduling: new requests join between decode
+  // iterations; decode runs batched across all active sessions.
+  kContinuousBatching,
+};
+
+enum class IterationPolicy {
+  // Admit (and prefill) every admissible waiting request before the next
+  // decode iteration — minimizes TTFT at some cost to decode cadence.
+  kPrefillFirst,
+  // At most one admission between decode iterations — active sessions keep
+  // a steady TPOT while arrivals trickle in.
+  kDecodeFair,
+};
+
+struct SchedulerOptions {
+  SchedulePolicy policy = SchedulePolicy::kContinuousBatching;
+  IterationPolicy iteration = IterationPolicy::kPrefillFirst;
+  // Max sessions per batched decode iteration. The engine must have static
+  // NPU decode graphs for every batch size up to this value — build it with
+  // `ServingEngineOptions` (or matching `decode_widths`).
+  int max_decode_batch = 8;
+  // KV-cache memory budget across all admitted sessions.
+  Bytes kv_budget_bytes = 256 * kMiB;
+  // Preempt an active session when a never-admitted request cannot fit.
+  bool allow_eviction = true;
+};
+
+class IterationScheduler {
+ public:
+  IterationScheduler(core::EngineBase* engine, const SchedulerOptions& options);
+
+  // Serves every request in `queue`; returns when all have completed.
+  // Simulated time continues from the engine's current clock.
+  ServingMetrics Run(const RequestQueue& queue);
+
+  // Engine options for serving: decode widths cover every batch size in
+  // [1, max_decode_batch] so batched iterations always find a pre-compiled
+  // NPU graph.
+  static core::EngineOptions ServingEngineOptions(
+      int max_decode_batch, core::EngineOptions base = {});
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  void RunSerial(const std::vector<Request>& requests, ServingMetrics* m);
+  void RunContinuous(const std::vector<Request>& requests, ServingMetrics* m);
+
+  core::EngineBase* engine_;
+  SchedulerOptions options_;
+};
+
+}  // namespace heterollm::serve
+
+#endif  // SRC_SERVE_ITERATION_SCHEDULER_H_

@@ -1,0 +1,55 @@
+#include "src/serve/request_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/workload/prompt_workload.h"
+
+namespace heterollm::serve {
+
+RequestQueue::RequestQueue(std::vector<Request> requests)
+    : requests_(std::move(requests)) {
+  for (const Request& r : requests_) {
+    HCHECK_MSG(r.prompt_len >= 1, "request needs at least one prompt token");
+    HCHECK(r.decode_len >= 0);
+    HCHECK(r.arrival >= 0);
+  }
+  std::stable_sort(
+      requests_.begin(), requests_.end(),
+      [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+}
+
+RequestQueue RequestQueue::Synthetic(Rng& rng, int count,
+                                     MicroSeconds mean_interarrival_us,
+                                     int min_prompt, int max_prompt,
+                                     int min_decode, int max_decode) {
+  HCHECK(count > 0);
+  HCHECK(mean_interarrival_us > 0);
+  const std::vector<workload::ChatTurn> turns = workload::SyntheticChatTrace(
+      rng, count, min_prompt, max_prompt, min_decode, max_decode);
+  std::vector<Request> requests;
+  requests.reserve(turns.size());
+  MicroSeconds arrival = 0;
+  for (size_t i = 0; i < turns.size(); ++i) {
+    // Exponential gap: -mean * ln(1 - U), U uniform in [0, 1).
+    arrival += -mean_interarrival_us * std::log(1.0 - rng.NextUnit());
+    Request r;
+    r.id = static_cast<int>(i);
+    r.arrival = arrival;
+    r.prompt_len = turns[i].prompt_len;
+    r.decode_len = turns[i].decode_len;
+    requests.push_back(r);
+  }
+  return RequestQueue(std::move(requests));
+}
+
+int64_t RequestQueue::total_tokens() const {
+  int64_t total = 0;
+  for (const Request& r : requests_) {
+    total += r.prompt_len + r.decode_len;
+  }
+  return total;
+}
+
+}  // namespace heterollm::serve

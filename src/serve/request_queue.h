@@ -1,0 +1,56 @@
+// Arrival-ordered request stream for the serving scheduler.
+//
+// A `Request` is one user hitting the system: a prompt to prefill and a
+// number of tokens to decode, arriving at a point in simulated time. The
+// queue is the open-loop workload the paper's decoding-phase bandwidth
+// partitioning implicitly assumes once many users share the SoC; synthetic
+// traces reuse the chat-length distributions from
+// `src/workload/prompt_workload.*` with Poisson arrivals.
+
+#ifndef SRC_SERVE_REQUEST_QUEUE_H_
+#define SRC_SERVE_REQUEST_QUEUE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace heterollm::serve {
+
+struct Request {
+  int id = 0;
+  MicroSeconds arrival = 0;
+  int prompt_len = 0;  // tokens to prefill (>= 1)
+  int decode_len = 0;  // tokens to decode after the first (>= 0)
+};
+
+class RequestQueue {
+ public:
+  // Takes ownership of `requests`, stable-sorted by arrival time.
+  // HCHECKs that every request is well-formed.
+  explicit RequestQueue(std::vector<Request> requests);
+
+  // Synthetic open-loop trace: prompt/decode lengths drawn from the
+  // chat-trace distributions, interarrival gaps exponential with mean
+  // `mean_interarrival_us` (Poisson arrivals). Ids are 0..count-1 in
+  // arrival order.
+  static RequestQueue Synthetic(Rng& rng, int count,
+                                MicroSeconds mean_interarrival_us,
+                                int min_prompt = 24, int max_prompt = 1024,
+                                int min_decode = 16, int max_decode = 128);
+
+  const std::vector<Request>& requests() const { return requests_; }
+  size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+
+  // Total tokens (prompt + decode) across all requests.
+  int64_t total_tokens() const;
+
+ private:
+  std::vector<Request> requests_;
+};
+
+}  // namespace heterollm::serve
+
+#endif  // SRC_SERVE_REQUEST_QUEUE_H_

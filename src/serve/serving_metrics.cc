@@ -1,0 +1,132 @@
+#include "src/serve/serving_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm::serve {
+
+MicroSeconds PercentileUs(std::vector<MicroSeconds> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  HCHECK(p >= 0 && p <= 100);
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const size_t idx = static_cast<size_t>(
+      std::clamp<double>(rank - 1, 0, static_cast<double>(values.size() - 1)));
+  return values[idx];
+}
+
+namespace {
+
+std::vector<MicroSeconds> Collect(
+    const std::vector<RequestMetrics>& requests,
+    MicroSeconds (RequestMetrics::*getter)() const) {
+  std::vector<MicroSeconds> out;
+  out.reserve(requests.size());
+  for (const RequestMetrics& r : requests) {
+    out.push_back((r.*getter)());
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t ServingMetrics::total_decoded_tokens() const {
+  int64_t total = 0;
+  for (const RequestMetrics& r : requests) {
+    total += r.decoded_tokens;
+  }
+  return total;
+}
+
+int64_t ServingMetrics::total_tokens() const {
+  int64_t total = total_decoded_tokens();
+  for (const RequestMetrics& r : requests) {
+    total += r.prompt_tokens;
+  }
+  return total;
+}
+
+double ServingMetrics::decode_tokens_per_s() const {
+  const MicroSeconds window = makespan();
+  return window > 0 ? total_decoded_tokens() / ToSeconds(window) : 0;
+}
+
+double ServingMetrics::aggregate_tokens_per_s() const {
+  const MicroSeconds window = makespan();
+  return window > 0 ? total_tokens() / ToSeconds(window) : 0;
+}
+
+MicroSeconds ServingMetrics::ttft_p50() const {
+  return PercentileUs(Collect(requests, &RequestMetrics::ttft), 50);
+}
+
+MicroSeconds ServingMetrics::ttft_p99() const {
+  return PercentileUs(Collect(requests, &RequestMetrics::ttft), 99);
+}
+
+MicroSeconds ServingMetrics::latency_p50() const {
+  return PercentileUs(Collect(requests, &RequestMetrics::e2e_latency), 50);
+}
+
+MicroSeconds ServingMetrics::latency_p99() const {
+  return PercentileUs(Collect(requests, &RequestMetrics::e2e_latency), 99);
+}
+
+std::string ServingMetrics::Render() const {
+  std::string out;
+  TextTable table({"req", "arrival (ms)", "TTFT (ms)", "TPOT (ms)",
+                   "latency (ms)", "tokens", "evictions"});
+  for (const RequestMetrics& r : requests) {
+    table.AddRow({StrFormat("%d", r.id), StrFormat("%.1f", ToMillis(r.arrival)),
+                  StrFormat("%.1f", ToMillis(r.ttft())),
+                  StrFormat("%.2f", ToMillis(r.tpot())),
+                  StrFormat("%.1f", ToMillis(r.e2e_latency())),
+                  StrFormat("%d+%d", r.prompt_tokens, r.decoded_tokens),
+                  StrFormat("%d", r.evictions)});
+  }
+  out += table.Render();
+  out += StrFormat(
+      "\nrequests=%zu makespan=%.1f ms  tokens/s=%.1f (decode %.1f)  "
+      "TTFT p50/p99=%.1f/%.1f ms  latency p50/p99=%.1f/%.1f ms  "
+      "decode iters=%d (avg batch %.2f)  evictions=%d\n",
+      requests.size(), ToMillis(makespan()), aggregate_tokens_per_s(),
+      decode_tokens_per_s(), ToMillis(ttft_p50()), ToMillis(ttft_p99()),
+      ToMillis(latency_p50()), ToMillis(latency_p99()), decode_iterations,
+      avg_decode_batch, evictions);
+  out += report.Render();
+  return out;
+}
+
+std::string ServingMetrics::ToJson() const {
+  std::string out = "{";
+  out += StrFormat(
+      "\"requests\": %zu, \"makespan_us\": %.3f, "
+      "\"tokens_per_s\": %.3f, \"decode_tokens_per_s\": %.3f, "
+      "\"ttft_p50_us\": %.3f, \"ttft_p99_us\": %.3f, "
+      "\"latency_p50_us\": %.3f, \"latency_p99_us\": %.3f, "
+      "\"decode_iterations\": %d, \"avg_decode_batch\": %.4f, "
+      "\"evictions\": %d, ",
+      requests.size(), makespan(), aggregate_tokens_per_s(),
+      decode_tokens_per_s(), ttft_p50(), ttft_p99(), latency_p50(),
+      latency_p99(), decode_iterations, avg_decode_batch, evictions);
+  out += "\"per_request\": [";
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const RequestMetrics& r = requests[i];
+    out += StrFormat(
+        "%s{\"id\": %d, \"arrival_us\": %.3f, \"ttft_us\": %.3f, "
+        "\"tpot_us\": %.3f, \"latency_us\": %.3f, \"prompt_tokens\": %d, "
+        "\"decoded_tokens\": %d, \"evictions\": %d}",
+        i == 0 ? "" : ", ", r.id, r.arrival, r.ttft(), r.tpot(),
+        r.e2e_latency(), r.prompt_tokens, r.decoded_tokens, r.evictions);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace heterollm::serve

@@ -1,0 +1,71 @@
+// Serving-level quality metrics: per-request TTFT/TPOT, latency
+// percentiles, aggregate token throughput and per-unit utilization.
+//
+// Everything is derived from simulated clocks, so two runs with the same
+// seed and arrival trace produce bit-identical metrics — the determinism
+// the scheduler tests rely on.
+
+#ifndef SRC_SERVE_SERVING_METRICS_H_
+#define SRC_SERVE_SERVING_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/execution_report.h"
+
+namespace heterollm::serve {
+
+struct RequestMetrics {
+  int id = 0;
+  MicroSeconds arrival = 0;
+  MicroSeconds admitted = 0;     // last admission (re-set after an eviction)
+  MicroSeconds first_token = 0;  // completion of the (last) prefill
+  MicroSeconds completion = 0;
+  int prompt_tokens = 0;
+  int decoded_tokens = 0;
+  int evictions = 0;  // times this request was preempted and restarted
+
+  MicroSeconds ttft() const { return first_token - arrival; }
+  MicroSeconds tpot() const {
+    return decoded_tokens > 0 ? (completion - first_token) / decoded_tokens
+                              : 0;
+  }
+  MicroSeconds e2e_latency() const { return completion - arrival; }
+};
+
+// Nearest-rank percentile (p in [0, 100]); 0 for an empty set.
+MicroSeconds PercentileUs(std::vector<MicroSeconds> values, double p);
+
+struct ServingMetrics {
+  std::vector<RequestMetrics> requests;  // arrival order
+  MicroSeconds window_start = 0;
+  MicroSeconds window_end = 0;
+  int evictions = 0;           // total preemptions across all requests
+  int decode_iterations = 0;   // batched decode passes issued
+  double avg_decode_batch = 0;  // mean sessions per decode iteration
+  core::ExecutionReport report;  // per-unit utilization over the window
+
+  MicroSeconds makespan() const { return window_end - window_start; }
+  int64_t total_decoded_tokens() const;
+  int64_t total_tokens() const;  // prompt + decoded
+
+  // Decoded (respectively all) tokens over the serving window.
+  double decode_tokens_per_s() const;
+  double aggregate_tokens_per_s() const;
+
+  MicroSeconds ttft_p50() const;
+  MicroSeconds ttft_p99() const;
+  MicroSeconds latency_p50() const;
+  MicroSeconds latency_p99() const;
+
+  // Human-readable summary (request table + aggregates + unit utilization).
+  std::string Render() const;
+
+  // Machine-readable one-object JSON (aggregates + per-request rows).
+  std::string ToJson() const;
+};
+
+}  // namespace heterollm::serve
+
+#endif  // SRC_SERVE_SERVING_METRICS_H_

@@ -21,25 +21,36 @@ StreamId MemorySystem::OpenStream(double cap_bytes_per_us, Bytes bytes) {
 
 void MemorySystem::AdvanceTo(MicroSeconds t) {
   HCHECK_MSG(t >= now_ - 1e-9, "memory time must be monotonic");
-  if (t <= now_) {
-    return;
+  // Rates are only constant until the next stream drains, so integrate
+  // piecewise: step to the earliest in-flight completion, let Reallocate
+  // hand the freed bandwidth to the survivors, repeat until `t`.
+  while (t > now_) {
+    MicroSeconds step = t;
+    for (const auto& [id, s] : streams_) {
+      if (s.remaining > kDrainEpsilonBytes && s.rate > 0) {
+        const MicroSeconds done_at = now_ + s.remaining / s.rate;
+        if (done_at > now_ && done_at < step) {
+          step = done_at;
+        }
+      }
+    }
+    const MicroSeconds dt = step - now_;
+    for (auto& [id, s] : streams_) {
+      Bytes moved = std::min(s.remaining, s.rate * dt);
+      s.remaining -= moved;
+      total_bytes_transferred_ += moved;
+    }
+    now_ = step;
+    // Streams that drained stop consuming bandwidth immediately.
+    Reallocate();
   }
-  MicroSeconds dt = t - now_;
-  for (auto& [id, s] : streams_) {
-    Bytes moved = std::min(s.remaining, s.rate * dt);
-    s.remaining -= moved;
-    total_bytes_transferred_ += moved;
-  }
-  now_ = t;
-  // Streams that drained stop consuming bandwidth immediately.
-  Reallocate();
 }
 
 MicroSeconds MemorySystem::EstimateCompletion(StreamId id) const {
   auto it = streams_.find(id);
   HCHECK(it != streams_.end());
   const Stream& s = it->second;
-  if (s.remaining <= 0) {
+  if (s.remaining <= kDrainEpsilonBytes) {
     return now_;
   }
   if (s.rate <= 0) {
@@ -51,7 +62,7 @@ MicroSeconds MemorySystem::EstimateCompletion(StreamId id) const {
 bool MemorySystem::IsDone(StreamId id) const {
   auto it = streams_.find(id);
   HCHECK(it != streams_.end());
-  return it->second.remaining <= 1e-9;
+  return it->second.remaining <= kDrainEpsilonBytes;
 }
 
 void MemorySystem::CloseStream(StreamId id) {
@@ -80,7 +91,7 @@ void MemorySystem::Reallocate() {
   active.reserve(streams_.size());
   for (auto& [id, s] : streams_) {
     s.rate = 0;
-    if (s.remaining > 1e-9) {
+    if (s.remaining > kDrainEpsilonBytes) {
       active.push_back(&s);
     }
   }

@@ -29,8 +29,26 @@ struct MemoryConfig {
   double soc_bandwidth_bytes_per_us = 68e3;
   // Efficiency factor applied when more than one stream is active, modelling
   // bank conflicts / arbitration loss. 1.0 = perfectly composable.
+  //
+  // Intended semantics (paper §3.3): the derate is a *contention* penalty,
+  // so it is deliberately a step function of the active-stream count — the
+  // effective ceiling is `soc_bandwidth_bytes_per_us` with exactly one
+  // active stream and `efficiency * soc_bandwidth_bytes_per_us` with two or
+  // more. The discontinuity at the 1 <-> 2 transition is intended:
+  // arbitration loss only exists once the memory controller is multiplexing
+  // requestors. In practice a single processor's cap (40–45 GB/s) sits well
+  // below even the derated ceiling, so the step is rarely the binding
+  // constraint; it matters only for hypothetical caps above
+  // `efficiency * ceiling`.
   double multi_stream_efficiency = 0.93;
 };
+
+// A stream whose residual byte count falls at or below this epsilon is
+// treated as drained everywhere — IsDone(), EstimateCompletion(), and the
+// active-stream filter in the bandwidth reallocation all use this single
+// constant, so a sub-epsilon floating-point residue can never be "done" by
+// one query and "never completing" by another.
+inline constexpr Bytes kDrainEpsilonBytes = 1e-9;
 
 using StreamId = int64_t;
 

@@ -202,6 +202,66 @@ TEST_F(SolverTest, ImpossibleBudgetFallsBackToNpu) {
   EXPECT_TRUE(std::isfinite(d.est_total));
 }
 
+// The solver config is user-facing (examples tweak it); malformed values
+// must be rejected at construction, not silently produce nonsense plans.
+TEST_F(SolverTest, RejectsMalformedConfig) {
+  auto make = [this](const SolverConfig& cfg) {
+    PartitionSolver solver(&prof_, &plat_, cfg);
+  };
+  {
+    SolverConfig cfg;
+    cfg.row_align = 0;
+    EXPECT_DEATH(make(cfg), "row_align");
+  }
+  {
+    SolverConfig cfg;
+    cfg.seq_align = -32;
+    EXPECT_DEATH(make(cfg), "seq_align");
+  }
+  {
+    SolverConfig cfg;
+    cfg.standard_seq_sizes = {};
+    EXPECT_DEATH(make(cfg), "empty");
+  }
+  {
+    SolverConfig cfg;
+    cfg.standard_seq_sizes = {32, 128, 64};
+    EXPECT_DEATH(make(cfg), "ascending");
+  }
+  {
+    SolverConfig cfg;
+    cfg.standard_seq_sizes = {64, 64, 128};  // duplicates are not ascending
+    EXPECT_DEATH(make(cfg), "ascending");
+  }
+  {
+    SolverConfig cfg;
+    cfg.standard_seq_sizes = {-32, 64};
+    EXPECT_DEATH(make(cfg), "positive");
+  }
+  {
+    SolverConfig cfg;
+    cfg.t_sync = -1.0;
+    EXPECT_DEATH(make(cfg), "t_sync");
+  }
+  {
+    SolverConfig cfg;
+    cfg.t_copy = -1.0;
+    EXPECT_DEATH(make(cfg), "t_copy");
+  }
+  {
+    SolverConfig cfg;
+    cfg.decode_cut_overhead_us = -5.0;
+    EXPECT_DEATH(make(cfg), "decode_cut_overhead");
+  }
+  // A custom but well-formed config still constructs.
+  SolverConfig ok;
+  ok.standard_seq_sizes = {16, 48, 96};
+  ok.row_align = 128;
+  ok.t_sync = 0;
+  PartitionSolver fine(&prof_, &plat_, ok);
+  EXPECT_EQ(fine.config().row_align, 128);
+}
+
 TEST_F(SolverTest, PredictionModeAgreesOnStructure) {
   // The solver should make the same qualitative choices with predicted
   // latencies (that is the point of prediction mode).

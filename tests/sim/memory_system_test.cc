@@ -106,6 +106,58 @@ TEST(MemorySystemTest, AggregateBandwidthProperty) {
   }
 }
 
+// Regression: a stream whose floating-point residue lands inside the drain
+// epsilon must agree with itself — IsDone() true implies EstimateCompletion()
+// returns now(), not +inf. (Previously IsDone compared against 1e-9 while
+// EstimateCompletion compared against 0, so a sub-epsilon residue was "done"
+// yet "never completing" after Reallocate zeroed its rate.)
+TEST(MemorySystemTest, DrainedStreamEpsilonConsistency) {
+  MemorySystem mem(NoLossConfig());
+  StreamId s = mem.OpenStream(/*cap_bytes_per_us=*/1e3, /*bytes=*/1e3);
+  // Stop just shy of the exact completion time: the residue is ~1e-10 bytes,
+  // inside kDrainEpsilonBytes.
+  mem.AdvanceTo(1.0 - 1e-13);
+  ASSERT_TRUE(mem.IsDone(s));
+  EXPECT_DOUBLE_EQ(mem.EstimateCompletion(s), mem.now());
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(s), 0.0);
+}
+
+// Regression: AdvanceTo must integrate piecewise across mid-interval drains.
+// B finishes at t=1 under fair sharing; from then on A runs at its full cap.
+// A single AdvanceTo(2.0) has to account for both regimes: 34e3 (A) + 34e3
+// (B) in the first µs, then 45e3 (A alone) in the second = 113e3 total.
+// (Previously rates were frozen across the whole interval, yielding 102e3.)
+TEST(MemorySystemTest, AdvanceIntegratesAcrossMidIntervalDrain) {
+  MemorySystem mem(NoLossConfig());
+  StreamId a = mem.OpenStream(45e3, 1e9);
+  StreamId b = mem.OpenStream(45e3, 34e3);
+  mem.AdvanceTo(2.0);
+  EXPECT_TRUE(mem.IsDone(b));
+  EXPECT_FALSE(mem.IsDone(a));
+  EXPECT_NEAR(mem.total_bytes_transferred(), 34e3 + 34e3 + 45e3, 1e-6);
+  // And A is back at its solo rate for the time after the drain.
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(a), 45e3);
+}
+
+// Property: the multi-stream derate is a contention penalty, by design a
+// step function of the active-stream count. Going 1 -> 2 -> 1 streams, the
+// effective ceiling drops to efficiency * ceiling while contended and
+// recovers fully once contention ends.
+TEST(MemorySystemTest, SingleMultiSingleTransitionProperty) {
+  MemoryConfig cfg = NoLossConfig();
+  cfg.multi_stream_efficiency = 0.93;
+  MemorySystem mem(cfg);
+  // Cap above the SoC ceiling so the ceiling (not the cap) binds throughout.
+  StreamId a = mem.OpenStream(80e3, 1e9);
+  EXPECT_DOUBLE_EQ(mem.TotalAllocatedRate(), 68e3);  // solo: no derate
+  StreamId b = mem.OpenStream(80e3, 1e9);
+  EXPECT_DOUBLE_EQ(mem.TotalAllocatedRate(), 68e3 * 0.93);
+  EXPECT_DOUBLE_EQ(mem.AllocatedRate(a), 68e3 * 0.93 / 2);
+  mem.CloseStream(b);
+  EXPECT_DOUBLE_EQ(mem.TotalAllocatedRate(), 68e3);  // full recovery
+  mem.CloseStream(a);
+}
+
 // The paper's Fig. 6 shape: one processor is capped well below the SoC
 // ceiling; two processors together approach (but do not exceed) it.
 TEST(MemorySystemTest, Figure6Shape) {
