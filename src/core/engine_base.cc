@@ -5,6 +5,9 @@
 
 #include "src/common/rng.h"
 #include "src/common/strings.h"
+#include "src/core/schedule_executor.h"
+#include "src/graph/builder.h"
+#include "src/graph/passes.h"
 
 namespace heterollm::core {
 
@@ -12,28 +15,6 @@ using model::ExecutionMode;
 using tensor::QuantizedTensor;
 using tensor::Shape;
 using tensor::Tensor;
-
-const char* MatmulSiteName(MatmulSite site) {
-  switch (site) {
-    case MatmulSite::kQ:
-      return "q";
-    case MatmulSite::kK:
-      return "k";
-    case MatmulSite::kV:
-      return "v";
-    case MatmulSite::kO:
-      return "o";
-    case MatmulSite::kGate:
-      return "gate";
-    case MatmulSite::kUp:
-      return "up";
-    case MatmulSite::kDown:
-      return "down";
-    case MatmulSite::kLmHead:
-      return "lm_head";
-  }
-  return "unknown";
-}
 
 EngineBase::EngineBase(Platform* platform,
                        const model::ModelWeights* weights,
@@ -109,13 +90,6 @@ PhaseStats EngineBase::BatchedDecodeStep(
   return stats;
 }
 
-namespace {
-// Stable id for one matmul op instance within the compiled network.
-int64_t GraphOpId(int layer, MatmulSite site) {
-  return static_cast<int64_t>(layer) * 16 + static_cast<int>(site);
-}
-}  // namespace
-
 void EngineBase::PregenerateNpuGraphs(const std::vector<int64_t>& seq_lens,
                                       int64_t row_align) {
   HCHECK(row_align > 0);
@@ -126,7 +100,7 @@ void EngineBase::PregenerateNpuGraphs(const std::vector<int64_t>& seq_lens,
     int64_t n;
     int64_t k;
   };
-  const std::vector<Site> layer_sites = {
+  std::vector<Site> layer_sites = {
       {MatmulSite::kQ, cfg.hidden, cfg.q_dim()},
       {MatmulSite::kK, cfg.hidden, cfg.kv_dim()},
       {MatmulSite::kV, cfg.hidden, cfg.kv_dim()},
@@ -135,6 +109,12 @@ void EngineBase::PregenerateNpuGraphs(const std::vector<int64_t>& seq_lens,
       {MatmulSite::kUp, cfg.hidden, cfg.intermediate},
       {MatmulSite::kDown, cfg.intermediate, cfg.hidden},
   };
+  if (options_.fuse_qkv) {
+    // A fused network executes one QKV graph per layer in place of the
+    // separate Wq/Wk/Wv graphs (which stay available for unfused shapes).
+    layer_sites.push_back(
+        {MatmulSite::kQkv, cfg.hidden, cfg.q_dim() + 2 * cfg.kv_dim()});
+  }
   auto prepare_site = [&](int64_t m, int64_t op, int64_t n, int64_t k) {
     cache.Prepare({m, n, k, op});
     // Row-cut slices of the output dimension land on row_align-aligned
@@ -211,25 +191,45 @@ EngineBase::Value EngineBase::SubmitKernel(hal::Device& dev,
   return v;
 }
 
-Tensor EngineBase::MatmulNumeric(const Tensor& a, const QuantizedTensor& w,
-                                 int64_t k_begin, int64_t k_end) const {
-  if (mode_ == ExecutionMode::kSimulate || !a.has_data() || !w.has_data()) {
+Tensor EngineBase::MatmulNumeric(
+    const Tensor& a, const std::vector<const QuantizedTensor*>& parts,
+    int64_t k_begin, int64_t k_end) const {
+  bool deferred = mode_ == ExecutionMode::kSimulate || !a.has_data();
+  for (const QuantizedTensor* w : parts) {
+    deferred = deferred || !w->has_data();
+  }
+  if (deferred) {
     return Tensor::Deferred(Shape({a.shape().rows(), k_end - k_begin}),
                             tensor::DType::kFp16);
   }
-  if (int_activation_path()) {
-    // INT-offload engines really compute through the quantized-activation
-    // pipeline, so their (reduced) accuracy is measurable.
-    Tensor full = tensor::ops::MatmulInt8(a, w);
-    if (k_begin == 0 && k_end == w.shape().cols()) {
-      return full;
+  // Each part contributes the output-feature range it owns within the
+  // concatenated weight; output columns are independent, so per-part matmuls
+  // concatenated column-wise are bit-identical to one matmul against the
+  // concatenated weight.
+  std::vector<Tensor> pieces;
+  int64_t offset = 0;
+  for (const QuantizedTensor* w : parts) {
+    const int64_t cols = w->shape().cols();
+    const int64_t lo = std::max(k_begin, offset);
+    const int64_t hi = std::min(k_end, offset + cols);
+    if (lo < hi) {
+      if (int_activation_path()) {
+        // INT-offload engines really compute through the quantized-activation
+        // pipeline, so their (reduced) accuracy is measurable.
+        Tensor full = tensor::ops::MatmulInt8(a, *w);
+        pieces.push_back(lo == offset && hi == offset + cols
+                             ? full
+                             : full.SliceCols(lo - offset, hi - offset));
+      } else {
+        // Dequantize only the output-feature slice this backend computes.
+        Tensor w_slice = w->Dequantize().SliceCols(lo - offset, hi - offset);
+        pieces.push_back(tensor::ops::Matmul(a, w_slice));
+      }
     }
-    return full.SliceCols(k_begin, k_end);
+    offset += cols;
   }
-  // Dequantize only the output-feature slice this backend computes.
-  Tensor w_full = w.Dequantize();
-  Tensor w_slice = w_full.SliceCols(k_begin, k_end);
-  return tensor::ops::Matmul(a, w_slice);
+  HCHECK(!pieces.empty());
+  return pieces.size() == 1 ? pieces[0] : Tensor::ConcatCols(pieces);
 }
 
 hal::Precision EngineBase::MatmulPrecision(Phase phase) const {  // NOLINT
@@ -248,6 +248,23 @@ EngineBase::Value EngineBase::ExecuteMatmul(MatmulSite site, Value& input,
   shape.k = w.shape().cols();
   shape.precision = hal::Precision::kFp16;
   MatmulPlan plan = PlanMatmul(site, shape, phase);
+  const int64_t op_id =
+      GraphOpId(site == MatmulSite::kLmHead ? 0 : current_layer_, site);
+  return ExecuteMatmulPlanned(site, op_id, plan, input, {&w}, phase);
+}
+
+EngineBase::Value EngineBase::ExecuteMatmulPlanned(
+    MatmulSite site, int64_t op_id, const MatmulPlan& plan, Value& input,
+    const std::vector<const QuantizedTensor*>& parts, Phase phase) {
+  HCHECK(!parts.empty());
+  MatmulShape shape;
+  shape.m = input.tensor.shape().rows();
+  shape.n = parts[0]->shape().rows();
+  shape.k = 0;
+  for (const QuantizedTensor* w : parts) {
+    shape.k += w->shape().cols();
+  }
+  shape.precision = hal::Precision::kFp16;
 
   if (int_activation_path()) {
     // INT-offload datapath: quantize activations and extract outliers on
@@ -267,9 +284,7 @@ EngineBase::Value EngineBase::ExecuteMatmul(MatmulSite site, Value& input,
   hal::NpuGraphCache& cache = platform_->graph_cache();
 
   auto ensure_graph = [&](int64_t m, int64_t n, int64_t k) {
-    const int64_t op = GraphOpId(
-        site == MatmulSite::kLmHead ? 0 : current_layer_, site);
-    hal::NpuGraphKey key{m, n, k, op};
+    hal::NpuGraphKey key{m, n, k, op_id};
     if (graph_policy() == GraphPolicy::kOnline) {
       const MicroSeconds cost = cache.Prepare(key);
       host_now_ += cost;
@@ -294,7 +309,7 @@ EngineBase::Value EngineBase::ExecuteMatmul(MatmulSite site, Value& input,
   switch (plan.kind) {
     case PartitionKind::kNone: {
       hal::Device& dev = platform_->device(plan.sole_backend);
-      Tensor out = MatmulNumeric(input.tensor, w, 0, shape.k);
+      Tensor out = MatmulNumeric(input.tensor, parts, 0, shape.k);
       sim::KernelDesc desc;
       if (plan.sole_backend == hal::Backend::kNpu) {
         ensure_graph(shape.m, shape.n, shape.k);
@@ -324,14 +339,14 @@ EngineBase::Value EngineBase::ExecuteMatmul(MatmulSite site, Value& input,
       if (has_gpu_piece) {
         MatmulShape gshape = shape;
         gshape.k = k_gpu;
-        Tensor gout = MatmulNumeric(input.tensor, w, k_npu, shape.k);
+        Tensor gout = MatmulNumeric(input.tensor, parts, k_npu, shape.k);
         sim::KernelDesc gdesc = gpu.CostMatmul(GpuMatmulSpec(gshape));
         gdesc.label = StrFormat("%s:gpu-cut", MatmulSiteName(site));
         gpu_piece = SubmitKernel(gpu, gdesc, {&input}, std::move(gout));
       }
 
       ensure_graph(npu_m, shape.n, k_npu);
-      Tensor nout = MatmulNumeric(input.tensor, w, 0, k_npu);
+      Tensor nout = MatmulNumeric(input.tensor, parts, 0, k_npu);
       sim::KernelDesc ndesc = npu.CostMatmul(npu_spec(npu_m, k_npu));
       ndesc.label = StrFormat("%s:npu-cut", MatmulSiteName(site));
       Value npu_piece = SubmitKernel(npu, ndesc, {&input}, std::move(nout));
@@ -384,7 +399,7 @@ EngineBase::Value EngineBase::ExecuteMatmul(MatmulSite site, Value& input,
         }
         ensure_graph(seg, shape.n, shape.k);
         Tensor slice = input.tensor.SliceRows(r0, r1);
-        Tensor out = MatmulNumeric(slice, w, 0, shape.k);
+        Tensor out = MatmulNumeric(slice, parts, 0, shape.k);
         sim::KernelDesc desc = npu.CostMatmul(npu_spec(seg, shape.k));
         desc.label = StrFormat("%s:npu-seq%lld", MatmulSiteName(site),
                                static_cast<long long>(seg));
@@ -395,7 +410,7 @@ EngineBase::Value EngineBase::ExecuteMatmul(MatmulSite site, Value& input,
         MatmulShape gshape = shape;
         gshape.m = gpu_rows;
         Tensor slice = input.tensor.SliceRows(npu_real_rows, shape.m);
-        Tensor out = MatmulNumeric(slice, w, 0, shape.k);
+        Tensor out = MatmulNumeric(slice, parts, 0, shape.k);
         sim::KernelDesc desc = gpu.CostMatmul(GpuMatmulSpec(gshape));
         desc.label = StrFormat("%s:gpu-seq", MatmulSiteName(site));
         pieces.push_back(SubmitKernel(gpu, desc, {&input}, std::move(out)));
@@ -568,6 +583,48 @@ EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
 }
 
 PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
+  if (!options_.use_compiled_schedule) {
+    return RunStackLegacy(input, phase);
+  }
+  const graph::CompiledSchedule& sched =
+      ScheduleFor(phase, input.shape().rows(), serving_batch());
+  return ScheduleExecutor(this).Run(sched, input);
+}
+
+const graph::CompiledSchedule& EngineBase::ScheduleFor(Phase phase,
+                                                       int64_t rows,
+                                                       bool serving) {
+  const uint64_t key = (static_cast<uint64_t>(rows) << 2) |
+                       (phase == Phase::kDecode ? 2u : 0u) | (serving ? 1u : 0u);
+  auto it = schedule_cache_.find(key);
+  if (it != schedule_cache_.end()) {
+    return it->second;
+  }
+  // Compile once per bucket: the pipeline below (including every PlanMatmul
+  // consultation) runs exactly once, then replays from the cache.
+  const auto& cfg = weights_->config();
+  graph::Graph g = graph::BuildModelGraph(cfg);
+  Status shaped = graph::InferShapes(&g, cfg, rows);
+  HCHECK_MSG(shaped.ok(), shaped.message().c_str());
+  // FuseSiluMul always applies — the legacy loop's SwiGlu kernel is the
+  // fused form. FuseQkv changes kernel granularity, so it is opt-in.
+  g = graph::FuseSiluMul(g).graph;
+  if (options_.fuse_qkv) {
+    g = graph::FuseQkv(g).graph;
+  }
+  g = graph::EliminateDeadNodes(g).graph;
+  shaped = graph::InferShapes(&g, cfg, rows);
+  HCHECK_MSG(shaped.ok(), shaped.message().c_str());
+  StatusOr<graph::PlacedGraph> placed =
+      graph::PlaceGraph(g, phase, this, serving);
+  HCHECK_MSG(placed.ok(), placed.status().message().c_str());
+  StatusOr<graph::CompiledSchedule> sched = graph::CompileSchedule(
+      placed.value());
+  HCHECK_MSG(sched.ok(), sched.status().message().c_str());
+  return schedule_cache_.emplace(key, std::move(sched.value())).first->second;
+}
+
+PhaseStats EngineBase::RunStackLegacy(const Tensor& input, Phase phase) {
   const MicroSeconds start = host_now_;
   graph_gen_accum_ = 0;
 

@@ -26,11 +26,13 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/core/partition.h"
 #include "src/core/platform.h"
+#include "src/graph/schedule.h"
 #include "src/model/kv_cache.h"
 #include "src/model/weights.h"
 #include "src/tensor/attention.h"
@@ -38,12 +40,7 @@
 
 namespace heterollm::core {
 
-enum class Phase { kPrefill, kDecode };
-
-// The matmul sites of a decoder layer plus the LM head.
-enum class MatmulSite { kQ, kK, kV, kO, kGate, kUp, kDown, kLmHead };
-
-const char* MatmulSiteName(MatmulSite site);
+class ScheduleExecutor;
 
 struct PhaseStats {
   MicroSeconds latency = 0;
@@ -60,17 +57,22 @@ struct GenerationStats {
   MicroJoules energy = 0;
   double avg_power_watts = 0;
 
+  // All ratio helpers return 0 for degenerate windows (nothing produced or
+  // no time elapsed) instead of NaN/inf/negative rates.
   double prefill_tokens_per_s() const {
-    return prefill.latency > 0
+    return prefill.latency > 0 && prefill.tokens > 0
                ? prefill.tokens / ToSeconds(prefill.latency)
                : 0;
   }
   double decode_tokens_per_s() const {
-    return decode_time > 0 ? decode_tokens / ToSeconds(decode_time) : 0;
+    return decode_time > 0 && decode_tokens > 0
+               ? decode_tokens / ToSeconds(decode_time)
+               : 0;
   }
   MicroSeconds ttft() const { return prefill.latency; }
   MicroSeconds tpot() const {
-    return decode_tokens > 0 ? decode_time / decode_tokens : 0;
+    return decode_tokens > 0 && decode_time > 0 ? decode_time / decode_tokens
+                                                : 0;
   }
 };
 
@@ -94,6 +96,15 @@ struct EngineOptions {
   // matmul throughput (the sustained rate is thermally limited anyway) at
   // markedly better perf/W, and headroom left for rendering (§5.5, §5.6).
   double gpu_power_scale = 1.0;
+  // Execute through the graph IR: build + optimize + place the decoder
+  // graph, compile it into a CompiledSchedule (once per phase/rows/batch)
+  // and replay it. Off = the legacy hand-coded loop (kept for equivalence
+  // tests); both paths produce identical numerics and timing.
+  bool use_compiled_schedule = true;
+  // Run the FuseQkv pass before placement: one fused QKV matmul per layer
+  // (one NPU graph + submission instead of three). Changes the executed
+  // kernel sequence, hence simulated latencies, so it is opt-in.
+  bool fuse_qkv = false;
 };
 
 class InferenceEngine {
@@ -112,7 +123,10 @@ class InferenceEngine {
   virtual void ResetSession() = 0;
 };
 
-class EngineBase : public InferenceEngine {
+// EngineBase doubles as the graph placement policy (graph::PlacementPolicy):
+// the same PlanMatmul/vector_backend virtuals that drive the legacy loop
+// drive the placement pass, so concrete engines stay pure policy.
+class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
  public:
   EngineBase(Platform* platform, const model::ModelWeights* weights,
              const EngineOptions& options);
@@ -159,14 +173,14 @@ class EngineBase : public InferenceEngine {
     std::vector<std::pair<hal::Device*, sim::KernelHandle>> deps;
   };
 
-  // --- policy points -------------------------------------------------------
+  // --- policy points (also the graph::PlacementPolicy interface) -----------
 
   // Chooses the execution plan for one matmul site.
-  virtual MatmulPlan PlanMatmul(MatmulSite site, const MatmulShape& shape,
-                                Phase phase) = 0;
+  MatmulPlan PlanMatmul(MatmulSite site, const MatmulShape& shape,
+                        Phase phase) override = 0;
 
   // Backend for norms, RoPE, attention, activations and residuals.
-  virtual hal::Backend vector_backend() const { return hal::Backend::kGpu; }
+  hal::Backend vector_backend() const override { return hal::Backend::kGpu; }
 
   // How NPU matmuls obtain static graphs. kPreloaded HCHECKs that the graph
   // was pre-compiled; kOnline compiles at first use and charges the host.
@@ -208,9 +222,19 @@ class EngineBase : public InferenceEngine {
   Value SubmitKernel(hal::Device& dev, sim::KernelDesc desc,
                      std::vector<Value*> inputs, tensor::Tensor out);
 
-  // Executes one (possibly partitioned) matmul site.
+  // Executes one (possibly partitioned) matmul site: plans via PlanMatmul,
+  // then dispatches to ExecuteMatmulPlanned.
   Value ExecuteMatmul(MatmulSite site, Value& input,
                       const tensor::QuantizedTensor& w, Phase phase);
+
+  // Executes one matmul site under an already-resolved plan (the compiled
+  // schedule replays through this, skipping planning entirely). `parts` is
+  // the weight — one tensor, or the column-concatenated members of a fused
+  // site (e.g. Wq|Wk|Wv for MatmulSite::kQkv). `op_id` identifies the op
+  // instance for static NPU-graph lookup (GraphOpId).
+  Value ExecuteMatmulPlanned(
+      MatmulSite site, int64_t op_id, const MatmulPlan& plan, Value& input,
+      const std::vector<const tensor::QuantizedTensor*>& parts, Phase phase);
 
   // Vector ops on vector_backend().
   Value RmsNorm(Value& x, const tensor::Tensor& gamma);
@@ -231,11 +255,18 @@ class EngineBase : public InferenceEngine {
   }
   bool serving_batch() const { return batch_caches_.size() > 1; }
 
-  // Runs one full decoder layer.
+  // Runs one full decoder layer (legacy hand-coded path).
   Value RunLayer(int layer, Value hidden, Phase phase);
 
-  // Runs the whole stack: layers + final norm; fills `stats`.
+  // Runs the whole stack: compiled-schedule replay by default, the legacy
+  // hand-coded loop when `use_compiled_schedule` is off.
   PhaseStats RunStack(const tensor::Tensor& input, Phase phase);
+
+  // The cached compiled schedule for (phase, rows, serving); compiles it on
+  // first use: build graph -> InferShapes -> FuseSiluMul (+ FuseQkv when
+  // enabled) -> DCE -> PlaceGraph (this engine's policy) -> CompileSchedule.
+  const graph::CompiledSchedule& ScheduleFor(Phase phase, int64_t rows,
+                                             bool serving);
 
   Platform* platform_;
   const model::ModelWeights* weights_;
@@ -257,10 +288,19 @@ class EngineBase : public InferenceEngine {
   int current_layer_ = 0;
 
  private:
+  friend class ScheduleExecutor;  // replays schedules via the machinery above
+
   void AcquireWorkspace();
-  tensor::Tensor MatmulNumeric(const tensor::Tensor& a,
-                               const tensor::QuantizedTensor& w,
-                               int64_t k_begin, int64_t k_end) const;
+  PhaseStats RunStackLegacy(const tensor::Tensor& input, Phase phase);
+  // Numerics of the output-feature range [k_begin, k_end) of the logical
+  // matmul against the column-concatenation of `parts`.
+  tensor::Tensor MatmulNumeric(
+      const tensor::Tensor& a,
+      const std::vector<const tensor::QuantizedTensor*>& parts,
+      int64_t k_begin, int64_t k_end) const;
+
+  // Compiled schedules keyed by (phase, rows, serving).
+  std::unordered_map<uint64_t, graph::CompiledSchedule> schedule_cache_;
 };
 
 }  // namespace heterollm::core

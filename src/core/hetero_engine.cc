@@ -1,12 +1,53 @@
 #include "src/core/hetero_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "src/common/log.h"
 #include "src/common/strings.h"
 
 namespace heterollm::core {
+
+size_t PlanKeyHash::operator()(const PlanKey& key) const {
+  uint64_t h = static_cast<uint64_t>(key.site);
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(key.m));
+  mix(static_cast<uint64_t>(key.n));
+  mix(static_cast<uint64_t>(key.k));
+  mix(key.decode ? 1 : 0);
+  return static_cast<size_t>(h);
+}
+
+std::string FormatPlanKey(const PlanKey& key) {
+  return StrFormat("%d:%lld:%lld:%lld:%d", static_cast<int>(key.site),
+                   static_cast<long long>(key.m),
+                   static_cast<long long>(key.n),
+                   static_cast<long long>(key.k), key.decode ? 1 : 0);
+}
+
+StatusOr<PlanKey> ParsePlanKey(const std::string& text) {
+  int site = 0;
+  long long m = 0;
+  long long n = 0;
+  long long k = 0;
+  int phase = 0;
+  if (std::sscanf(text.c_str(), "%d:%lld:%lld:%lld:%d", &site, &m, &n, &k,
+                  &phase) != 5 ||
+      site < 0 || site > static_cast<int>(MatmulSite::kQkv) ||
+      (phase != 0 && phase != 1)) {
+    return InvalidArgumentError("malformed plan key: " + text);
+  }
+  PlanKey key;
+  key.site = static_cast<MatmulSite>(site);
+  key.m = m;
+  key.n = n;
+  key.k = k;
+  key.decode = phase == 1;
+  return key;
+}
 
 HeteroEngine::HeteroEngine(HeteroLevel level, Platform* platform,
                            const model::ModelWeights* weights,
@@ -34,7 +75,7 @@ std::string HeteroEngine::ExportPlanCache() const {
   std::vector<std::string> lines;
   lines.reserve(plan_cache_.size());
   for (const auto& [key, plan] : plan_cache_) {
-    lines.push_back(key + " " + plan.Serialize());
+    lines.push_back(FormatPlanKey(key) + " " + plan.Serialize());
   }
   std::sort(lines.begin(), lines.end());
   std::string out;
@@ -60,11 +101,15 @@ Status HeteroEngine::ImportPlanCache(const std::string& text) {
     if (space == std::string::npos) {
       return InvalidArgumentError("malformed plan line: " + line);
     }
+    StatusOr<PlanKey> key = ParsePlanKey(line.substr(0, space));
+    if (!key.ok()) {
+      return key.status();
+    }
     StatusOr<MatmulPlan> plan = MatmulPlan::Parse(line.substr(space + 1));
     if (!plan.ok()) {
       return plan.status();
     }
-    plan_cache_[line.substr(0, space)] = *plan;
+    plan_cache_[key.value()] = *plan;
   }
   return Status::Ok();
 }
@@ -109,10 +154,8 @@ MatmulPlan HeteroEngine::PlanMatmul(MatmulSite site, const MatmulShape& shape,
   if (level_ == HeteroLevel::kLayer) {
     return PlanLayerLevel(shape, phase);
   }
-  const std::string key = StrFormat(
-      "%d:%lld:%lld:%lld:%d", static_cast<int>(site),
-      static_cast<long long>(shape.m), static_cast<long long>(shape.n),
-      static_cast<long long>(shape.k), phase == Phase::kDecode ? 1 : 0);
+  const PlanKey key{site, shape.m, shape.n, shape.k,
+                    phase == Phase::kDecode};
   auto it = plan_cache_.find(key);
   if (it != plan_cache_.end()) {
     return it->second;

@@ -27,6 +27,32 @@ namespace heterollm::core {
 
 enum class HeteroLevel { kLayer, kTensor };
 
+// Identity of one solver decision: the matmul site plus the full shape and
+// phase. The decode hot path looks plans up by this key, so it hashes the
+// fields directly instead of formatting a string.
+struct PlanKey {
+  MatmulSite site = MatmulSite::kQ;
+  int64_t m = 0;
+  int64_t n = 0;
+  int64_t k = 0;
+  bool decode = false;
+
+  bool operator==(const PlanKey& other) const {
+    return site == other.site && m == other.m && n == other.n &&
+           k == other.k && decode == other.decode;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& key) const;
+};
+
+// Text form used by Export/ImportPlanCache: "<site>:<m>:<n>:<k>:<phase>"
+// (phase 1 = decode). The on-disk format predates the struct key and is
+// kept byte-compatible.
+std::string FormatPlanKey(const PlanKey& key);
+StatusOr<PlanKey> ParsePlanKey(const std::string& text);
+
 struct HeteroOptions {
   EngineOptions engine;
   ProfilerMode profiler_mode = ProfilerMode::kRealExecution;
@@ -77,7 +103,7 @@ class HeteroEngine : public EngineBase {
   std::unique_ptr<PartitionSolver> solver_;
   // Decisions cached per (site, m, n, k, phase); every layer shares shapes,
   // so after layer 0 the solver is never consulted again.
-  std::unordered_map<std::string, MatmulPlan> plan_cache_;
+  std::unordered_map<PlanKey, MatmulPlan, PlanKeyHash> plan_cache_;
 };
 
 }  // namespace heterollm::core

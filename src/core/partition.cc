@@ -10,6 +10,30 @@
 
 namespace heterollm::core {
 
+const char* MatmulSiteName(MatmulSite site) {
+  switch (site) {
+    case MatmulSite::kQ:
+      return "q";
+    case MatmulSite::kK:
+      return "k";
+    case MatmulSite::kV:
+      return "v";
+    case MatmulSite::kO:
+      return "o";
+    case MatmulSite::kGate:
+      return "gate";
+    case MatmulSite::kUp:
+      return "up";
+    case MatmulSite::kDown:
+      return "down";
+    case MatmulSite::kLmHead:
+      return "lm_head";
+    case MatmulSite::kQkv:
+      return "qkv";
+  }
+  return "unknown";
+}
+
 const char* PartitionKindName(PartitionKind kind) {
   switch (kind) {
     case PartitionKind::kNone:

@@ -29,6 +29,25 @@
 
 namespace heterollm::core {
 
+enum class Phase { kPrefill, kDecode };
+
+// The matmul sites of a decoder layer plus the LM head. `kQkv` is the fused
+// Q/K/V projection the FuseQkv graph pass produces: one matmul against the
+// column-concatenated Wq|Wk|Wv weight.
+enum class MatmulSite { kQ, kK, kV, kO, kGate, kUp, kDown, kLmHead, kQkv };
+
+const char* MatmulSiteName(MatmulSite site);
+
+// Stable id for one matmul op instance within the compiled network: 16 op
+// slots per layer, the site's enum value within the slot. A static NPU graph
+// is compiled for the whole network, so identical shapes in different layers
+// are distinct compilation work (hal::NpuGraphKey::op carries this id).
+// Sites 0-7 are the hand-written decoder sites; the fused QKV projection
+// takes slot 8. The LM head always uses layer 0.
+inline int64_t GraphOpId(int layer, MatmulSite site) {
+  return static_cast<int64_t>(layer) * 16 + static_cast<int>(site);
+}
+
 enum class PartitionKind {
   kNone,      // whole op on a single backend
   kRowCut,    // output features split NPU/GPU

@@ -11,6 +11,7 @@ HardwareProfiler::HardwareProfiler(Platform* platform, ProfilerMode mode)
 
 MicroSeconds HardwareProfiler::MatmulTime(hal::Backend backend,
                                           const MatmulShape& shape) const {
+  ++query_count_;
   if (mode_ == ProfilerMode::kRealExecution) {
     return RealTime(backend, shape);
   }

@@ -42,6 +42,10 @@ class HardwareProfiler {
   ProfilerMode mode() const { return mode_; }
   bool trained() const { return npu_tree_ != nullptr; }
 
+  // Number of MatmulTime queries so far (steady-state replanning detector;
+  // see PartitionSolver::decide_calls).
+  int query_count() const { return query_count_; }
+
   // Relative |predicted - real| / real for one shape (test/diagnostic hook).
   double PredictionError(hal::Backend backend, const MatmulShape& shape) const;
 
@@ -54,6 +58,7 @@ class HardwareProfiler {
   Platform* platform_;
   ProfilerMode mode_;
   std::unique_ptr<DecisionTreeRegressor> npu_tree_;
+  mutable int query_count_ = 0;
 };
 
 }  // namespace heterollm::core

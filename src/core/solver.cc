@@ -55,6 +55,7 @@ double CandidatePowerWatts(Platform* platform, bool uses_gpu, bool uses_npu) {
 
 PartitionDecision PartitionSolver::DecidePrefill(
     const MatmulShape& shape) const {
+  ++decide_calls_;
   const auto& stds = config_.standard_seq_sizes;
   const MicroSeconds hetero_overhead = config_.t_sync + config_.t_copy;
 
@@ -197,6 +198,7 @@ PartitionDecision PartitionSolver::DecidePrefill(
 
 PartitionDecision PartitionSolver::DecideDecode(
     const MatmulShape& shape) const {
+  ++decide_calls_;
   PartitionDecision best;
   best.est_total = std::numeric_limits<MicroSeconds>::infinity();
   auto consider = [&](const PartitionDecision& cand) {

@@ -69,6 +69,10 @@ class PartitionSolver {
 
   const SolverConfig& config() const { return config_; }
 
+  // Number of Decide* calls so far. The compiled-schedule tests assert the
+  // steady state never consults the solver (plans replay from caches).
+  int decide_calls() const { return decide_calls_; }
+
  private:
   MicroSeconds NpuTime(const MatmulShape& shape) const;
   MicroSeconds GpuTime(const MatmulShape& shape) const;
@@ -76,6 +80,7 @@ class PartitionSolver {
   const HardwareProfiler* profiler_;
   Platform* platform_;
   SolverConfig config_;
+  mutable int decide_calls_ = 0;
 };
 
 }  // namespace heterollm::core

@@ -26,9 +26,13 @@ struct NpuGraphKey {
   int64_t m = 0;
   int64_t n = 0;
   int64_t k = 0;
-  // Op instance (layer * site) the graph node belongs to: a static graph is
-  // compiled for the whole network, so identical shapes in different layers
-  // are distinct compilation work.
+  // Op instance the graph node belongs to: a static graph is compiled for
+  // the whole network, so identical shapes in different layers are distinct
+  // compilation work. Encoded as layer * 16 + site slot (see
+  // core::GraphOpId): slots 0-7 are the hand-written decoder matmul sites
+  // (q, k, v, o, gate, up, down, lm_head), slot 8 the fused QKV projection —
+  // a fused network compiles *one* graph per layer for the concatenated
+  // Wq|Wk|Wv shape instead of three.
   int64_t op = 0;
 
   bool operator==(const NpuGraphKey& other) const {

@@ -26,12 +26,19 @@ struct RequestMetrics {
   int decoded_tokens = 0;
   int evictions = 0;  // times this request was preempted and restarted
 
-  MicroSeconds ttft() const { return first_token - arrival; }
-  MicroSeconds tpot() const {
-    return decoded_tokens > 0 ? (completion - first_token) / decoded_tokens
-                              : 0;
+  // Span helpers return 0 for incomplete requests (unset timestamps would
+  // otherwise yield negative spans) and guard every ratio's denominator.
+  MicroSeconds ttft() const {
+    return first_token > arrival ? first_token - arrival : 0;
   }
-  MicroSeconds e2e_latency() const { return completion - arrival; }
+  MicroSeconds tpot() const {
+    return decoded_tokens > 0 && completion > first_token
+               ? (completion - first_token) / decoded_tokens
+               : 0;
+  }
+  MicroSeconds e2e_latency() const {
+    return completion > arrival ? completion - arrival : 0;
+  }
 };
 
 // Nearest-rank percentile (p in [0, 100]); 0 for an empty set.
@@ -46,7 +53,9 @@ struct ServingMetrics {
   double avg_decode_batch = 0;  // mean sessions per decode iteration
   core::ExecutionReport report;  // per-unit utilization over the window
 
-  MicroSeconds makespan() const { return window_end - window_start; }
+  MicroSeconds makespan() const {
+    return window_end > window_start ? window_end - window_start : 0;
+  }
   int64_t total_decoded_tokens() const;
   int64_t total_tokens() const;  // prompt + decoded
 

@@ -1,0 +1,107 @@
+// Degenerate-input behavior of every ratio/span metric helper: empty
+// windows, zero tokens and unset timestamps must yield 0 — never NaN, inf
+// or negative rates/spans.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine_base.h"
+#include "src/serve/serving_metrics.h"
+
+namespace heterollm {
+namespace {
+
+TEST(StatsGuardsTest, GenerationStatsDefaultIsAllZero) {
+  core::GenerationStats stats;
+  EXPECT_EQ(stats.prefill_tokens_per_s(), 0.0);
+  EXPECT_EQ(stats.decode_tokens_per_s(), 0.0);
+  EXPECT_EQ(stats.tpot(), 0.0);
+  EXPECT_EQ(stats.ttft(), 0.0);
+}
+
+TEST(StatsGuardsTest, GenerationStatsZeroDenominators) {
+  core::GenerationStats stats;
+  // Tokens without elapsed time (a hypothetical instant phase): no rate.
+  stats.prefill.tokens = 128;
+  stats.prefill.latency = 0;
+  stats.decode_tokens = 16;
+  stats.decode_time = 0;
+  EXPECT_EQ(stats.prefill_tokens_per_s(), 0.0);
+  EXPECT_EQ(stats.decode_tokens_per_s(), 0.0);
+  EXPECT_EQ(stats.tpot(), 0.0);
+}
+
+TEST(StatsGuardsTest, GenerationStatsZeroNumerators) {
+  core::GenerationStats stats;
+  // Time elapsed but nothing produced: a rate of 0, not a division hazard.
+  stats.prefill.tokens = 0;
+  stats.prefill.latency = 1000;
+  stats.decode_tokens = 0;
+  stats.decode_time = 1000;
+  EXPECT_EQ(stats.prefill_tokens_per_s(), 0.0);
+  EXPECT_EQ(stats.decode_tokens_per_s(), 0.0);
+  EXPECT_EQ(stats.tpot(), 0.0);
+}
+
+TEST(StatsGuardsTest, GenerationStatsNormalCase) {
+  core::GenerationStats stats;
+  stats.prefill.tokens = 100;
+  stats.prefill.latency = 1e6;  // 1 s
+  stats.decode_tokens = 10;
+  stats.decode_time = 5e5;  // 0.5 s
+  EXPECT_DOUBLE_EQ(stats.prefill_tokens_per_s(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.decode_tokens_per_s(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.tpot(), 5e4);
+  EXPECT_TRUE(std::isfinite(stats.prefill_tokens_per_s()));
+}
+
+TEST(StatsGuardsTest, RequestMetricsUnsetTimestampsYieldZeroSpans) {
+  serve::RequestMetrics r;
+  r.arrival = 5000;  // arrived, but never served: all timestamps still 0
+  EXPECT_EQ(r.ttft(), 0.0);
+  EXPECT_EQ(r.tpot(), 0.0);
+  EXPECT_EQ(r.e2e_latency(), 0.0);
+}
+
+TEST(StatsGuardsTest, RequestMetricsZeroDecodedTokens) {
+  serve::RequestMetrics r;
+  r.arrival = 0;
+  r.first_token = 100;
+  r.completion = 100;  // prefill-only request
+  r.decoded_tokens = 0;
+  EXPECT_DOUBLE_EQ(r.ttft(), 100.0);
+  EXPECT_EQ(r.tpot(), 0.0);
+  EXPECT_DOUBLE_EQ(r.e2e_latency(), 100.0);
+}
+
+TEST(StatsGuardsTest, RequestMetricsNormalCase) {
+  serve::RequestMetrics r;
+  r.arrival = 100;
+  r.first_token = 600;
+  r.completion = 1600;
+  r.decoded_tokens = 10;
+  EXPECT_DOUBLE_EQ(r.ttft(), 500.0);
+  EXPECT_DOUBLE_EQ(r.tpot(), 100.0);
+  EXPECT_DOUBLE_EQ(r.e2e_latency(), 1500.0);
+}
+
+TEST(StatsGuardsTest, ServingMetricsEmptyWindow) {
+  serve::ServingMetrics m;
+  EXPECT_EQ(m.makespan(), 0.0);
+  EXPECT_EQ(m.decode_tokens_per_s(), 0.0);
+  EXPECT_EQ(m.aggregate_tokens_per_s(), 0.0);
+  EXPECT_EQ(m.ttft_p50(), 0.0);
+  EXPECT_EQ(m.latency_p99(), 0.0);
+}
+
+TEST(StatsGuardsTest, ServingMetricsInvertedWindowClampsToZero) {
+  serve::ServingMetrics m;
+  m.window_start = 1000;
+  m.window_end = 500;  // misuse: end before start
+  EXPECT_EQ(m.makespan(), 0.0);
+  EXPECT_EQ(m.decode_tokens_per_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace heterollm
