@@ -1,9 +1,10 @@
 // serving_demo: multi-session serving on one simulated mobile SoC.
 //
-// Generates a Poisson arrival trace of chat requests, serves it twice over
-// the Hetero-tensor engine — once as serial FIFO replay, once with
-// continuous batching — and prints the per-request table plus aggregate
-// throughput/latency metrics for each.
+// Generates a Poisson arrival trace of chat requests, serves it three times
+// over the Hetero-tensor engine — serial FIFO replay, continuous batching,
+// and continuous batching on a throttled platform (sustained-thermal model
+// plus a scripted NPU clock cap) — and prints the per-request table plus
+// aggregate throughput/latency metrics for each.
 //
 //   ./serving_demo [sessions] [seed]
 //
@@ -17,6 +18,7 @@
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/serving_metrics.h"
+#include "src/sim/thermal_model.h"
 
 using namespace heterollm;  // NOLINT
 
@@ -37,8 +39,17 @@ int main(int argc, char** argv) {
       rng, sessions, /*mean_interarrival_us=*/5e4);
 
   const int max_batch = std::min(sessions, 16);
-  auto serve_once = [&](serve::SchedulePolicy policy) {
-    core::Platform platform(core::PlatformOptionsFor("Hetero-tensor"));
+  auto serve_once = [&](serve::SchedulePolicy policy, bool throttled) {
+    core::PlatformOptions popts = core::PlatformOptionsFor("Hetero-tensor");
+    if (throttled) {
+      popts.thermal = sim::ThermalConfig::MobileSustained();
+      sim::ConditionEvent cap;  // governor caps the NPU 100 ms into the run
+      cap.time = 1e5;
+      cap.unit = "npu";
+      cap.frequency_cap = 0.5;
+      popts.conditions = {cap};
+    }
+    core::Platform platform(popts);
     auto engine = core::CreateEngine(
         "Hetero-tensor", &platform, &weights,
         serve::IterationScheduler::ServingEngineOptions(max_batch));
@@ -51,15 +62,26 @@ int main(int argc, char** argv) {
   std::printf("== serial FIFO replay (%d sessions, InternLM-1.8B) ==\n",
               sessions);
   const serve::ServingMetrics serial =
-      serve_once(serve::SchedulePolicy::kSerial);
+      serve_once(serve::SchedulePolicy::kSerial, /*throttled=*/false);
   std::printf("%s\n", serial.Render().c_str());
 
   std::printf("== continuous batching ==\n");
   const serve::ServingMetrics cb =
-      serve_once(serve::SchedulePolicy::kContinuousBatching);
+      serve_once(serve::SchedulePolicy::kContinuousBatching,
+                 /*throttled=*/false);
   std::printf("%s\n", cb.Render().c_str());
+
+  std::printf("== continuous batching, throttled (NPU capped to 0.5x) ==\n");
+  const serve::ServingMetrics hot =
+      serve_once(serve::SchedulePolicy::kContinuousBatching,
+                 /*throttled=*/true);
+  std::printf("%s\n", hot.Render().c_str());
 
   std::printf("continuous batching speedup: %.2fx aggregate tokens/s\n",
               cb.aggregate_tokens_per_s() / serial.aggregate_tokens_per_s());
+  std::printf(
+      "throttling cost: %.2fx slower aggregate tokens/s, %d re-plan(s)\n",
+      cb.aggregate_tokens_per_s() / hot.aggregate_tokens_per_s(),
+      hot.replan_events);
   return 0;
 }

@@ -24,6 +24,9 @@ EngineBase::EngineBase(Platform* platform,
   mode_ = weights->mode();
   kv_cache_ = std::make_unique<model::KvCache>(
       weights->config(), options.kv_capacity, mode_);
+  // Conditions applied before construction (a t=0 trace entry) are the
+  // baseline this engine plans against, not a change to react to.
+  seen_epoch_ = platform_->soc().device_state_epoch();
   AcquireWorkspace();
 }
 
@@ -583,6 +586,7 @@ EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
 }
 
 PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
+  RefreshDeviceState();
   if (!options_.use_compiled_schedule) {
     return RunStackLegacy(input, phase);
   }
@@ -621,7 +625,70 @@ const graph::CompiledSchedule& EngineBase::ScheduleFor(Phase phase,
   StatusOr<graph::CompiledSchedule> sched = graph::CompileSchedule(
       placed.value());
   HCHECK_MSG(sched.ok(), sched.status().message().c_str());
+  ++schedule_compiles_;
   return schedule_cache_.emplace(key, std::move(sched.value())).first->second;
+}
+
+bool EngineBase::ScheduleUsesBackend(
+    const graph::CompiledSchedule& sched,
+    const std::vector<hal::Backend>& changed) const {
+  auto hit = [&](hal::Backend b) {
+    return std::find(changed.begin(), changed.end(), b) != changed.end();
+  };
+  // Vector ops (norms, RoPE, attention, activations) all run on the
+  // engine's vector backend.
+  if (hit(vector_backend())) {
+    return true;
+  }
+  for (const graph::ScheduleStep& step : sched.steps) {
+    if (step.kind != graph::StepKind::kMatmul) {
+      continue;
+    }
+    if (step.plan.kind == PartitionKind::kNone) {
+      if (hit(step.plan.sole_backend)) {
+        return true;
+      }
+    } else if (hit(hal::Backend::kGpu) || hit(hal::Backend::kNpu)) {
+      // Every partition kind splits work between GPU and NPU.
+      return true;
+    }
+  }
+  return false;
+}
+
+void EngineBase::RefreshDeviceState() {
+  const sim::SocSimulator& soc = platform_->soc();
+  const uint64_t epoch = soc.device_state_epoch();
+  if (epoch == seen_epoch_) {
+    return;
+  }
+  if (!options_.reactive_replanning) {
+    // Frozen-plan mode: acknowledge the epoch so the check stays O(1), keep
+    // every cache as-is.
+    seen_epoch_ = epoch;
+    return;
+  }
+  std::vector<hal::Backend> changed;
+  for (hal::Backend b :
+       {hal::Backend::kCpu, hal::Backend::kGpu, hal::Backend::kNpu}) {
+    if (soc.unit_state_epoch(platform_->device(b).unit()) > seen_epoch_) {
+      changed.push_back(b);
+    }
+  }
+  seen_epoch_ = epoch;
+  if (changed.empty()) {
+    return;
+  }
+  for (auto it = schedule_cache_.begin(); it != schedule_cache_.end();) {
+    if (ScheduleUsesBackend(it->second, changed)) {
+      it = schedule_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  OnDeviceStateChange(changed);
+  ++replan_events_;
+  host_now_ += options_.replan_cost_us;
 }
 
 PhaseStats EngineBase::RunStackLegacy(const Tensor& input, Phase phase) {
@@ -671,7 +738,11 @@ PhaseStats EngineBase::DecodeStep(const Tensor& token) {
 
 GenerationStats EngineBase::Generate(int prompt_len, int decode_len) {
   ResetSession();
-  platform_->soc().power().Reset();
+  // Snapshot (not Reset) so concurrent workloads on the platform keep their
+  // queues: anything executing inside the window — including interference
+  // kernels submitted by other workloads — is charged to this window.
+  const sim::PowerSnapshot power_start = platform_->soc().power().Snapshot();
+  const int replan_start = replan_events_;
   const MicroSeconds window_start = host_now_;
 
   Rng rng(7);
@@ -694,9 +765,14 @@ GenerationStats EngineBase::Generate(int prompt_len, int decode_len) {
   platform_->soc().DrainAll();
   host_now_ = std::max(host_now_, platform_->soc().now());
   const MicroSeconds window = host_now_ - window_start;
-  stats.energy = platform_->soc().power().TotalEnergy(window);
+  // Windowed accounting: deltas against the start snapshot, so back-to-back
+  // Generate calls (and anything the platform ran before) don't leak
+  // activity into each other's energy numbers.
+  stats.energy =
+      platform_->soc().power().TotalEnergySince(power_start, window);
   stats.avg_power_watts =
-      platform_->soc().power().AveragePowerWatts(window);
+      platform_->soc().power().AveragePowerWattsSince(power_start, window);
+  stats.replan_events = replan_events_ - replan_start;
   return stats;
 }
 

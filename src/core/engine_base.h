@@ -56,6 +56,9 @@ struct GenerationStats {
   int decode_tokens = 0;
   MicroJoules energy = 0;
   double avg_power_watts = 0;
+  // Device-state changes (thermal throttle steps / scripted conditions) the
+  // engine reacted to during this window by invalidating caches.
+  int replan_events = 0;
 
   // All ratio helpers return 0 for degenerate windows (nothing produced or
   // no time elapsed) instead of NaN/inf/negative rates.
@@ -105,6 +108,17 @@ struct EngineOptions {
   // (one NPU graph + submission instead of three). Changes the executed
   // kernel sequence, hence simulated latencies, so it is opt-in.
   bool fuse_qkv = false;
+  // React to device-state epoch advances (thermal throttle steps, scripted
+  // condition events): invalidate compiled schedules and partition plans
+  // built against the stale device performance, then re-solve/re-compile on
+  // next use. Off = plans stay frozen at their original operating point (the
+  // baseline bench_throttling compares against). Irrelevant — zero cost,
+  // zero effect — while the platform has no dynamic conditions.
+  bool reactive_replanning = true;
+  // Host-side cost charged per reactive re-planning event (re-reading
+  // frequencies, dropping caches; the re-solve/re-compile itself is charged
+  // where it happens).
+  MicroSeconds replan_cost_us = 150.0;
 };
 
 class InferenceEngine {
@@ -160,6 +174,10 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
 
   Platform* platform() const { return platform_; }
   MicroSeconds host_now() const { return host_now_; }
+  // Compiled-schedule compilations and reactive re-planning events so far
+  // (tests assert caches rebuild exactly once per epoch bump).
+  int schedule_compiles() const { return schedule_compiles_; }
+  int replan_events() const { return replan_events_; }
   const model::ModelConfig& model_config() const {
     return weights_->config();
   }
@@ -186,6 +204,14 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   // was pre-compiled; kOnline compiles at first use and charges the host.
   enum class GraphPolicy { kPreloaded, kOnline };
   virtual GraphPolicy graph_policy() const { return GraphPolicy::kPreloaded; }
+
+  // Reactive re-planning hook: the units behind `changed` now run at a
+  // different effective performance (throttle step, forced cap, bandwidth /
+  // power-budget change). Engines owning plan caches drop the stale entries;
+  // the base class has already dropped affected compiled schedules.
+  virtual void OnDeviceStateChange(const std::vector<hal::Backend>& changed) {
+    (void)changed;
+  }
 
   // Precision of NPU matmuls per phase. The default follows the paper's
   // W4A16 engine (FLOAT prefill, INT decode — footnote 2); INT-offload
@@ -268,6 +294,14 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   const graph::CompiledSchedule& ScheduleFor(Phase phase, int64_t rows,
                                              bool serving);
 
+  // Re-reads the device-state epoch; if it advanced (and reactive
+  // re-planning is on), drops cached compiled schedules that touch a changed
+  // backend, notifies the concrete engine via OnDeviceStateChange, and
+  // charges `replan_cost_us` host time. A no-op — identical timing — while
+  // the epoch has not moved, which is always the case without dynamic
+  // conditions.
+  void RefreshDeviceState();
+
   Platform* platform_;
   const model::ModelWeights* weights_;
   EngineOptions options_;
@@ -291,6 +325,9 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   friend class ScheduleExecutor;  // replays schedules via the machinery above
 
   void AcquireWorkspace();
+  // True when the schedule submits kernels on any backend in `changed`.
+  bool ScheduleUsesBackend(const graph::CompiledSchedule& sched,
+                           const std::vector<hal::Backend>& changed) const;
   PhaseStats RunStackLegacy(const tensor::Tensor& input, Phase phase);
   // Numerics of the output-feature range [k_begin, k_end) of the logical
   // matmul against the column-concatenation of `parts`.
@@ -301,6 +338,10 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
 
   // Compiled schedules keyed by (phase, rows, serving).
   std::unordered_map<uint64_t, graph::CompiledSchedule> schedule_cache_;
+  // Device-state epoch the caches were last validated against.
+  uint64_t seen_epoch_ = 0;
+  int schedule_compiles_ = 0;
+  int replan_events_ = 0;
 };
 
 }  // namespace heterollm::core

@@ -43,16 +43,25 @@ ExecutionReport ExecutionReport::Build(const Platform& platform,
   std::map<std::pair<std::string, std::string>, OpRow> ops;
 
   soc.VisitFinishedKernels([&](const std::string& label, sim::UnitId unit,
-                               MicroSeconds start, MicroSeconds end) {
+                               MicroSeconds start, MicroSeconds end,
+                               Bytes bytes, Flops flops) {
     const MicroSeconds clipped_start = std::max(start, window_start);
     const MicroSeconds clipped_end = std::min(end, window_end);
     if (clipped_end <= clipped_start) {
       return;
     }
     const MicroSeconds dur = clipped_end - clipped_start;
+    // A kernel straddling the window boundary contributes only the clipped
+    // slice of its traffic/work, matching its clipped time contribution —
+    // otherwise windowed GB/s and TFLOPS overshoot at both window edges.
+    const double fraction = end > start ? dur / (end - start) : 1.0;
+    const Bytes clipped_bytes = bytes * fraction;
+    const Flops clipped_flops = flops * fraction;
     UnitRow& row = units[static_cast<size_t>(unit)];
     row.busy += dur;
     ++row.kernels;
+    row.bytes += clipped_bytes;
+    row.flops += clipped_flops;
 
     const std::string canon = CanonicalizeKernelLabel(label);
     OpRow& op = ops[{canon, row.unit}];
@@ -60,6 +69,8 @@ ExecutionReport ExecutionReport::Build(const Platform& platform,
     op.unit = row.unit;
     op.total += dur;
     ++op.count;
+    op.bytes += clipped_bytes;
+    op.flops += clipped_flops;
   });
 
   const MicroSeconds window = report.window();
@@ -81,21 +92,31 @@ ExecutionReport ExecutionReport::Build(const Platform& platform,
 
 std::string ExecutionReport::Render() const {
   std::string out = StrFormat("window: %.1f ms\n", ToMillis(window()));
-  TextTable unit_table({"unit", "busy (ms)", "utilization", "kernels"});
+  TextTable unit_table(
+      {"unit", "busy (ms)", "utilization", "kernels", "GB/s", "TFLOPS"});
   for (const UnitRow& row : units) {
-    unit_table.AddRow({row.unit, StrFormat("%.2f", ToMillis(row.busy)),
-                       StrFormat("%.1f%%", 100.0 * row.utilization),
-                       std::to_string(row.kernels)});
+    unit_table.AddRow(
+        {row.unit, StrFormat("%.2f", ToMillis(row.busy)),
+         StrFormat("%.1f%%", 100.0 * row.utilization),
+         std::to_string(row.kernels),
+         StrFormat("%.2f", window() > 0 ? ToGBPerSecond(row.bytes, window())
+                                        : 0),
+         StrFormat("%.3f",
+                   window() > 0 ? ToTflops(row.flops, window()) : 0)});
   }
   out += unit_table.Render();
 
-  TextTable op_table({"op", "unit", "total (ms)", "count", "% of window"});
+  TextTable op_table(
+      {"op", "unit", "total (ms)", "count", "% of window", "GB/s", "TFLOPS"});
   for (const OpRow& op : ops) {
-    op_table.AddRow({op.op, op.unit, StrFormat("%.2f", ToMillis(op.total)),
-                     std::to_string(op.count),
-                     StrFormat("%.1f%%",
-                               window() > 0 ? 100.0 * op.total / window()
-                                            : 0)});
+    op_table.AddRow(
+        {op.op, op.unit, StrFormat("%.2f", ToMillis(op.total)),
+         std::to_string(op.count),
+         StrFormat("%.1f%%",
+                   window() > 0 ? 100.0 * op.total / window() : 0),
+         StrFormat("%.2f", op.total > 0 ? ToGBPerSecond(op.bytes, op.total)
+                                        : 0),
+         StrFormat("%.3f", op.total > 0 ? ToTflops(op.flops, op.total) : 0)});
   }
   out += op_table.Render();
   return out;

@@ -19,12 +19,16 @@ struct ExecutionReport {
     MicroSeconds busy = 0;
     double utilization = 0;  // busy / window
     int kernels = 0;
+    Bytes bytes = 0;  // DRAM traffic attributed to the window (prorated)
+    Flops flops = 0;  // arithmetic work attributed to the window (prorated)
   };
   struct OpRow {
     std::string op;  // canonicalized kernel label (digits collapsed to '#')
     std::string unit;
     MicroSeconds total = 0;
     int count = 0;
+    Bytes bytes = 0;
+    Flops flops = 0;
   };
 
   MicroSeconds window_start = 0;

@@ -62,6 +62,7 @@ HeteroEngine::HeteroEngine(HeteroLevel level, Platform* platform,
   // paper; callers who want sync-aware planning pass a custom solver config.
   solver_ = std::make_unique<PartitionSolver>(profiler_.get(), platform,
                                               solver_cfg);
+  base_power_budget_watts_ = solver_cfg.max_parallel_power_watts;
   // Static graphs for all standard prefill sizes and decode widths are
   // compiled offline (§4.1.1).
   std::vector<int64_t> seqs = options_.standard_seq_sizes;
@@ -170,6 +171,32 @@ MatmulPlan HeteroEngine::PlanMatmul(MatmulSite site, const MatmulShape& shape,
                << decision.est_total << " us)";
   plan_cache_.emplace(key, decision.plan);
   return decision.plan;
+}
+
+void HeteroEngine::OnDeviceStateChange(
+    const std::vector<hal::Backend>& changed) {
+  auto hit = [&](hal::Backend b) {
+    return std::find(changed.begin(), changed.end(), b) != changed.end();
+  };
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    const MatmulPlan& plan = it->second;
+    const bool stale = plan.kind == PartitionKind::kNone
+                           ? hit(plan.sole_backend)
+                           : hit(hal::Backend::kGpu) || hit(hal::Backend::kNpu);
+    if (stale) {
+      it = plan_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // A scripted power budget overrides (tightens) the configured one; event
+  // value 0 clears it back to the configured budget.
+  const double forced = platform_->soc().forced_power_budget_watts();
+  double budget = base_power_budget_watts_;
+  if (forced > 0) {
+    budget = budget > 0 ? std::min(budget, forced) : forced;
+  }
+  solver_->set_max_parallel_power_watts(budget);
 }
 
 }  // namespace heterollm::core

@@ -95,10 +95,17 @@ class HeteroEngine : public EngineBase {
   MatmulPlan PlanMatmul(MatmulSite site, const MatmulShape& shape,
                         Phase phase) override;
 
+  // Drops cached plans touching a changed backend and refreshes the solver's
+  // power budget from any scripted cap, so the next PlanMatmul re-solves
+  // against the current operating point.
+  void OnDeviceStateChange(const std::vector<hal::Backend>& changed) override;
+
  private:
   MatmulPlan PlanLayerLevel(const MatmulShape& shape, Phase phase) const;
 
   HeteroLevel level_;
+  // The configured solver power budget, kept so a scripted cap can be lifted.
+  double base_power_budget_watts_ = 0;
   std::unique_ptr<HardwareProfiler> profiler_;
   std::unique_ptr<PartitionSolver> solver_;
   // Decisions cached per (site, m, n, k, phase); every layer shares shapes,

@@ -21,6 +21,13 @@ Platform::Platform(const PlatformOptions& options)
   cpu_ = std::make_unique<hal::CpuDevice>("cpu", &soc_, options.cpu);
   gpu_ = std::make_unique<hal::GpuDevice>("gpu", &soc_, options.gpu);
   npu_ = std::make_unique<hal::NpuDevice>("npu", &soc_, options.npu);
+  // Wire in dynamic conditions after the devices registered their units, so
+  // the thermal model sees all three. Events at t=0 pre-condition the
+  // platform before the first engine is constructed.
+  soc_.EnableThermal(options.thermal);
+  if (!options.conditions.empty()) {
+    soc_.SetConditionTrace(options.conditions);
+  }
 }
 
 hal::Device& Platform::device(hal::Backend backend) {

@@ -7,6 +7,7 @@
 #define SRC_CORE_PLATFORM_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/hal/cpu_device.h"
 #include "src/hal/gpu_device.h"
@@ -26,6 +27,10 @@ struct PlatformOptions {
   hal::SyncConfig sync;
   hal::NpuGraphConfig graph;
   hal::UnifiedMemoryConfig pool;
+  // Dynamic conditions (DESIGN.md thermal/DVFS section). Disabled by
+  // default: every existing calibration anchor stays bit-exact.
+  sim::ThermalConfig thermal;
+  std::vector<sim::ConditionEvent> conditions;
 
   // Defaults calibrated to the Qualcomm Snapdragon 8 Gen 3 (DESIGN.md §5).
   static PlatformOptions Snapdragon8Gen3();
@@ -48,6 +53,9 @@ class Platform {
   hal::NpuGraphCache& graph_cache() { return graph_cache_; }
   hal::UnifiedMemoryPool& pool() { return pool_; }
   const PlatformOptions& options() const { return options_; }
+
+  // Current device-state epoch (see SocSimulator::device_state_epoch).
+  uint64_t device_state_epoch() const { return soc_.device_state_epoch(); }
 
  private:
   PlatformOptions options_;

@@ -242,8 +242,14 @@ PartitionDecision PartitionSolver::DecideDecode(
       platform_->soc().unit_spec(gpu.unit()).bandwidth_cap_bytes_per_us;
   const double npu_cap =
       platform_->soc().unit_spec(npu.unit()).bandwidth_cap_bytes_per_us;
-  const double ceiling =
+  double ceiling =
       mem.soc_bandwidth_bytes_per_us * mem.multi_stream_efficiency;
+  // A background app's traffic takes its max-min-fair share off the top of
+  // the derated ceiling before the GPU/NPU streams split the rest.
+  const double background = platform_->soc().memory().background_traffic();
+  if (background > 0) {
+    ceiling = std::max(1.0, ceiling - background);
+  }
   // Water-fill between the two streams.
   double share_small = std::min(std::min(gpu_cap, npu_cap), ceiling / 2.0);
   double share_big =

@@ -69,6 +69,12 @@ class PartitionSolver {
 
   const SolverConfig& config() const { return config_; }
 
+  // Reactive re-planning: scripted condition events may tighten or restore
+  // the instantaneous power budget at runtime (<= 0 disables it).
+  void set_max_parallel_power_watts(double watts) {
+    config_.max_parallel_power_watts = watts;
+  }
+
   // Number of Decide* calls so far. The compiled-schedule tests assert the
   // steady state never consults the solver (plans replay from caches).
   int decide_calls() const { return decide_calls_; }

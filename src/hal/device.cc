@@ -23,6 +23,14 @@ Device::Device(std::string name, Backend backend, sim::SocSimulator* soc,
   unit_ = soc_->AddUnit(unit_spec);
 }
 
+void Device::ApplyOperatingPoint(sim::KernelDesc* desc) const {
+  const double factor = soc_->UnitFrequencyFactor(unit_);
+  if (factor != 1.0) {
+    desc->compute_time /= factor;
+    desc->power_scale *= factor * factor;
+  }
+}
+
 sim::KernelDesc Device::CostElementwise(const ElementwiseSpec& spec) const {
   sim::KernelDesc desc;
   desc.label = name_ + ":elementwise";
@@ -30,6 +38,8 @@ sim::KernelDesc Device::CostElementwise(const ElementwiseSpec& spec) const {
                       vector_rate_flops_per_us_;
   desc.memory_bytes = static_cast<double>(spec.elems) * spec.bytes_per_elem;
   desc.launch_overhead = launch_overhead_us_;
+  desc.flops = static_cast<double>(spec.elems) * spec.flops_per_elem;
+  ApplyOperatingPoint(&desc);
   return desc;
 }
 
@@ -41,6 +51,8 @@ sim::KernelDesc Device::CostAttention(const AttentionSpec& spec) const {
       spec.kv_bytes() +
       4.0 * static_cast<double>(spec.m) * spec.num_heads * spec.head_dim;
   desc.launch_overhead = launch_overhead_us_;
+  desc.flops = spec.flops();
+  ApplyOperatingPoint(&desc);
   return desc;
 }
 

@@ -114,6 +114,13 @@ class Device {
   MicroSeconds IsolatedTime(const sim::KernelDesc& desc) const;
 
  protected:
+  // Applies the unit's current effective frequency factor (thermal throttle ×
+  // forced cap) to a freshly built cost: compute stretches by 1/f and active
+  // power scales ~f² (DVFS lowers voltage with frequency; memory traffic is
+  // unaffected). Exactly a no-op — bit-for-bit — while the factor is 1.0, so
+  // every cost model calls this unconditionally.
+  void ApplyOperatingPoint(sim::KernelDesc* desc) const;
+
   std::string name_;
   Backend backend_;
   sim::SocSimulator* soc_;

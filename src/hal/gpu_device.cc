@@ -33,6 +33,8 @@ sim::KernelDesc GpuDevice::CostMatmul(const MatmulSpec& spec) const {
   desc.memory_bytes = (spec.a_bytes() + spec.b_bytes() + spec.out_bytes()) /
                       config_.memory_efficiency;
   desc.launch_overhead = config_.launch_overhead_us;
+  desc.flops = spec.flops();
+  ApplyOperatingPoint(&desc);
   return desc;
 }
 

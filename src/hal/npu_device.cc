@@ -74,6 +74,8 @@ sim::KernelDesc NpuDevice::CostMatmul(const MatmulSpec& spec) const {
   desc.memory_bytes = spec.a_bytes() + b_bytes * static_cast<double>(passes) +
                       spec.out_bytes();
   desc.launch_overhead = config_.launch_overhead_us;
+  desc.flops = padded_flops;
+  ApplyOperatingPoint(&desc);
   return desc;
 }
 

@@ -1,6 +1,7 @@
 #include "src/serve/iteration_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <memory>
 #include <utility>
@@ -49,7 +50,14 @@ ServingMetrics IterationScheduler::Run(const RequestQueue& queue) {
     metrics.requests[i].arrival = requests[i].arrival;
     metrics.requests[i].prompt_tokens = requests[i].prompt_len;
   }
+  // Quiesce the device queues so the power snapshot marks a clean window
+  // boundary (a no-op when the platform is already idle).
+  sim::SocSimulator& soc = engine_->platform()->soc();
+  soc.DrainAll();
+  engine_->AdvanceHostTo(soc.now());
   metrics.window_start = engine_->host_now();
+  const sim::PowerSnapshot power_start = soc.power().Snapshot();
+  const int replan_start = engine_->replan_events();
 
   if (options_.policy == SchedulePolicy::kSerial) {
     RunSerial(requests, &metrics);
@@ -58,9 +66,13 @@ ServingMetrics IterationScheduler::Run(const RequestQueue& queue) {
   }
 
   // Let straggling device queues drain so utilization covers real work only.
-  engine_->platform()->soc().DrainAll();
-  engine_->AdvanceHostTo(engine_->platform()->soc().now());
+  soc.DrainAll();
+  engine_->AdvanceHostTo(soc.now());
   metrics.window_end = engine_->host_now();
+  metrics.replan_events = engine_->replan_events() - replan_start;
+  metrics.energy = soc.power().TotalEnergySince(power_start, metrics.makespan());
+  metrics.avg_power_watts =
+      soc.power().AveragePowerWattsSince(power_start, metrics.makespan());
   metrics.report = core::ExecutionReport::Build(
       *engine_->platform(), metrics.window_start, metrics.window_end);
   for (const RequestMetrics& r : metrics.requests) {
@@ -102,6 +114,30 @@ void IterationScheduler::RunSerial(const std::vector<Request>& requests,
 void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
                                        ServingMetrics* m) {
   const model::ModelConfig& cfg = engine_->model_config();
+  sim::SocSimulator& soc = engine_->platform()->soc();
+
+  // Dynamic-conditions degradation. Both knobs are exactly neutral while no
+  // condition has engaged (scale 1.0, factors 1.0), so the default serving
+  // path is untouched.
+  //
+  // Effective KV budget: a scripted `kv_budget_scale` shrinks the admission
+  // budget; new admissions are deferred (active sessions keep their
+  // reservations — we degrade, not abort).
+  auto kv_budget = [&]() -> Bytes {
+    return options_.kv_budget_bytes * soc.kv_budget_scale();
+  };
+  // Effective decode batch: throttled units decode slower, so cap the batch
+  // by the slowest unit's frequency factor (and the KV squeeze) to keep
+  // per-iteration latency — and thus admission responsiveness — bounded.
+  auto effective_decode_batch = [&]() -> int {
+    double scale = soc.kv_budget_scale();
+    for (int u = 0; u < soc.unit_count(); ++u) {
+      scale = std::min(scale, soc.UnitFrequencyFactor(u));
+    }
+    const int batch = static_cast<int>(
+        std::floor(options_.max_decode_batch * scale + 1e-9));
+    return std::max(1, batch);
+  };
 
   struct Slot {
     size_t idx = 0;  // index into requests/metrics
@@ -153,7 +189,7 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     const Bytes need = kv_need(r);
     HCHECK_MSG(need <= options_.kv_budget_bytes,
                "request KV footprint exceeds the whole budget");
-    if (reserved_total + need > options_.kv_budget_bytes) {
+    if (reserved_total + need > kv_budget()) {
       // Preempt at most one session, and only for a newcomer (a request
       // that has already held a slot queues instead — prevents eviction
       // ping-pong).
@@ -172,8 +208,7 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
           victim_remaining = remaining;
         }
       }
-      if (reserved_total - active[victim].reserved + need >
-          options_.kv_budget_bytes) {
+      if (reserved_total - active[victim].reserved + need > kv_budget()) {
         return false;  // one eviction would not make room
       }
       evict(victim);
@@ -211,8 +246,9 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return active[a].last_iter < active[b].last_iter;
     });
-    if (order.size() > static_cast<size_t>(options_.max_decode_batch)) {
-      order.resize(static_cast<size_t>(options_.max_decode_batch));
+    const size_t batch_cap = static_cast<size_t>(effective_decode_batch());
+    if (order.size() > batch_cap) {
+      order.resize(batch_cap);
     }
     std::vector<KvCache*> caches;
     caches.reserve(order.size());
@@ -258,12 +294,30 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     } else if (!waiting.empty()) {
       // Nothing is running, so the whole budget is free and the head
       // request must be admissible (its footprint was HCHECKed against the
-      // budget); admit rather than stall.
+      // budget); admit rather than stall. The exception: a scripted KV
+      // squeeze can make even an empty platform inadmissible — then wait
+      // for the next condition event (the squeeze may lift) instead of
+      // aborting.
       const bool admitted = try_admit();
+      if (!admitted && soc.kv_budget_scale() < 1.0) {
+        const MicroSeconds next_event = soc.NextConditionEventTime();
+        HCHECK_MSG(std::isfinite(next_event),
+                   "serving stalled: KV budget squeezed below the head "
+                   "request with no further condition events");
+        soc.AdvanceIdleTo(next_event);
+        engine_->AdvanceHostTo(soc.now());
+        continue;
+      }
       HCHECK_MSG(admitted,
                  "serving stalled: waiting requests but nothing admissible");
     } else if (next_arrival < requests.size()) {
-      engine_->AdvanceHostTo(requests[next_arrival].arrival);
+      const MicroSeconds arrival = requests[next_arrival].arrival;
+      if (soc.dynamic_conditions()) {
+        // Idle gap: advance the simulator too, so units cool and scripted
+        // events falling inside the gap are applied on time.
+        soc.AdvanceIdleTo(arrival);
+      }
+      engine_->AdvanceHostTo(arrival);
     }
   }
   if (m->decode_iterations > 0) {

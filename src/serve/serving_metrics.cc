@@ -94,11 +94,13 @@ std::string ServingMetrics::Render() const {
   out += StrFormat(
       "\nrequests=%zu makespan=%.1f ms  tokens/s=%.1f (decode %.1f)  "
       "TTFT p50/p99=%.1f/%.1f ms  latency p50/p99=%.1f/%.1f ms  "
-      "decode iters=%d (avg batch %.2f)  evictions=%d\n",
+      "decode iters=%d (avg batch %.2f)  evictions=%d  replans=%d  "
+      "energy=%.1f mJ (%.2f W)\n",
       requests.size(), ToMillis(makespan()), aggregate_tokens_per_s(),
       decode_tokens_per_s(), ToMillis(ttft_p50()), ToMillis(ttft_p99()),
       ToMillis(latency_p50()), ToMillis(latency_p99()), decode_iterations,
-      avg_decode_batch, evictions);
+      avg_decode_batch, evictions, replan_events, energy / 1e3,
+      avg_power_watts);
   out += report.Render();
   return out;
 }
@@ -111,10 +113,12 @@ std::string ServingMetrics::ToJson() const {
       "\"ttft_p50_us\": %.3f, \"ttft_p99_us\": %.3f, "
       "\"latency_p50_us\": %.3f, \"latency_p99_us\": %.3f, "
       "\"decode_iterations\": %d, \"avg_decode_batch\": %.4f, "
-      "\"evictions\": %d, ",
+      "\"evictions\": %d, \"replan_events\": %d, \"energy_uj\": %.3f, "
+      "\"avg_power_watts\": %.4f, ",
       requests.size(), makespan(), aggregate_tokens_per_s(),
       decode_tokens_per_s(), ttft_p50(), ttft_p99(), latency_p50(),
-      latency_p99(), decode_iterations, avg_decode_batch, evictions);
+      latency_p99(), decode_iterations, avg_decode_batch, evictions,
+      replan_events, energy, avg_power_watts);
   out += "\"per_request\": [";
   for (size_t i = 0; i < requests.size(); ++i) {
     const RequestMetrics& r = requests[i];

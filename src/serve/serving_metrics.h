@@ -31,9 +31,14 @@ struct RequestMetrics {
   MicroSeconds ttft() const {
     return first_token > arrival ? first_token - arrival : 0;
   }
+  // Mean time per output token *after* the first: the first decoded token
+  // lands at `first_token`, so [first_token, completion] spans
+  // `decoded_tokens - 1` inter-token gaps. Dividing by `decoded_tokens`
+  // (the old bug) understated TPOT by a factor of (n-1)/n — 2x at n = 2.
+  // One decoded token means zero gaps: TPOT 0.
   MicroSeconds tpot() const {
-    return decoded_tokens > 0 && completion > first_token
-               ? (completion - first_token) / decoded_tokens
+    return decoded_tokens > 1 && completion > first_token
+               ? (completion - first_token) / (decoded_tokens - 1)
                : 0;
   }
   MicroSeconds e2e_latency() const {
@@ -51,6 +56,9 @@ struct ServingMetrics {
   int evictions = 0;           // total preemptions across all requests
   int decode_iterations = 0;   // batched decode passes issued
   double avg_decode_batch = 0;  // mean sessions per decode iteration
+  int replan_events = 0;       // device-state changes the engine reacted to
+  MicroJoules energy = 0;      // energy over the window (snapshot delta)
+  double avg_power_watts = 0;  // energy / makespan
   core::ExecutionReport report;  // per-unit utilization over the window
 
   MicroSeconds makespan() const {

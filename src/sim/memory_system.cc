@@ -38,7 +38,9 @@ void MemorySystem::AdvanceTo(MicroSeconds t) {
     for (auto& [id, s] : streams_) {
       Bytes moved = std::min(s.remaining, s.rate * dt);
       s.remaining -= moved;
-      total_bytes_transferred_ += moved;
+      if (!s.background) {
+        total_bytes_transferred_ += moved;
+      }
     }
     now_ = step;
     // Streams that drained stop consuming bandwidth immediately.
@@ -66,8 +68,28 @@ bool MemorySystem::IsDone(StreamId id) const {
 }
 
 void MemorySystem::CloseStream(StreamId id) {
+  HCHECK_MSG(id != background_id_,
+             "background traffic is closed via SetBackgroundTraffic(0)");
   auto erased = streams_.erase(id);
   HCHECK(erased == 1);
+  Reallocate();
+}
+
+void MemorySystem::SetBackgroundTraffic(double rate_bytes_per_us) {
+  if (background_id_ >= 0) {
+    streams_.erase(background_id_);
+    background_id_ = -1;
+    background_rate_ = 0;
+  }
+  if (rate_bytes_per_us > 0) {
+    background_id_ = next_id_++;
+    Stream s;
+    s.cap = rate_bytes_per_us;
+    s.remaining = std::numeric_limits<Bytes>::infinity();
+    s.background = true;
+    streams_[background_id_] = s;
+    background_rate_ = rate_bytes_per_us;
+  }
   Reallocate();
 }
 

@@ -73,6 +73,17 @@ class MemorySystem {
   // Removes a finished (or abandoned) stream.
   void CloseStream(StreamId id);
 
+  // Sustained DRAM traffic of a background app (screen recording, download,
+  // game streaming assets, ...): a persistent stream with unbounded bytes
+  // that competes in the max-min-fair arbitration like any processor stream
+  // but never drains. `rate_bytes_per_us` caps its share; <= 0 removes it.
+  // Background bytes are excluded from `total_bytes_transferred()` so the
+  // benchmarks keep reporting workload traffic only.
+  void SetBackgroundTraffic(double rate_bytes_per_us);
+
+  // Currently configured background-traffic cap, bytes/µs (0 = none).
+  double background_traffic() const { return background_rate_; }
+
   // Currently allocated rate for the stream, bytes/µs.
   double AllocatedRate(StreamId id) const;
 
@@ -93,6 +104,7 @@ class MemorySystem {
     double cap = 0;        // bytes/µs
     Bytes remaining = 0;   // bytes left to move
     double rate = 0;       // currently granted bytes/µs
+    bool background = false;  // never drains; excluded from transfer totals
   };
 
   // Recomputes the max-min-fair allocation across active streams.
@@ -103,6 +115,8 @@ class MemorySystem {
   StreamId next_id_ = 1;
   std::unordered_map<StreamId, Stream> streams_;
   Bytes total_bytes_transferred_ = 0;
+  StreamId background_id_ = -1;
+  double background_rate_ = 0;
 };
 
 }  // namespace heterollm::sim

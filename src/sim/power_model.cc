@@ -4,6 +4,27 @@
 
 namespace heterollm::sim {
 
+namespace {
+
+// Shared by the whole-history and windowed paths: `active` µs at active
+// power, the rest of `window` at idle power. The clamp exists only for the
+// rounding hair where a kernel boundary coincides with the window end; a
+// gross overshoot means activity from outside the window leaked in.
+MicroJoules EnergyOver(const PowerRating& rating, MicroSeconds active,
+                       MicroSeconds window) {
+  HCHECK_MSG(active <= window + kActiveClampToleranceUs,
+             "unit active time exceeds the accounting window beyond rounding "
+             "tolerance (snapshot taken mid-kernel, or pre-window activity "
+             "mixed in?)");
+  if (active > window) {
+    active = window;
+  }
+  const MicroSeconds idle = window - active;
+  return active * rating.active_watts + idle * rating.idle_watts;
+}
+
+}  // namespace
+
 int PowerMeter::AddUnit(std::string name, PowerRating rating) {
   units_.push_back(UnitState{std::move(name), rating, 0});
   return static_cast<int>(units_.size()) - 1;
@@ -18,14 +39,7 @@ void PowerMeter::AddActive(int unit, MicroSeconds duration) {
 MicroJoules PowerMeter::UnitEnergy(int unit, MicroSeconds total_elapsed) const {
   HCHECK(unit >= 0 && unit < unit_count());
   const UnitState& u = units_[static_cast<size_t>(unit)];
-  MicroSeconds active = u.active_time;
-  // Clamp: a unit cannot be active for longer than the window (can happen by
-  // a rounding hair when the window ends exactly at a kernel boundary).
-  if (active > total_elapsed) {
-    active = total_elapsed;
-  }
-  MicroSeconds idle = total_elapsed - active;
-  return active * u.rating.active_watts + idle * u.rating.idle_watts;
+  return EnergyOver(u.rating, u.active_time, total_elapsed);
 }
 
 MicroJoules PowerMeter::TotalEnergy(MicroSeconds total_elapsed) const {
@@ -43,6 +57,51 @@ double PowerMeter::AveragePowerWatts(MicroSeconds total_elapsed) const {
   return TotalEnergy(total_elapsed) / total_elapsed;
 }
 
+PowerSnapshot PowerMeter::Snapshot() const {
+  PowerSnapshot snap;
+  snap.active_time.reserve(units_.size());
+  for (const UnitState& u : units_) {
+    snap.active_time.push_back(u.active_time);
+  }
+  return snap;
+}
+
+MicroSeconds PowerMeter::ActiveTimeSince(const PowerSnapshot& since,
+                                         int unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  HCHECK_MSG(since.active_time.size() == units_.size(),
+             "snapshot was taken against a different meter");
+  const MicroSeconds delta =
+      units_[static_cast<size_t>(unit)].active_time -
+      since.active_time[static_cast<size_t>(unit)];
+  HCHECK_MSG(delta >= 0, "active counters moved backwards since the snapshot");
+  return delta;
+}
+
+MicroJoules PowerMeter::UnitEnergySince(const PowerSnapshot& since, int unit,
+                                        MicroSeconds window) const {
+  HCHECK(window >= 0);
+  return EnergyOver(units_[static_cast<size_t>(unit)].rating,
+                    ActiveTimeSince(since, unit), window);
+}
+
+MicroJoules PowerMeter::TotalEnergySince(const PowerSnapshot& since,
+                                         MicroSeconds window) const {
+  MicroJoules total = 0;
+  for (int i = 0; i < unit_count(); ++i) {
+    total += UnitEnergySince(since, i, window);
+  }
+  return total;
+}
+
+double PowerMeter::AveragePowerWattsSince(const PowerSnapshot& since,
+                                          MicroSeconds window) const {
+  if (window <= 0) {
+    return 0;
+  }
+  return TotalEnergySince(since, window) / window;
+}
+
 MicroSeconds PowerMeter::ActiveTime(int unit) const {
   HCHECK(unit >= 0 && unit < unit_count());
   return units_[static_cast<size_t>(unit)].active_time;
@@ -51,6 +110,11 @@ MicroSeconds PowerMeter::ActiveTime(int unit) const {
 const std::string& PowerMeter::unit_name(int unit) const {
   HCHECK(unit >= 0 && unit < unit_count());
   return units_[static_cast<size_t>(unit)].name;
+}
+
+const PowerRating& PowerMeter::rating(int unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  return units_[static_cast<size_t>(unit)].rating;
 }
 
 void PowerMeter::Reset() {

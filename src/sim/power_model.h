@@ -5,6 +5,12 @@
 // active/idle power over its busy intervals. Calibrated so that Hetero-layer
 // lands at ~2.23 W and PPL-OpenCL (GPU-saturating) at ~4.3 W on the Llama-8B
 // prefill workload.
+//
+// Active-time counters are cumulative since construction. Metrics over a
+// sub-window (one Generate call, one serving run) must therefore be computed
+// as deltas against a `PowerSnapshot` taken at the window start — the
+// `*Since` accessors do exactly that. The legacy whole-history accessors
+// remain for callers whose window genuinely starts at time 0.
 
 #ifndef SRC_SIM_POWER_MODEL_H_
 #define SRC_SIM_POWER_MODEL_H_
@@ -21,6 +27,19 @@ struct PowerRating {
   double active_watts = 0;  // Power while executing a kernel.
   double idle_watts = 0;    // Leakage / retention while idle.
 };
+
+// Point-in-time copy of the per-unit active counters. Take one at a window
+// start (with the simulator quiesced — no in-flight kernels) and hand it
+// back to the `*Since` accessors at the window end.
+struct PowerSnapshot {
+  std::vector<MicroSeconds> active_time;
+};
+
+// Active time may exceed its window by floating-point rounding when the
+// window ends exactly on a kernel boundary; anything beyond this tolerance
+// means the caller snapshotted mid-kernel (a real accounting bug) and is
+// HCHECK-rejected instead of silently clamped.
+inline constexpr MicroSeconds kActiveClampToleranceUs = 0.5;
 
 // Integrates energy for a set of units. Units are identified by dense index.
 class PowerMeter {
@@ -41,11 +60,30 @@ class PowerMeter {
   // Average power in watts over the window.
   double AveragePowerWatts(MicroSeconds total_elapsed) const;
 
-  // Active (busy) time accumulated for `unit`.
+  // --- windowed (snapshot/delta) accounting --------------------------------
+
+  PowerSnapshot Snapshot() const;
+
+  // Active time `unit` accumulated since `since` was taken.
+  MicroSeconds ActiveTimeSince(const PowerSnapshot& since, int unit) const;
+
+  // Energy of `unit` over a window of length `window` that started when
+  // `since` was taken: delta-active at active power, the rest at idle power.
+  MicroJoules UnitEnergySince(const PowerSnapshot& since, int unit,
+                              MicroSeconds window) const;
+
+  MicroJoules TotalEnergySince(const PowerSnapshot& since,
+                               MicroSeconds window) const;
+
+  double AveragePowerWattsSince(const PowerSnapshot& since,
+                                MicroSeconds window) const;
+
+  // Active (busy) time accumulated for `unit` since construction.
   MicroSeconds ActiveTime(int unit) const;
 
   int unit_count() const { return static_cast<int>(units_.size()); }
   const std::string& unit_name(int unit) const;
+  const PowerRating& rating(int unit) const;
 
   // Clears accumulated activity (ratings are kept).
   void Reset();

@@ -23,6 +23,9 @@ UnitId SocSimulator::AddUnit(const UnitSpec& spec) {
   Unit unit;
   unit.spec = spec;
   unit.power_index = power_.AddUnit(spec.name, spec.power);
+  if (thermal_) {
+    unit.thermal_index = thermal_->AddUnit(spec.name);
+  }
   units_.push_back(std::move(unit));
   return static_cast<UnitId>(units_.size()) - 1;
 }
@@ -30,6 +33,56 @@ UnitId SocSimulator::AddUnit(const UnitSpec& spec) {
 const UnitSpec& SocSimulator::unit_spec(UnitId unit) const {
   HCHECK(unit >= 0 && unit < unit_count());
   return units_[static_cast<size_t>(unit)].spec;
+}
+
+void SocSimulator::EnableThermal(const ThermalConfig& config) {
+  HCHECK_MSG(kernels_.empty(),
+             "EnableThermal must be called before any kernel is submitted");
+  if (!config.enabled) {
+    thermal_.reset();
+    return;
+  }
+  thermal_ = std::make_unique<ThermalModel>(config);
+  for (Unit& u : units_) {
+    u.thermal_index = thermal_->AddUnit(u.spec.name);
+  }
+}
+
+void SocSimulator::SetConditionTrace(std::vector<ConditionEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ConditionEvent& a, const ConditionEvent& b) {
+                     return a.time < b.time;
+                   });
+  trace_ = std::move(events);
+  next_event_ = 0;
+  ApplyDueConditionEvents();
+}
+
+double SocSimulator::UnitFrequencyFactor(UnitId unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  const Unit& u = units_[static_cast<size_t>(unit)];
+  return u.thermal_factor * u.forced_cap;
+}
+
+double SocSimulator::UnitTemperature(UnitId unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  const Unit& u = units_[static_cast<size_t>(unit)];
+  if (thermal_ == nullptr || u.thermal_index < 0) {
+    return 25.0;  // nominal ambient when the thermal model is off
+  }
+  return thermal_->Temperature(u.thermal_index);
+}
+
+uint64_t SocSimulator::unit_state_epoch(UnitId unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  return units_[static_cast<size_t>(unit)].epoch;
+}
+
+MicroSeconds SocSimulator::NextConditionEventTime() const {
+  if (next_event_ >= trace_.size()) {
+    return std::numeric_limits<MicroSeconds>::infinity();
+  }
+  return trace_[next_event_].time;
 }
 
 KernelHandle SocSimulator::Submit(UnitId unit, KernelDesc desc,
@@ -148,6 +201,92 @@ void SocSimulator::FinishCompletedKernels() {
   }
 }
 
+void SocSimulator::IntegrateThermal(MicroSeconds dt) {
+  if (thermal_ == nullptr || dt <= 0) {
+    return;
+  }
+  // A unit's dissipation is constant between event-loop steps (one kernel
+  // runs at a time), so the exact RC update over `dt` loses nothing.
+  for (const Unit& u : units_) {
+    const PowerRating& rating = power_.rating(u.power_index);
+    double watts = rating.idle_watts;
+    if (u.running != kInvalidKernel) {
+      watts = rating.active_watts * kernel(u.running).desc.power_scale;
+    }
+    thermal_->Integrate(u.thermal_index, watts, dt);
+  }
+}
+
+void SocSimulator::UpdateThrottleState() {
+  if (thermal_ == nullptr) {
+    return;
+  }
+  for (Unit& u : units_) {
+    const double factor = thermal_->UpdateFrequencyFactor(u.thermal_index);
+    if (factor != u.thermal_factor) {
+      u.thermal_factor = factor;
+      BumpUnitEpoch(u);
+    }
+  }
+}
+
+void SocSimulator::ApplyDueConditionEvents() {
+  while (next_event_ < trace_.size() &&
+         trace_[next_event_].time <= now_ + kTimeEpsilon) {
+    ApplyConditionEvent(trace_[next_event_]);
+    ++next_event_;
+  }
+}
+
+void SocSimulator::ApplyConditionEvent(const ConditionEvent& event) {
+  if (event.frequency_cap >= 0) {
+    HCHECK_MSG(event.frequency_cap > 0 && event.frequency_cap <= 1.0,
+               "forced frequency cap must lie in (0, 1]");
+    bool matched = false;
+    for (Unit& u : units_) {
+      if (!event.unit.empty() && u.spec.name != event.unit) {
+        continue;
+      }
+      matched = true;
+      if (u.forced_cap != event.frequency_cap) {
+        u.forced_cap = event.frequency_cap;
+        BumpUnitEpoch(u);
+      }
+    }
+    HCHECK_MSG(matched, "condition event names an unknown unit");
+  }
+  if (event.background_bandwidth_bytes_per_us >= 0 &&
+      memory_.background_traffic() != event.background_bandwidth_bytes_per_us) {
+    memory_.SetBackgroundTraffic(event.background_bandwidth_bytes_per_us);
+    // Shared-resource change: every unit's achievable bandwidth (and thus
+    // every cached plan) is stale.
+    for (Unit& u : units_) {
+      BumpUnitEpoch(u);
+    }
+  }
+  if (event.kv_budget_scale >= 0) {
+    HCHECK_MSG(event.kv_budget_scale > 0 && event.kv_budget_scale <= 1.0,
+               "kv budget scale must lie in (0, 1]");
+    // Polled by the serving scheduler every iteration; no plan depends on
+    // it, so no epoch bump.
+    kv_budget_scale_ = event.kv_budget_scale;
+  }
+  if (event.power_budget_watts >= 0 &&
+      power_budget_watts_ != event.power_budget_watts) {
+    power_budget_watts_ = event.power_budget_watts;
+    // The solver prunes parallel candidates against this budget: cached
+    // cut decisions are stale on every unit.
+    for (Unit& u : units_) {
+      BumpUnitEpoch(u);
+    }
+  }
+}
+
+void SocSimulator::BumpUnitEpoch(Unit& unit) {
+  ++epoch_;
+  unit.epoch = epoch_;
+}
+
 void SocSimulator::RunUntil(const std::function<bool()>& done) {
   // Bound the loop to catch scheduling bugs; real workloads stay far below.
   for (int64_t iterations = 0; iterations < (1 << 26); ++iterations) {
@@ -171,12 +310,26 @@ void SocSimulator::RunUntil(const std::function<bool()>& done) {
         next = std::min(next, kernel(unit.queue.front()).submit_time);
       }
     }
+    // An idle advance supplies its own target, so empty queues are not a
+    // deadlock while one is in progress.
+    if (idle_advancing_) {
+      next = std::min(next, std::max(idle_target_, now_ + kTimeEpsilon));
+    }
     HCHECK_MSG(next != std::numeric_limits<MicroSeconds>::infinity(),
                "simulator deadlock: wait cannot be satisfied by queued work");
+    // Never step past a pending scripted condition event: it may change
+    // throttle factors / bandwidth mid-interval.
+    if (next_event_ < trace_.size()) {
+      next = std::min(
+          next, std::max(trace_[next_event_].time, now_ + kTimeEpsilon));
+    }
     // Guarantee forward progress even when the next event is "now".
     next = std::max(next, now_ + kTimeEpsilon);
+    IntegrateThermal(next - now_);
     memory_.AdvanceTo(next);
     now_ = next;
+    ApplyDueConditionEvents();
+    UpdateThrottleState();
   }
   for (const auto& unit : units_) {
     if (unit.running != kInvalidKernel) {
@@ -198,10 +351,11 @@ void SocSimulator::RunUntil(const std::function<bool()>& done) {
 
 void SocSimulator::VisitFinishedKernels(
     const std::function<void(const std::string&, UnitId, MicroSeconds,
-                             MicroSeconds)>& visitor) const {
+                             MicroSeconds, Bytes, Flops)>& visitor) const {
   for (const Kernel& k : kernels_) {
     if (k.state == KernelState::kFinished) {
-      visitor(k.desc.label, k.unit, k.start_time, k.end_time);
+      visitor(k.desc.label, k.unit, k.start_time, k.end_time,
+              k.desc.memory_bytes, k.desc.flops);
     }
   }
 }
@@ -227,6 +381,17 @@ MicroSeconds SocSimulator::DrainAll() {
     }
     return true;
   });
+  return now_;
+}
+
+MicroSeconds SocSimulator::AdvanceIdleTo(MicroSeconds t) {
+  if (t <= now_ + kTimeEpsilon) {
+    return now_;
+  }
+  idle_target_ = t;
+  idle_advancing_ = true;
+  RunUntil([&] { return now_ + kTimeEpsilon >= t; });
+  idle_advancing_ = false;
   return now_;
 }
 

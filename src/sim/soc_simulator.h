@@ -13,6 +13,16 @@
 // to answer. The control-plane (engine) interleaves its own simulated CPU
 // time with these waits, mirroring how the real runtime's host thread
 // schedules GPU/NPU work.
+//
+// Dynamic conditions (off by default, bit-exact when off): an optional
+// per-unit thermal model (`ThermalModel`) integrates dissipated power into a
+// temperature and applies DVFS throttle steps, and an optional scripted
+// `ConditionEvent` trace injects background-app bandwidth contention, forced
+// clock caps and budget changes at fixed times. Each unit carries an
+// *effective frequency factor* (thermal × forced cap) that the HAL cost
+// models sample at submission time, and a monotonically increasing
+// *device-state epoch* lets engines detect that cached plans / compiled
+// schedules were built against stale device performance.
 
 #ifndef SRC_SIM_SOC_SIMULATOR_H_
 #define SRC_SIM_SOC_SIMULATOR_H_
@@ -20,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +38,7 @@
 #include "src/common/types.h"
 #include "src/sim/memory_system.h"
 #include "src/sim/power_model.h"
+#include "src/sim/thermal_model.h"
 
 namespace heterollm::sim {
 
@@ -56,6 +68,9 @@ struct KernelDesc {
   // Multiplier on the unit's active power while this kernel runs (DVFS
   // operating-point modelling; 1.0 = the unit's rated active power).
   double power_scale = 1.0;
+  // Arithmetic work the kernel performs (the *executed* count — padded on
+  // the NPU). Reporting only: per-op TFLOPS in the execution report.
+  Flops flops = 0;
 };
 
 class SocSimulator {
@@ -83,6 +98,12 @@ class SocSimulator {
   // Advances until all queues are empty; returns the final time.
   MicroSeconds DrainAll();
 
+  // Advances the clock to `t` with no kernel-completion goal: integrates
+  // thermal cooling over idle gaps and applies scripted condition events
+  // falling in (now, t]. Queued/running kernels still execute normally.
+  // Returns the resolved time (>= t up to the event-loop epsilon).
+  MicroSeconds AdvanceIdleTo(MicroSeconds t);
+
   // True once `k` has been resolved as finished.
   bool IsFinished(KernelHandle k) const;
 
@@ -101,16 +122,58 @@ class SocSimulator {
   MicroSeconds UnitBusyTime(UnitId unit) const;
 
   // Visits every kernel resolved as finished, in submission order
-  // (label, unit, start time, end time). Used by the trace exporter.
+  // (label, unit, start, end, memory bytes, flops). Used by the trace
+  // exporter and the execution report.
   void VisitFinishedKernels(
       const std::function<void(const std::string&, UnitId, MicroSeconds,
-                               MicroSeconds)>& visitor) const;
+                               MicroSeconds, Bytes, Flops)>& visitor) const;
+
+  // --- dynamic conditions --------------------------------------------------
+
+  // Attaches a thermal/DVFS model (no-op config when `!config.enabled`).
+  // Must be called before any kernel is submitted.
+  void EnableThermal(const ThermalConfig& config);
+
+  // Installs a scripted condition trace. Events are applied as simulated
+  // time passes them; events at or before now() apply immediately (so a
+  // trace installed at t=0 pre-conditions the platform).
+  void SetConditionTrace(std::vector<ConditionEvent> events);
+
+  // True when a thermal model or a condition trace is attached.
+  bool dynamic_conditions() const {
+    return thermal_ != nullptr || next_event_ < trace_.size();
+  }
+
+  // Effective frequency factor of `unit` (thermal throttle × forced cap);
+  // exactly 1.0 when no dynamic condition has engaged.
+  double UnitFrequencyFactor(UnitId unit) const;
+
+  // Current die temperature of `unit` (°C); ambient when thermal is off.
+  double UnitTemperature(UnitId unit) const;
+
+  // Monotonic counter bumped whenever any unit's effective performance (or a
+  // plan-relevant shared resource: bandwidth, power budget) changes.
+  uint64_t device_state_epoch() const { return epoch_; }
+
+  // The global epoch value at which `unit` last changed state (0 = never).
+  uint64_t unit_state_epoch(UnitId unit) const;
+
+  // Externally forced parallel-power budget from the condition trace, watts
+  // (0 = none forced).
+  double forced_power_budget_watts() const { return power_budget_watts_; }
+
+  // Scripted scale on the serving scheduler's KV budget (1.0 = full).
+  double kv_budget_scale() const { return kv_budget_scale_; }
+
+  // Earliest not-yet-applied condition event time; +inf when none pending.
+  MicroSeconds NextConditionEventTime() const;
 
   MicroSeconds now() const { return now_; }
   MemorySystem& memory() { return memory_; }
   const MemorySystem& memory() const { return memory_; }
   PowerMeter& power() { return power_; }
   const PowerMeter& power() const { return power_; }
+  const ThermalModel* thermal() const { return thermal_.get(); }
   int unit_count() const { return static_cast<int>(units_.size()); }
   const UnitSpec& unit_spec(UnitId unit) const;
 
@@ -136,6 +199,12 @@ class SocSimulator {
     int power_index = -1;
     MicroSeconds busy_time = 0;
     MicroSeconds last_completion = 0;
+    // Dynamic-conditions state. Both factors are exactly 1.0 until a
+    // throttle step / condition event engages.
+    int thermal_index = -1;
+    double thermal_factor = 1.0;
+    double forced_cap = 1.0;
+    uint64_t epoch = 0;  // global epoch at the unit's last state change
   };
 
   Kernel& kernel(KernelHandle k);
@@ -152,11 +221,36 @@ class SocSimulator {
   // done at the current time.
   void FinishCompletedKernels();
 
+  // Integrates unit temperatures over [now_, now_ + dt] at the units'
+  // current (piecewise-constant) dissipation.
+  void IntegrateThermal(MicroSeconds dt);
+
+  // Re-evaluates throttle factors after time advanced; bumps epochs on
+  // change.
+  void UpdateThrottleState();
+
+  // Applies every trace event with time <= now_.
+  void ApplyDueConditionEvents();
+  void ApplyConditionEvent(const ConditionEvent& event);
+
+  void BumpUnitEpoch(Unit& unit);
+
   MemorySystem memory_;
   PowerMeter power_;
   MicroSeconds now_ = 0;
   std::vector<Unit> units_;
   std::vector<Kernel> kernels_;
+
+  std::unique_ptr<ThermalModel> thermal_;
+  std::vector<ConditionEvent> trace_;
+  size_t next_event_ = 0;
+  uint64_t epoch_ = 0;
+  double power_budget_watts_ = 0;
+  double kv_budget_scale_ = 1.0;
+  // Target of an in-progress AdvanceIdleTo (NaN = none): lets RunUntil make
+  // progress with empty queues without tripping the deadlock check.
+  MicroSeconds idle_target_ = -1;
+  bool idle_advancing_ = false;
 };
 
 }  // namespace heterollm::sim

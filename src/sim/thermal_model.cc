@@ -1,0 +1,102 @@
+#include "src/sim/thermal_model.h"
+
+#include <cmath>
+
+namespace heterollm::sim {
+
+ThermalConfig ThermalConfig::MobileSustained() {
+  ThermalConfig cfg;
+  cfg.enabled = true;
+  // Shared staircase; the per-unit R/tau differences set who throttles when.
+  const std::vector<ThrottleStep> steps = {
+      {45.0, 0.85}, {50.0, 0.70}, {55.0, 0.55}};
+  // NPU: 1.9 W sustained -> +22.8 °C over ambient (47.8 °C steady state),
+  // crossing the 45 °C step at ~-tau*ln(1 - 20/22.8) ~= 31 s.
+  cfg.npu = {12.0, 15e6, steps};
+  // GPU: 4.3 W at full clock -> +38.7 °C, first step at ~11 s; at the
+  // heterogeneous engines' 0.33 power scale it stays below the staircase.
+  cfg.gpu = {9.0, 15e6, steps};
+  cfg.cpu = {8.0, 15e6, steps};
+  return cfg;
+}
+
+ThermalModel::ThermalModel(const ThermalConfig& config) : config_(config) {
+  HCHECK(config.hysteresis_c >= 0);
+}
+
+int ThermalModel::AddUnit(const std::string& name) {
+  UnitState state;
+  if (name == "cpu") {
+    state.params = config_.cpu;
+  } else if (name == "npu") {
+    state.params = config_.npu;
+  } else {
+    state.params = config_.gpu;
+  }
+  HCHECK(state.params.r_c_per_watt >= 0);
+  HCHECK(state.params.tau_us > 0);
+  for (size_t i = 0; i < state.params.steps.size(); ++i) {
+    const ThrottleStep& s = state.params.steps[i];
+    HCHECK_MSG(s.frequency_factor > 0 && s.frequency_factor <= 1.0,
+               "throttle factor must be in (0, 1]");
+    HCHECK_MSG(i == 0 || state.params.steps[i - 1].temp_c < s.temp_c,
+               "throttle steps must be ascending in temperature");
+    HCHECK_MSG(i == 0 || state.params.steps[i - 1].frequency_factor >
+                             s.frequency_factor,
+               "throttle factors must descend with temperature");
+  }
+  state.temp_c = config_.ambient_c;
+  units_.push_back(std::move(state));
+  return static_cast<int>(units_.size()) - 1;
+}
+
+void ThermalModel::Integrate(int unit, double power_watts, MicroSeconds dt) {
+  HCHECK(unit >= 0 && unit < unit_count());
+  HCHECK(dt >= 0);
+  if (dt == 0) {
+    return;
+  }
+  UnitState& u = units_[static_cast<size_t>(unit)];
+  // Exact solution of the RC node under constant power: exponential approach
+  // to the steady state T_inf = ambient + P*R. Step size does not affect the
+  // result (piecewise-constant power), so the event loop can take arbitrary
+  // strides without accumulating integration error.
+  const double t_inf = config_.ambient_c + power_watts * u.params.r_c_per_watt;
+  const double alpha = 1.0 - std::exp(-dt / u.params.tau_us);
+  u.temp_c += (t_inf - u.temp_c) * alpha;
+}
+
+double ThermalModel::UpdateFrequencyFactor(int unit) {
+  HCHECK(unit >= 0 && unit < unit_count());
+  UnitState& u = units_[static_cast<size_t>(unit)];
+  const auto& steps = u.params.steps;
+  const int n = static_cast<int>(steps.size());
+  // Escalate through every step the temperature has reached; de-escalate one
+  // rung at a time, only once the temperature has cooled past the rung's
+  // threshold minus the hysteresis band.
+  while (u.level < n &&
+         u.temp_c >= steps[static_cast<size_t>(u.level)].temp_c) {
+    ++u.level;
+  }
+  while (u.level > 0 &&
+         u.temp_c < steps[static_cast<size_t>(u.level - 1)].temp_c -
+                        config_.hysteresis_c) {
+    --u.level;
+  }
+  return FrequencyFactor(unit);
+}
+
+double ThermalModel::Temperature(int unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  return units_[static_cast<size_t>(unit)].temp_c;
+}
+
+double ThermalModel::FrequencyFactor(int unit) const {
+  HCHECK(unit >= 0 && unit < unit_count());
+  const UnitState& u = units_[static_cast<size_t>(unit)];
+  return u.level == 0
+             ? 1.0
+             : u.params.steps[static_cast<size_t>(u.level - 1)].frequency_factor;
+}
+
+}  // namespace heterollm::sim

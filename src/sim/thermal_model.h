@@ -1,0 +1,122 @@
+// Thermal / DVFS model for the simulated SoC (dynamic conditions layer).
+//
+// Mobile SoCs do not hold peak performance: sustained inference heats the
+// die and the governor steps processor clocks down ("Understanding Large
+// Language Models in Your Pockets" measures decode throughput collapsing
+// after tens of seconds of sustained load). This module models that with one
+// lumped RC thermal node per execution unit:
+//
+//   dT/dt = (P * R + T_ambient - T) / tau
+//
+// integrated exactly over the piecewise-constant power intervals the event
+// loop produces (a unit's power is constant between kernel boundaries), plus
+// a throttle staircase: when a unit's temperature crosses a step threshold
+// its frequency factor drops to the step's value; it recovers only after
+// cooling `hysteresis_c` below the threshold (no flapping at the boundary).
+//
+// The model is a pure observer until a throttle step engages — with an empty
+// staircase (or `ThermalConfig::enabled == false`, the default everywhere)
+// the simulator's timing is bit-identical to a build without it.
+
+#ifndef SRC_SIM_THERMAL_MODEL_H_
+#define SRC_SIM_THERMAL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace heterollm::sim {
+
+// One rung of the throttle staircase: at or above `temp_c` the unit runs at
+// `frequency_factor` of its rated clock.
+struct ThrottleStep {
+  double temp_c = 0;
+  double frequency_factor = 1.0;
+};
+
+// Per-unit RC parameters + staircase.
+struct UnitThermalParams {
+  // Steady-state temperature rise per watt of sustained power (°C/W).
+  double r_c_per_watt = 12.0;
+  // RC time constant: how fast the unit approaches its steady state.
+  MicroSeconds tau_us = 15e6;  // 15 s
+  // Ascending by temp_c; factors strictly descending in (0, 1].
+  std::vector<ThrottleStep> steps;
+};
+
+struct ThermalConfig {
+  // Master switch. Platforms leave this off by default, making the whole
+  // dynamic-conditions layer inert for every existing binary.
+  bool enabled = false;
+  double ambient_c = 25.0;
+  // A throttled unit un-throttles only below `step.temp_c - hysteresis_c`.
+  double hysteresis_c = 2.0;
+  UnitThermalParams cpu;
+  UnitThermalParams gpu;
+  UnitThermalParams npu;
+
+  // Calibrated so sustained NPU+GPU prefill (Hetero-tensor on the 8 Gen 3
+  // power ratings) crosses the first throttle step within tens of seconds,
+  // matching the phone traces in Xiao et al.
+  static ThermalConfig MobileSustained();
+};
+
+// Scripted external conditions injected into the simulator at fixed times:
+// background-app bandwidth contention, forced clock caps (e.g. a low-power
+// governor mode), and serving-budget changes. Fields left at their negative
+// sentinel are "no change".
+struct ConditionEvent {
+  MicroSeconds time = 0;
+  // Unit name ("cpu"/"gpu"/"npu") the frequency cap applies to; empty = all.
+  std::string unit;
+  // Externally forced clock cap in (0, 1]; < 0 = no change, 1 clears it.
+  double frequency_cap = -1;
+  // Sustained DRAM traffic of a background app, bytes/µs; < 0 = no change,
+  // 0 removes the contention stream.
+  double background_bandwidth_bytes_per_us = -1;
+  // Scale on the serving scheduler's KV budget in (0, 1]; < 0 = no change.
+  double kv_budget_scale = -1;
+  // Forced cap on the solver's parallel power budget, watts; < 0 = no
+  // change, 0 clears the cap.
+  double power_budget_watts = -1;
+};
+
+// Integrates per-unit temperatures and evaluates the throttle staircase.
+// Owned and driven by `SocSimulator`; units are registered in the same dense
+// order as the simulator's (and the PowerMeter's).
+class ThermalModel {
+ public:
+  explicit ThermalModel(const ThermalConfig& config);
+
+  // Registers a unit (params chosen by name; unknown names get GPU params).
+  int AddUnit(const std::string& name);
+
+  // Advances unit `unit` by `dt` at constant dissipation `power_watts`.
+  void Integrate(int unit, double power_watts, MicroSeconds dt);
+
+  // Re-evaluates the staircase for `unit`; returns the (possibly new)
+  // frequency factor. Callers detect changes by comparing to the old value.
+  double UpdateFrequencyFactor(int unit);
+
+  double Temperature(int unit) const;
+  double FrequencyFactor(int unit) const;
+  int unit_count() const { return static_cast<int>(units_.size()); }
+  const ThermalConfig& config() const { return config_; }
+
+ private:
+  struct UnitState {
+    UnitThermalParams params;
+    double temp_c = 0;
+    // Index into params.steps + 1; 0 = unthrottled.
+    int level = 0;
+  };
+
+  ThermalConfig config_;
+  std::vector<UnitState> units_;
+};
+
+}  // namespace heterollm::sim
+
+#endif  // SRC_SIM_THERMAL_MODEL_H_

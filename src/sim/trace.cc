@@ -33,9 +33,10 @@ std::string JsonEscape(const std::string& s) {
 std::vector<KernelRecord> CollectFinishedKernels(const SocSimulator& soc) {
   std::vector<KernelRecord> records;
   soc.VisitFinishedKernels([&](const std::string& label, UnitId unit,
-                               MicroSeconds start, MicroSeconds end) {
+                               MicroSeconds start, MicroSeconds end,
+                               Bytes bytes, Flops flops) {
     records.push_back(
-        {label, unit, soc.unit_spec(unit).name, start, end});
+        {label, unit, soc.unit_spec(unit).name, start, end, bytes, flops});
   });
   return records;
 }
@@ -55,15 +56,17 @@ void WriteChromeTrace(const SocSimulator& soc, std::ostream& os) {
         u, JsonEscape(soc.unit_spec(u).name).c_str());
   }
   soc.VisitFinishedKernels([&](const std::string& label, UnitId unit,
-                               MicroSeconds start, MicroSeconds end) {
+                               MicroSeconds start, MicroSeconds end,
+                               Bytes bytes, Flops flops) {
     if (!first) {
       os << ",\n";
     }
     first = false;
     os << StrFormat(
         "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": %d, "
-        "\"ts\": %.3f, \"dur\": %.3f}",
-        JsonEscape(label).c_str(), unit, start, end - start);
+        "\"ts\": %.3f, \"dur\": %.3f, "
+        "\"args\": {\"bytes\": %.0f, \"flops\": %.0f}}",
+        JsonEscape(label).c_str(), unit, start, end - start, bytes, flops);
   });
   os << "\n]\n";
 }

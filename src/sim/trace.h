@@ -21,6 +21,8 @@ struct KernelRecord {
   std::string unit_name;
   MicroSeconds start = 0;
   MicroSeconds end = 0;
+  Bytes bytes = 0;
+  Flops flops = 0;
 };
 
 // All kernels resolved as finished so far, in submission order.

@@ -88,6 +88,39 @@ TEST_F(ExecutionReportTest, WindowClippingBoundsBusyTime) {
   }
 }
 
+TEST_F(ExecutionReportTest, StraddlingKernelProratesBytesAndFlops) {
+  Platform plat;
+  sim::SocSimulator& soc = plat.soc();
+  const sim::UnitId gpu = plat.gpu().unit();
+  // One 100 µs compute-bound kernel carrying 1 MB and 2 GFLOP.
+  sim::KernelDesc desc;
+  desc.label = "mm";
+  desc.compute_time = 100.0;
+  desc.memory_bytes = 1e6;
+  desc.flops = 2e9;
+  soc.Submit(gpu, desc, 0);
+  soc.DrainAll();
+
+  // Window [25, 75] covers half the kernel: busy time, bytes and flops must
+  // all be prorated by the same clipped fraction — the pre-fix behavior
+  // charged the full traffic to the half-length window, doubling GB/s.
+  ExecutionReport half = ExecutionReport::Build(plat, 25.0, 75.0);
+  const auto& row = half.units[static_cast<size_t>(gpu)];
+  EXPECT_EQ(row.kernels, 1);
+  EXPECT_DOUBLE_EQ(row.busy, 50.0);
+  EXPECT_DOUBLE_EQ(row.bytes, 0.5e6);
+  EXPECT_DOUBLE_EQ(row.flops, 1e9);
+  ASSERT_EQ(half.ops.size(), 1u);
+  EXPECT_DOUBLE_EQ(half.ops[0].bytes, 0.5e6);
+  EXPECT_DOUBLE_EQ(half.ops[0].flops, 1e9);
+
+  // A window containing the whole kernel attributes everything.
+  ExecutionReport full = ExecutionReport::Build(plat, 0.0, 100.0);
+  const auto& full_row = full.units[static_cast<size_t>(gpu)];
+  EXPECT_DOUBLE_EQ(full_row.bytes, 1e6);
+  EXPECT_DOUBLE_EQ(full_row.flops, 2e9);
+}
+
 TEST_F(ExecutionReportTest, TopNLimitsOps) {
   Platform plat;
   auto engine = CreateEngine("Hetero-tensor", &plat, &weights_);

@@ -1,0 +1,203 @@
+// Reactive re-planning under dynamic device conditions: epoch advances must
+// invalidate exactly the stale caches (once), re-planned engines must land
+// in the same state as engines that never saw the transition, and — the
+// bit-exactness contract — a platform whose thermal layer never engages must
+// be indistinguishable from one without it, for every engine.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine_registry.h"
+#include "src/sim/thermal_model.h"
+#include "src/tensor/tensor.h"
+
+namespace heterollm::core {
+namespace {
+
+using model::ExecutionMode;
+using model::ModelConfig;
+using model::ModelWeights;
+using tensor::Shape;
+using tensor::Tensor;
+
+// MobileSustained with the staircase removed: temperatures are integrated
+// but no throttle step can ever engage (pure observer).
+sim::ThermalConfig ObserverThermal() {
+  sim::ThermalConfig cfg = sim::ThermalConfig::MobileSustained();
+  cfg.cpu.steps.clear();
+  cfg.gpu.steps.clear();
+  cfg.npu.steps.clear();
+  return cfg;
+}
+
+sim::ConditionEvent NpuCap(MicroSeconds time, double cap) {
+  sim::ConditionEvent e;
+  e.time = time;
+  e.unit = "npu";
+  e.frequency_cap = cap;
+  return e;
+}
+
+const char* const kAllEngines[] = {"llama.cpp",      "MLC",    "MNN-OpenCL",
+                                   "PPL-OpenCL",     "Hetero-layer",
+                                   "Hetero-tensor",  "Online-prepare",
+                                   "Padding",        "Pipe",   "Chunked"};
+
+TEST(ReplanBitExactnessTest, ObserverThermalLeavesAllLatenciesUnchanged) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  for (const char* name : kAllEngines) {
+    Platform plain(PlatformOptionsFor(name));
+    PlatformOptions observed_opts = PlatformOptionsFor(name);
+    observed_opts.thermal = ObserverThermal();
+    Platform observed(observed_opts);
+
+    auto a = CreateEngine(name, &plain, &weights);
+    auto b = CreateEngine(name, &observed, &weights);
+    // Misaligned prompt exercises padding / pipe / seq-cut paths.
+    GenerationStats sa = a->Generate(97, 4);
+    GenerationStats sb = b->Generate(97, 4);
+    EXPECT_DOUBLE_EQ(sa.prefill.latency, sb.prefill.latency) << name;
+    EXPECT_DOUBLE_EQ(sa.decode_time, sb.decode_time) << name;
+    EXPECT_DOUBLE_EQ(sa.energy, sb.energy) << name;
+    EXPECT_EQ(sb.replan_events, 0) << name;
+  }
+}
+
+TEST(ReplanBitExactnessTest, ObserverThermalLeavesAllLogitsUnchanged) {
+  const ModelConfig cfg = ModelConfig::Tiny();
+  const ModelWeights weights =
+      ModelWeights::Create(cfg, ExecutionMode::kCompute, 99);
+  Rng rng(321);
+  Tensor prompt = Tensor::Random(Shape({37, cfg.hidden}), rng, 0.1f);
+  Tensor token = Tensor::Random(Shape({1, cfg.hidden}), rng, 0.1f);
+  for (const char* name : kAllEngines) {
+    Platform plain(PlatformOptionsFor(name));
+    PlatformOptions observed_opts = PlatformOptionsFor(name);
+    observed_opts.thermal = ObserverThermal();
+    Platform observed(observed_opts);
+
+    auto a = CreateEngine(name, &plain, &weights);
+    auto b = CreateEngine(name, &observed, &weights);
+    PhaseStats pa = a->Prefill(prompt);
+    PhaseStats pb = b->Prefill(prompt);
+    EXPECT_EQ(Tensor::MaxAbsDiff(pa.logits, pb.logits), 0.0f) << name;
+    PhaseStats da = a->DecodeStep(token);
+    PhaseStats db = b->DecodeStep(token);
+    EXPECT_EQ(Tensor::MaxAbsDiff(da.logits, db.logits), 0.0f) << name;
+  }
+}
+
+TEST(ReplanTest, EpochBumpInvalidatesCachesExactlyOnce) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  PlatformOptions opts = PlatformOptionsFor("Hetero-tensor");
+  // The cap lands mid-prefill; the engine reacts at its next stack entry.
+  opts.conditions = {NpuCap(/*time=*/2e3, /*cap=*/0.6)};
+  Platform platform(opts);
+  auto engine = CreateEngine("Hetero-tensor", &platform, &weights);
+
+  GenerationStats g1 = engine->Generate(256, 16);
+  EXPECT_EQ(g1.replan_events, 1);
+  const int compiles_after_replan = engine->schedule_compiles();
+
+  // Second run re-compiles only what the single invalidation dropped...
+  GenerationStats g2 = engine->Generate(256, 16);
+  EXPECT_EQ(g2.replan_events, 0);
+  const int compiles_after_rebuild = engine->schedule_compiles();
+  // ...and from then on every schedule replays from cache.
+  GenerationStats g3 = engine->Generate(256, 16);
+  EXPECT_EQ(g3.replan_events, 0);
+  EXPECT_EQ(engine->schedule_compiles(), compiles_after_rebuild);
+  EXPECT_GE(compiles_after_rebuild, compiles_after_replan);
+  // Steady state under the cap is stable (tolerance: summing step latencies
+  // at different absolute clock offsets rounds differently in the last bits).
+  EXPECT_NEAR(g2.decode_time, g3.decode_time, 1e-6 * g2.decode_time);
+}
+
+TEST(ReplanTest, ReplannedEngineMatchesFreshEngineOnCappedPlatform) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  // Engine A lives through the transition (cap applied just after t=0),
+  // re-plans, and reaches a steady state.
+  PlatformOptions transition = PlatformOptionsFor("Hetero-tensor");
+  transition.conditions = {NpuCap(/*time=*/1.0, /*cap=*/0.5)};
+  Platform pa(transition);
+  auto a = CreateEngine("Hetero-tensor", &pa, &weights);
+  a->Generate(128, 8);  // warm-up crossing the event
+  GenerationStats sa = a->Generate(128, 8);
+
+  // Engine B never knew anything else: the cap pre-conditions its platform.
+  PlatformOptions capped = PlatformOptionsFor("Hetero-tensor");
+  capped.conditions = {NpuCap(/*time=*/0.0, /*cap=*/0.5)};
+  Platform pb(capped);
+  auto b = CreateEngine("Hetero-tensor", &pb, &weights);
+  b->Generate(128, 8);  // same warm-up (cache population)
+  GenerationStats sb = b->Generate(128, 8);
+
+  // Replayed re-planned caches land where freshly compiled ones do (the
+  // two engines run at different absolute clock offsets, so summed step
+  // latencies may differ in the last float bits).
+  EXPECT_NEAR(sa.prefill.latency, sb.prefill.latency,
+              1e-6 * sb.prefill.latency);
+  EXPECT_NEAR(sa.decode_time, sb.decode_time, 1e-6 * sb.decode_time);
+  EXPECT_EQ(sa.replan_events, 0);
+  EXPECT_EQ(sb.replan_events, 0);
+}
+
+TEST(ReplanTest, ReactiveBeatsFrozenPlansUnderHarshCap) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  auto run = [&](bool reactive) {
+    PlatformOptions opts = PlatformOptionsFor("Hetero-tensor");
+    opts.conditions = {NpuCap(/*time=*/1.0, /*cap=*/0.4)};
+    Platform platform(opts);
+    EngineOptions eng;
+    eng.reactive_replanning = reactive;
+    auto engine = CreateEngine("Hetero-tensor", &platform, &weights, eng);
+    // First call crosses the cap event (the reactive engine re-plans and
+    // pays the re-plan cost inside this window); second call is steady
+    // state under the throttled clock.
+    GenerationStats warm = engine->Generate(256, 4);
+    GenerationStats steady = engine->Generate(256, 4);
+    return std::make_pair(warm, steady);
+  };
+  const auto [reactive_warm, reactive] = run(true);
+  const auto [frozen_warm, frozen] = run(false);
+  EXPECT_GE(reactive_warm.replan_events, 1);
+  EXPECT_EQ(frozen_warm.replan_events, 0);
+  // Prefill is compute-bound, so the 0.4x NPU clock is exactly where stale
+  // cuts hurt: the frozen plan keeps routing its full-speed NPU share onto
+  // a throttled unit, while re-solving rebalances toward the GPU. (Decode
+  // stays bandwidth-bound, so its split is insensitive to clock caps.)
+  EXPECT_LT(reactive.prefill.latency, frozen.prefill.latency);
+  // Across both windows — including the charged re-plan cost, paid inside
+  // the warm-up — reacting still comes out ahead of staying frozen.
+  const auto total = [](const GenerationStats& s) {
+    return s.prefill.latency + s.decode_time;
+  };
+  EXPECT_LT(total(reactive_warm) + total(reactive),
+            total(frozen_warm) + total(frozen));
+}
+
+TEST(ReplanTest, SameConditionTraceTwiceIsBitIdentical) {
+  const ModelConfig cfg = ModelConfig::Llama8B();
+  const ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  auto run = [&] {
+    PlatformOptions opts = PlatformOptionsFor("Hetero-tensor");
+    opts.thermal = sim::ThermalConfig::MobileSustained();
+    opts.conditions = {NpuCap(/*time=*/5e3, /*cap=*/0.7)};
+    Platform platform(opts);
+    auto engine = CreateEngine("Hetero-tensor", &platform, &weights);
+    GenerationStats stats = engine->Generate(256, 32);
+    return std::make_tuple(stats.prefill.latency, stats.decode_time,
+                           stats.energy, stats.replan_events,
+                           platform.device_state_epoch());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace heterollm::core

@@ -80,10 +80,29 @@ TEST(StatsGuardsTest, RequestMetricsNormalCase) {
   r.arrival = 100;
   r.first_token = 600;
   r.completion = 1600;
-  r.decoded_tokens = 10;
+  // The first decoded token lands at first_token, so 11 tokens span 10
+  // inter-token gaps of 100 µs each.
+  r.decoded_tokens = 11;
   EXPECT_DOUBLE_EQ(r.ttft(), 500.0);
   EXPECT_DOUBLE_EQ(r.tpot(), 100.0);
   EXPECT_DOUBLE_EQ(r.e2e_latency(), 1500.0);
+}
+
+TEST(StatsGuardsTest, RequestMetricsTpotDividesByIntervals) {
+  serve::RequestMetrics r;
+  r.first_token = 100;
+  r.completion = 400;
+  r.decoded_tokens = 4;  // 3 gaps over 300 µs
+  // The old bug divided by the token count, understating TPOT as 75.
+  EXPECT_DOUBLE_EQ(r.tpot(), 100.0);
+}
+
+TEST(StatsGuardsTest, RequestMetricsSingleDecodedTokenHasNoGaps) {
+  serve::RequestMetrics r;
+  r.first_token = 100;
+  r.completion = 100;  // one token: produced at first_token, nothing after
+  r.decoded_tokens = 1;
+  EXPECT_EQ(r.tpot(), 0.0);
 }
 
 TEST(StatsGuardsTest, ServingMetricsEmptyWindow) {

@@ -24,8 +24,8 @@ using model::ModelConfig;
 // Deterministic policy: every matmul whole on the NPU, vector ops on GPU.
 class NpuPolicy : public PlacementPolicy {
  public:
-  MatmulPlan PlanMatmul(MatmulSite site, const MatmulShape& shape,
-                        Phase phase) override {
+  MatmulPlan PlanMatmul(MatmulSite /*site*/, const MatmulShape& /*shape*/,
+                        Phase /*phase*/) override {
     MatmulPlan plan;
     plan.kind = PartitionKind::kNone;
     plan.sole_backend = hal::Backend::kNpu;

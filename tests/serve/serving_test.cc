@@ -9,6 +9,7 @@
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/serving_metrics.h"
+#include "src/sim/thermal_model.h"
 
 namespace heterollm::serve {
 namespace {
@@ -23,10 +24,16 @@ struct Harness {
   std::unique_ptr<core::EngineBase> engine;
 };
 
-Harness MakeEngine(const ModelWeights& weights, int max_decode_batch) {
+Harness MakeEngine(const ModelWeights& weights, int max_decode_batch,
+                   const std::vector<sim::ConditionEvent>& conditions = {},
+                   bool thermal = false) {
   Harness h;
-  h.platform = std::make_unique<core::Platform>(
-      core::PlatformOptionsFor("Hetero-tensor"));
+  core::PlatformOptions opts = core::PlatformOptionsFor("Hetero-tensor");
+  opts.conditions = conditions;
+  if (thermal) {
+    opts.thermal = sim::ThermalConfig::MobileSustained();
+  }
+  h.platform = std::make_unique<core::Platform>(opts);
   h.engine = core::CreateEngine(
       "Hetero-tensor", h.platform.get(), &weights,
       IterationScheduler::ServingEngineOptions(max_decode_batch));
@@ -271,6 +278,115 @@ TEST(ServingTest, DecodeFairStillCompletesEverything) {
     EXPECT_GT(r.completion, 0);
   }
   EXPECT_GT(m.avg_decode_batch, 1.0);
+}
+
+// Energy is accounted per serving window (snapshot deltas), not from the
+// engine's whole history: once the engine is warm, identical back-to-back
+// runs report identical — not cumulative — energy.
+TEST(ServingTest, WindowedEnergyDoesNotAccumulateAcrossRuns) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  RequestQueue queue(UniformBurst(4, /*prompt=*/64, /*decode=*/8));
+
+  SchedulerOptions opts;
+  opts.max_decode_batch = 4;
+  Harness h = MakeEngine(weights, 4);
+  IterationScheduler scheduler(h.engine.get(), opts);
+  scheduler.Run(queue);  // warm-up: caches populated, clocks advanced
+  ServingMetrics second = scheduler.Run(queue);
+  ServingMetrics third = scheduler.Run(queue);
+
+  EXPECT_GT(second.energy, 0.0);
+  // Pre-fix behavior summed active time since construction: the third run
+  // would have charged three runs' worth of activity to one run's window,
+  // tripling its energy. With snapshot deltas the runs match up to the
+  // (pre-existing) small run-to-run scheduling jitter on a shared engine.
+  EXPECT_NEAR(second.energy, third.energy, 0.02 * third.energy);
+  EXPECT_DOUBLE_EQ(second.avg_power_watts,
+                   second.energy / second.makespan());
+  // A phone SoC window cannot average more than the sum of unit ratings.
+  EXPECT_LT(second.avg_power_watts, 20.0);
+}
+
+// A scripted frequency cap shrinks the effective decode batch: the
+// scheduler degrades to smaller iterations instead of pretending the
+// throttled units still sustain the configured batch.
+TEST(ServingTest, ThrottledPlatformShrinksDecodeBatch) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  RequestQueue queue(UniformBurst(8, /*prompt=*/48, /*decode=*/12));
+
+  sim::ConditionEvent cap;
+  cap.time = 0;
+  cap.frequency_cap = 0.5;  // all units at half clock from the start
+
+  SchedulerOptions opts;
+  opts.max_decode_batch = 8;
+  Harness h = MakeEngine(weights, 8, {cap});
+  ServingMetrics m = IterationScheduler(h.engine.get(), opts).Run(queue);
+
+  // Effective batch = floor(8 * 0.5) = 4.
+  EXPECT_LE(m.avg_decode_batch, 4.0);
+  for (const RequestMetrics& r : m.requests) {
+    EXPECT_EQ(r.decoded_tokens, 12);  // degraded, not dropped
+  }
+}
+
+// A scripted KV squeeze below the head request's footprint defers admission
+// until the squeeze lifts (instead of aborting on a "stall").
+TEST(ServingTest, KvSqueezeDefersAdmissionUntilLifted) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  std::vector<Request> reqs = UniformBurst(1, /*prompt=*/64, /*decode=*/4);
+
+  sim::ConditionEvent squeeze;
+  squeeze.time = 0;
+  squeeze.kv_budget_scale = 0.5;
+  sim::ConditionEvent lift;
+  lift.time = 1e5;  // 100 ms later the squeeze ends
+  lift.kv_budget_scale = 1.0;
+
+  SchedulerOptions opts;
+  opts.max_decode_batch = 2;
+  // The budget fits the request exactly — but not at half scale.
+  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 64 + 4);
+  Harness h = MakeEngine(weights, 2, {squeeze, lift});
+  ServingMetrics m =
+      IterationScheduler(h.engine.get(), opts).Run(RequestQueue(reqs));
+
+  EXPECT_GE(m.requests[0].admitted, 1e5);
+  EXPECT_EQ(m.requests[0].decoded_tokens, 4);
+}
+
+// Same throttle trace twice => bit-identical serving metrics, including the
+// thermal staircase, replan counters and windowed energy.
+TEST(ServingTest, ThrottleTraceIsDeterministic) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  auto run_once = [&]() {
+    RequestQueue queue(
+        UniformBurst(6, /*prompt=*/96, /*decode=*/16, /*gap=*/2e4));
+    sim::ConditionEvent cap;
+    cap.time = 5e4;
+    cap.unit = "npu";
+    cap.frequency_cap = 0.6;
+    sim::ConditionEvent background;
+    background.time = 1e5;
+    background.background_bandwidth_bytes_per_us = 15e3;
+    SchedulerOptions opts;
+    opts.max_decode_batch = 4;
+    Harness h = MakeEngine(weights, 4, {cap, background}, /*thermal=*/true);
+    return IterationScheduler(h.engine.get(), opts).Run(queue);
+  };
+
+  ServingMetrics a = run_once();
+  ServingMetrics b = run_once();
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  // The engine reacted to the scripted conditions at least once, and the
+  // reaction is surfaced in the serving metrics.
+  EXPECT_GE(a.replan_events, 1);
+  EXPECT_NE(a.ToJson().find("\"replan_events\""), std::string::npos);
 }
 
 }  // namespace

@@ -32,13 +32,54 @@ TEST(PowerMeterTest, MultipleUnitsSum) {
   EXPECT_DOUBLE_EQ(meter.UnitEnergy(b, 10.0), 20.0);
 }
 
-TEST(PowerMeterTest, ActiveClampedToWindow) {
+TEST(PowerMeterTest, RoundingOvershootClampsWithinTolerance) {
+  PowerMeter meter;
+  int u = meter.AddUnit("u", {3.0, 1.0});
+  // A window ending exactly on a kernel boundary can overshoot by a
+  // floating-point hair; that is clamped, not charged as extra energy.
+  meter.AddActive(u, 100.0 + kActiveClampToleranceUs / 2.0);
+  EXPECT_DOUBLE_EQ(meter.UnitEnergy(u, 100.0), 100.0 * 3.0);
+}
+
+TEST(PowerMeterDeathTest, ActiveBeyondWindowIsAnAccountingBug) {
   PowerMeter meter;
   int u = meter.AddUnit("u", {3.0, 1.0});
   meter.AddActive(u, 100.0);
-  // Window shorter than recorded activity: all of it counts as active,
-  // nothing as idle.
-  EXPECT_DOUBLE_EQ(meter.UnitEnergy(u, 50.0), 50.0 * 3.0);
+  // An overshoot well past the rounding tolerance means the caller
+  // snapshotted mid-kernel — reject instead of silently hiding energy.
+  EXPECT_DEATH(meter.UnitEnergy(u, 50.0), "active time");
+}
+
+TEST(PowerMeterTest, SnapshotDeltaWindow) {
+  PowerMeter meter;
+  int a = meter.AddUnit("a", {2.0, 0.5});
+  int b = meter.AddUnit("b", {4.0, 0.0});
+  meter.AddActive(a, 300.0);
+  meter.AddActive(b, 100.0);
+  const PowerSnapshot since = meter.Snapshot();
+  meter.AddActive(a, 50.0);
+  meter.AddActive(b, 80.0);
+  // Only post-snapshot activity counts toward the window.
+  EXPECT_DOUBLE_EQ(meter.ActiveTimeSince(since, a), 50.0);
+  EXPECT_DOUBLE_EQ(meter.ActiveTimeSince(since, b), 80.0);
+  const MicroSeconds window = 100.0;
+  EXPECT_DOUBLE_EQ(meter.UnitEnergySince(since, a, window),
+                   50.0 * 2.0 + 50.0 * 0.5);
+  EXPECT_DOUBLE_EQ(meter.UnitEnergySince(since, b, window), 80.0 * 4.0);
+  EXPECT_DOUBLE_EQ(meter.TotalEnergySince(since, window),
+                   meter.UnitEnergySince(since, a, window) +
+                       meter.UnitEnergySince(since, b, window));
+  EXPECT_DOUBLE_EQ(meter.AveragePowerWattsSince(since, window),
+                   meter.TotalEnergySince(since, window) / window);
+}
+
+TEST(PowerMeterTest, FreshSnapshotMatchesWholeHistory) {
+  PowerMeter meter;
+  int u = meter.AddUnit("u", {3.0, 0.25});
+  const PowerSnapshot since = meter.Snapshot();
+  meter.AddActive(u, 40.0);
+  EXPECT_DOUBLE_EQ(meter.UnitEnergySince(since, u, 60.0),
+                   meter.UnitEnergy(u, 60.0));
 }
 
 TEST(PowerMeterTest, ResetClearsActivityKeepsUnits) {
