@@ -34,8 +34,8 @@ DecodeResult DecodeWith(core::PlatformOptions opts) {
   return r;
 }
 
-void PrintAblation() {
-  benchx::PrintHeader("Ablation",
+void PrintAblation(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Ablation",
                       "Decode gain vs available dual-stream bandwidth "
                       "(Llama-8B)");
   TextTable table({"configuration", "dual-stream GB/s", "GPU-only tok/s",
@@ -49,6 +49,11 @@ void PrintAblation() {
     table.AddRow({label, StrFormat("%.1f", dual),
                   StrFormat("%.2f", r.gpu_only), StrFormat("%.2f", r.hetero),
                   StrFormat("%+.1f%%", 100.0 * (r.hetero / r.gpu_only - 1.0))});
+    const std::string base = "bandwidth." + benchx::Slug(label);
+    report.AddMetric(base + ".gpu_only_tok_s", r.gpu_only,
+                     benchx::HigherIsBetter("tok/s"));
+    report.AddMetric(base + ".hetero_tok_s", r.hetero,
+                     benchx::HigherIsBetter("tok/s"));
   };
 
   row("reference (59.1 GB/s dual)", core::PlatformOptions::Snapdragon8Gen3());
@@ -70,7 +75,7 @@ void PrintAblation() {
     opts.memory.multi_stream_efficiency = 1.0;
     row("hypothetical: single processor can saturate the SoC", opts);
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "bandwidth_sweep", table);
   std::printf(
       "With no aggregation headroom the row-cut cannot add bandwidth and "
       "the solver falls back to GPU-only (gain ~0%%); if one processor could "
@@ -92,9 +97,4 @@ BENCHMARK(BM_AblationDecode)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("ablation_bandwidth", heterollm::PrintAblation)

@@ -23,8 +23,9 @@ core::GenerationStats RunWith(const core::PlatformOptions& opts,
   return e->Generate(prompt, decode);
 }
 
-void PrintAblation() {
-  benchx::PrintHeader("Ablation", "NPU cost-model components (Llama-8B)");
+void PrintAblation(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Ablation",
+                      "NPU cost-model components (Llama-8B)");
 
   TextTable table({"configuration", "prefill tok/s (tensor)",
                    "decode tok/s (tensor)", "decode vs GPU-only"});
@@ -41,6 +42,11 @@ void PrintAblation() {
                                             (hetero.decode_tokens_per_s() /
                                                  gpu.decode_tokens_per_s() -
                                              1.0))});
+    const std::string base = "ablation." + benchx::Slug(label);
+    report.AddMetric(base + ".prefill_tok_s", hetero.prefill_tokens_per_s(),
+                     benchx::HigherIsBetter("tok/s"));
+    report.AddMetric(base + ".decode_tok_s", hetero.decode_tokens_per_s(),
+                     benchx::HigherIsBetter("tok/s"));
   };
 
   run_row("reference (paper calibration)",
@@ -71,7 +77,7 @@ void PrintAblation() {
     opts.npu.effective_fp16_tflops = 5.0;
     run_row("half NPU FP16 rate (5 TFLOPS effective)", opts);
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "npu_cost_model", table);
   std::printf(
       "Expected reads: disabling the shape penalty removes the paper's "
       "FFN-down bottleneck (prefill jumps ~1.8x, the motivation for "
@@ -95,9 +101,4 @@ BENCHMARK(BM_AblationReference)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("ablation_npu_model", heterollm::PrintAblation)

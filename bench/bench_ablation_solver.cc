@@ -22,16 +22,23 @@ double PrefillWith(const core::HeteroOptions& opts, int prompt) {
   return engine.Generate(prompt, 0).prefill_tokens_per_s();
 }
 
-void PrintAblation() {
-  benchx::PrintHeader("Ablation",
+void PrintAblation(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Ablation",
                       "Partition-solver pruning and profiler mode "
                       "(Llama-8B Hetero-tensor)");
 
   TextTable table({"configuration", "prefill tok/s @256",
                    "prefill tok/s @300 (misaligned)"});
   auto row = [&](const std::string& label, core::HeteroOptions opts) {
-    table.AddRow({label, StrFormat("%.1f", PrefillWith(opts, 256)),
-                  StrFormat("%.1f", PrefillWith(opts, 300))});
+    const double at_256 = PrefillWith(opts, 256);
+    const double at_300 = PrefillWith(opts, 300);
+    table.AddRow({label, StrFormat("%.1f", at_256),
+                  StrFormat("%.1f", at_300)});
+    const std::string base = "solver." + benchx::Slug(label);
+    report.AddMetric(base + ".prefill_tok_s_256", at_256,
+                     benchx::HigherIsBetter("tok/s"));
+    report.AddMetric(base + ".prefill_tok_s_300", at_300,
+                     benchx::HigherIsBetter("tok/s"));
   };
 
   row("paper pruning (row 256, seq 32), real-execution profiler", {});
@@ -66,7 +73,7 @@ void PrintAblation() {
     opts.solver.max_parallel_power_watts = 3.0;
     row("3 W parallel-power budget (no dual-backend plans)", opts);
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "solver_pruning", table);
   std::printf(
       "The paper's pruning loses almost nothing against 64-aligned cuts "
       "while shrinking the search 4x; the prediction-mode profiler picks "
@@ -89,9 +96,4 @@ BENCHMARK(BM_SolverDecision)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("ablation_solver", heterollm::PrintAblation)

@@ -1,41 +1,97 @@
-// Shared helpers for the per-figure benchmark binaries.
+// Shared harness for the per-figure benchmark binaries.
 //
 // Every binary regenerates one table or figure from the paper's evaluation:
 // it prints the paper-style rows (plus paper-reported reference values where
-// the paper gives absolute numbers) and registers google-benchmark timings
-// for the underlying simulation runs.
+// the paper gives absolute numbers), registers google-benchmark timings for
+// the underlying simulation runs, and — via the shared main — feeds a
+// report::BenchReport that `--report_json=<path>` serializes for the
+// perfgate CI pipeline (see EXPERIMENTS.md, "Perf reports").
+//
+// A binary is three pieces:
+//   void PrintFigureN(report::BenchReport& report) { ... }   // rows+metrics
+//   BENCHMARK(BM_...);                                       // timing loops
+//   HETEROLLM_BENCH_MAIN("figN_name", PrintFigureN)          // shared main
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
 #include <string>
+#include <vector>
 
+#include "src/common/table.h"
 #include "src/core/engine_registry.h"
+#include "src/core/execution_report.h"
+#include "src/report/bench_report.h"
+#include "src/serve/serving_metrics.h"
 #include "src/workload/metrics.h"
 
 namespace heterollm::benchx {
 
 // Runs `engine_name` on a fresh platform/model; simulate-mode weights.
-inline core::GenerationStats RunEngineOnce(const std::string& engine_name,
-                                           const model::ModelConfig& cfg,
-                                           int prompt_len, int decode_len,
-                                           core::EngineOptions opts = {}) {
-  model::ModelWeights weights =
-      model::ModelWeights::Create(cfg, model::ExecutionMode::kSimulate);
-  core::Platform platform(core::PlatformOptionsFor(engine_name));
-  auto engine = core::CreateEngine(engine_name, &platform, &weights, opts);
-  return engine->Generate(prompt_len, decode_len);
-}
+core::GenerationStats RunEngineOnce(const std::string& engine_name,
+                                    const model::ModelConfig& cfg,
+                                    int prompt_len, int decode_len,
+                                    core::EngineOptions opts = {});
 
-inline void PrintHeader(const std::string& id, const std::string& what) {
-  std::printf("\n================================================================\n");
-  std::printf("%s — %s\n", id.c_str(), what.c_str());
-  std::printf("================================================================\n");
-}
+// Lowercases a model/engine name into a metric-path segment
+// ("Hetero-tensor" -> "hetero_tensor", "Llama-8B" -> "llama_8b").
+std::string Slug(const std::string& name);
+
+// Prints the section banner and records it as the report title.
+void PrintHeader(report::BenchReport& report, const std::string& id,
+                 const std::string& what);
+
+// Prints the rendered table and captures it structurally into the report.
+void EmitTable(report::BenchReport& report, const std::string& section,
+               const TextTable& table);
+
+// Prints the paper-vs-measured comparison table and records every row as a
+// gated anchor (metric name "anchor/<label>" in the JSON).
+void EmitAnchors(report::BenchReport& report, const std::string& title,
+                 const std::vector<workload::PaperComparison>& rows);
+
+// MetricOptions shorthands: direction decides what the perf gate treats as
+// a regression (see report::Better).
+report::BenchReport::MetricOptions HigherIsBetter(
+    const std::string& unit,
+    double tolerance = report::BenchReport::kDefaultTolerance);
+report::BenchReport::MetricOptions LowerIsBetter(
+    const std::string& unit,
+    double tolerance = report::BenchReport::kDefaultTolerance);
+report::BenchReport::MetricOptions Calibration(
+    const std::string& unit,
+    double tolerance = report::BenchReport::kDefaultTolerance);
+
+// Records the aggregate serving metrics (throughput, TTFT/TPOT tails,
+// energy) plus the per-unit busy/bytes/flops rows of the embedded
+// ExecutionReport under "<prefix>.".
+void AddServingMetrics(report::BenchReport& report, const std::string& prefix,
+                       const serve::ServingMetrics& m);
+
+// Records per-unit busy time, utilization, DRAM bytes and flops under
+// "<prefix>.unit.<name>.".
+void AddExecutionReport(report::BenchReport& report, const std::string& prefix,
+                        const core::ExecutionReport& er);
+
+// Shared main. Strips the harness flags from argv, runs `print_fn` against
+// a fresh BenchReport, hands the remaining flags to google-benchmark and
+// finally serializes the report when requested.
+//
+// Harness flags (everything else goes to google-benchmark):
+//   --report_json=<path>   write the schema-versioned JSON report
+int BenchMain(int argc, char** argv, const char* bench_id,
+              void (*print_fn)(report::BenchReport&));
 
 }  // namespace heterollm::benchx
+
+// Every bench binary's entire main(): shared flag handling, report
+// plumbing and google-benchmark registration in one place.
+#define HETEROLLM_BENCH_MAIN(bench_id, print_fn)                     \
+  int main(int argc, char** argv) {                                  \
+    return ::heterollm::benchx::BenchMain(argc, argv, bench_id,      \
+                                          print_fn);                 \
+  }
 
 #endif  // BENCH_BENCH_COMMON_H_

@@ -17,8 +17,10 @@ const std::vector<const char*> kEngines = {
     "MNN-OpenCL", "llama.cpp", "MLC", "PPL-OpenCL", "Hetero-layer",
     "Hetero-tensor"};
 
-void PrintFigure13() {
-  benchx::PrintHeader("Figure 13",
+using benchx::Slug;
+
+void PrintFigure13(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 13",
                       "Prefill speed (tokens/s) per model, prompt length and "
                       "engine");
   for (const ModelConfig& cfg :
@@ -36,6 +38,10 @@ void PrintFigure13() {
             RunEngineOnce(engine, cfg, seq, 0).prefill_tokens_per_s();
         vals.push_back(tok_s);
         row.push_back(StrFormat("%.1f", tok_s));
+        report.AddMetric(StrFormat("prefill.%s.%s.seq%d.tok_s",
+                                   Slug(cfg.name).c_str(),
+                                   Slug(engine).c_str(), seq),
+                         tok_s, benchx::HigherIsBetter("tok/s"));
       }
       if (std::string(engine) == "Hetero-layer") {
         hetero_layer_256 = vals[1];
@@ -43,23 +49,20 @@ void PrintFigure13() {
       grid.push_back(vals);
       table.AddRow(row);
     }
-    std::printf("%s", table.Render().c_str());
+    benchx::EmitTable(report, "prefill_" + Slug(cfg.name), table);
 
     if (cfg.name == "Llama-8B") {
-      std::printf("%s",
-                  workload::RenderComparisonTable(
-                      "Paper anchors (Llama-8B @256)",
-                      {{"Hetero-layer / MNN", 5.85,
-                        hetero_layer_256 / grid[0][1], "x"},
-                       {"Hetero-layer / llama.cpp", 24.9,
-                        hetero_layer_256 / grid[1][1], "x"},
-                       {"Hetero-layer / MLC", 5.64,
-                        hetero_layer_256 / grid[2][1], "x"},
-                       {"Hetero-layer / PPL", 2.99,
-                        hetero_layer_256 / grid[3][1], "x"},
-                       {"Hetero-tensor @1024 tok/s", 247.9, grid[5][2],
-                        "tok/s"}})
-                      .c_str());
+      benchx::EmitAnchors(report, "Paper anchors (Llama-8B @256)",
+                          {{"Hetero-layer / MNN", 5.85,
+                            hetero_layer_256 / grid[0][1], "x"},
+                           {"Hetero-layer / llama.cpp", 24.9,
+                            hetero_layer_256 / grid[1][1], "x"},
+                           {"Hetero-layer / MLC", 5.64,
+                            hetero_layer_256 / grid[2][1], "x"},
+                           {"Hetero-layer / PPL", 2.99,
+                            hetero_layer_256 / grid[3][1], "x"},
+                           {"Hetero-tensor @1024 tok/s", 247.9, grid[5][2],
+                            "tok/s"}});
     }
     if (cfg.name == "InternLM-1.8B") {
       // §5.2.1 also compares against the INT-offload MLLM-NPU engine,
@@ -67,13 +70,11 @@ void PrintFigure13() {
       // accuracy-sacrificing INT path needs CPU-side activation handling.
       const double mllm =
           RunEngineOnce("MLLM-NPU", cfg, 256, 0).prefill_tokens_per_s();
-      std::printf("%s", workload::RenderComparisonTable(
-                            "Paper anchors (InternLM-1.8B)",
-                            {{"Hetero-tensor @256 tok/s", 1092.0, grid[5][1],
-                              "tok/s"},
-                             {"MLLM-NPU (INT offload) @256", 564.0, mllm,
-                              "tok/s"}})
-                            .c_str());
+      benchx::EmitAnchors(report, "Paper anchors (InternLM-1.8B)",
+                          {{"Hetero-tensor @256 tok/s", 1092.0, grid[5][1],
+                            "tok/s"},
+                           {"MLLM-NPU (INT offload) @256", 564.0, mllm,
+                            "tok/s"}});
     }
   }
 }
@@ -94,9 +95,4 @@ BENCHMARK(BM_Prefill)->DenseRange(0, 5)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure13();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig13_prefill", heterollm::PrintFigure13)

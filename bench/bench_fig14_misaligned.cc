@@ -13,8 +13,8 @@ namespace {
 using benchx::RunEngineOnce;
 using model::ModelConfig;
 
-void PrintFigure14() {
-  benchx::PrintHeader("Figure 14",
+void PrintFigure14(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 14",
                       "Prefill latency (ms) with misaligned sequence lengths "
                       "(Llama-8B; standard graph sizes are powers of two)");
   const ModelConfig cfg = ModelConfig::Llama8B();
@@ -39,19 +39,28 @@ void PrintFigure14() {
                   StrFormat("%.0f", ToMillis(pipe.ttft())),
                   StrFormat("%.0f", ToMillis(chunked.ttft())),
                   StrFormat("%.0f", ToMillis(hetero.ttft()))});
+    report.AddMetric(StrFormat("misaligned.seq%d.hetero_tensor.ttft_ms", seq),
+                     ToMillis(hetero.ttft()), benchx::LowerIsBetter("ms"));
     if (seq == 525) {
       speedup_online = online.ttft() / hetero.ttft();
       speedup_padding = padding.ttft() / hetero.ttft();
       speedup_pipe = pipe.ttft() / hetero.ttft();
+      report.AddMetric("misaligned.seq525.online_prepare.ttft_ms",
+                       ToMillis(online.ttft()), benchx::LowerIsBetter("ms"));
+      report.AddMetric("misaligned.seq525.padding.ttft_ms",
+                       ToMillis(padding.ttft()), benchx::LowerIsBetter("ms"));
+      report.AddMetric("misaligned.seq525.pipe.ttft_ms",
+                       ToMillis(pipe.ttft()), benchx::LowerIsBetter("ms"));
+      report.AddMetric("misaligned.seq525.chunked.ttft_ms",
+                       ToMillis(chunked.ttft()), benchx::LowerIsBetter("ms"));
     }
   }
-  std::printf("%s", table.Render().c_str());
-  std::printf("%s", workload::RenderComparisonTable(
-                        "Paper anchors (@ seq 525, Hetero-tensor speedup)",
-                        {{"vs Online-prepare", 2.24, speedup_online, "x"},
-                         {"vs Padding", 2.21, speedup_padding, "x"},
-                         {"vs Pipe", 1.35, speedup_pipe, "x"}})
-                        .c_str());
+  benchx::EmitTable(report, "misaligned_prefill_latency", table);
+  benchx::EmitAnchors(report,
+                      "Paper anchors (@ seq 525, Hetero-tensor speedup)",
+                      {{"vs Online-prepare", 2.24, speedup_online, "x"},
+                       {"vs Padding", 2.21, speedup_padding, "x"},
+                       {"vs Pipe", 1.35, speedup_pipe, "x"}});
 }
 
 void BM_Misaligned(benchmark::State& state) {
@@ -72,9 +81,4 @@ BENCHMARK(BM_Misaligned)->DenseRange(0, 3)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure14();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig14_misaligned", heterollm::PrintFigure14)

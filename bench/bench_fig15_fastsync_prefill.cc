@@ -11,8 +11,8 @@ namespace {
 using benchx::RunEngineOnce;
 using model::ModelConfig;
 
-void PrintFigure15() {
-  benchx::PrintHeader("Figure 15",
+void PrintFigure15(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 15",
                       "Prefill tokens/s with vs without fast synchronization");
   core::EngineOptions slow;
   slow.fast_sync = false;
@@ -40,10 +40,14 @@ void PrintFigure15() {
         }
       }
     }
-    std::printf("%s", table.Render().c_str());
+    benchx::EmitTable(report, "fastsync_prefill_" + benchx::Slug(cfg.name),
+                      table);
     std::printf("Hetero-tensor average improvement: %.1f%% (paper: 24.3%% on "
                 "Llama-8B, 49.0%% on Llama-7B, 34.5%% on InternLM-1.8B)\n",
                 100.0 * avg_tensor / count);
+    report.AddMetric(
+        "fastsync.prefill." + benchx::Slug(cfg.name) + ".improvement_pct",
+        100.0 * avg_tensor / count, benchx::HigherIsBetter("%"));
   }
 }
 
@@ -65,9 +69,4 @@ BENCHMARK(BM_FastSyncPrefill)->Arg(0)->Arg(1)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure15();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig15_fastsync_prefill", heterollm::PrintFigure15)

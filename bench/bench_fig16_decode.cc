@@ -13,8 +13,8 @@ using model::ModelConfig;
 
 constexpr int kDecodeSteps = 24;
 
-void PrintFigure16() {
-  benchx::PrintHeader("Figure 16",
+void PrintFigure16(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 16",
                       "Decoding rate (tokens/s), prompt length 256");
   TextTable table({"engine", "Llama-8B", "Llama-7B", "Llama-3B",
                    "InternLM-1.8B"});
@@ -30,26 +30,26 @@ void PrintFigure16() {
           RunEngineOnce(engine, cfg, 256, kDecodeSteps).decode_tokens_per_s();
       vals.push_back(tok_s);
       row.push_back(StrFormat("%.2f", tok_s));
+      report.AddMetric("decode." + benchx::Slug(cfg.name) + "." +
+                           benchx::Slug(engine) + ".tok_s",
+                       tok_s, benchx::HigherIsBetter("tok/s"));
     }
     grid.push_back(vals);
     table.AddRow(row);
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "decode_rate", table);
 
-  std::printf(
-      "%s",
-      workload::RenderComparisonTable(
-          "Paper anchors",
-          {{"Hetero-tensor Llama-8B", 14.01, grid[5][0], "tok/s"},
-           {"Hetero-tensor Llama-3B", 29.9, grid[5][2], "tok/s"},
-           {"Hetero-tensor InternLM-1.8B", 51.12, grid[5][3], "tok/s"},
-           {"vs PPL (Llama-8B)", 1.234, grid[5][0] / grid[3][0], "x"},
-           {"vs MNN (Llama-8B)", 1.50, grid[5][0] / grid[0][0], "x"},
-           {"vs llama.cpp (Llama-8B)", 2.53, grid[5][0] / grid[1][0], "x"},
-           {"vs MLC (Llama-8B)", 1.52, grid[5][0] / grid[2][0], "x"},
-           {"vs MNN (InternLM)", 1.94, grid[5][3] / grid[0][3], "x"},
-           {"vs MLC (InternLM)", 2.62, grid[5][3] / grid[2][3], "x"}})
-          .c_str());
+  benchx::EmitAnchors(
+      report, "Paper anchors",
+      {{"Hetero-tensor Llama-8B", 14.01, grid[5][0], "tok/s"},
+       {"Hetero-tensor Llama-3B", 29.9, grid[5][2], "tok/s"},
+       {"Hetero-tensor InternLM-1.8B", 51.12, grid[5][3], "tok/s"},
+       {"vs PPL (Llama-8B)", 1.234, grid[5][0] / grid[3][0], "x"},
+       {"vs MNN (Llama-8B)", 1.50, grid[5][0] / grid[0][0], "x"},
+       {"vs llama.cpp (Llama-8B)", 2.53, grid[5][0] / grid[1][0], "x"},
+       {"vs MLC (Llama-8B)", 1.52, grid[5][0] / grid[2][0], "x"},
+       {"vs MNN (InternLM)", 1.94, grid[5][3] / grid[0][3], "x"},
+       {"vs MLC (InternLM)", 2.62, grid[5][3] / grid[2][3], "x"}});
 }
 
 void BM_Decode(benchmark::State& state) {
@@ -69,9 +69,4 @@ BENCHMARK(BM_Decode)->Arg(0)->Arg(1)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure16();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig16_decode", heterollm::PrintFigure16)

@@ -14,8 +14,8 @@ using model::ModelConfig;
 
 constexpr int kDecodeSteps = 16;
 
-void PrintFigure17() {
-  benchx::PrintHeader("Figure 17",
+void PrintFigure17(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 17",
                       "Hetero-tensor decoding with vs without fast sync "
                       "(prompt 256)");
   core::EngineOptions slow;
@@ -36,12 +36,14 @@ void PrintFigure17() {
     table.AddRow({cfg.name, StrFormat("%.2f", fast),
                   StrFormat("%.2f", baseline),
                   StrFormat("%.2fx", fast / baseline)});
+    report.AddMetric(
+        "fastsync.decode." + benchx::Slug(cfg.name) + ".speedup",
+        fast / baseline, benchx::HigherIsBetter("x"));
   }
-  std::printf("%s", table.Render().c_str());
-  std::printf("%s", workload::RenderComparisonTable(
-                        "Paper anchors",
-                        {{"Llama-8B fast-sync speedup", 4.01, speedup_8b, "x"}})
-                        .c_str());
+  benchx::EmitTable(report, "fastsync_decode", table);
+  benchx::EmitAnchors(
+      report, "Paper anchors",
+      {{"Llama-8B fast-sync speedup", 4.01, speedup_8b, "x"}});
   std::printf(
       "The decoding speedup far exceeds the prefill one (Fig. 15) because "
       "each decode kernel runs only hundreds of microseconds.\n");
@@ -65,9 +67,4 @@ BENCHMARK(BM_FastSyncDecode)->Arg(0)->Arg(1)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure17();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig17_fastsync_decode", heterollm::PrintFigure17)

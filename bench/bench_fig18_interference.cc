@@ -43,8 +43,8 @@ InterferenceResult Measure(const std::string& engine_name) {
   return result;
 }
 
-void PrintFigure18() {
-  benchx::PrintHeader("Figure 18",
+void PrintFigure18(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 18",
                       "Prefill speed and game FPS when running concurrently "
                       "with League-of-Legends-class rendering (Llama-8B, "
                       "seq 256)");
@@ -68,18 +68,22 @@ void PrintFigure18() {
     table.AddRow({engine, StrFormat("%.1f", r.tok_s_alone),
                   StrFormat("%.1f", r.tok_s_with_game),
                   StrFormat("%.1f%%", slowdown), StrFormat("%.0f", r.fps)});
+    const std::string base = "interference." + benchx::Slug(engine);
+    report.AddMetric(base + ".tok_s_alone", r.tok_s_alone,
+                     benchx::HigherIsBetter("tok/s"));
+    report.AddMetric(base + ".tok_s_with_game", r.tok_s_with_game,
+                     benchx::HigherIsBetter("tok/s"));
+    report.AddMetric(base + ".game_fps", r.fps,
+                     benchx::HigherIsBetter("fps"));
   }
-  std::printf("%s", table.Render().c_str());
-  std::printf("%s",
-              workload::RenderComparisonTable(
-                  "Paper anchors",
-                  {{"Hetero-layer slowdown (%)", 9.57, hetero_layer_slowdown,
-                    "%"},
-                   {"Hetero-tensor slowdown (%)", 7.26,
-                    hetero_tensor_slowdown, "%"},
-                   {"tensor w/ game vs layer w/o game (%)", 15.3,
-                    100.0 * (tensor_with_game / layer_alone - 1.0), "%"}})
-                  .c_str());
+  benchx::EmitTable(report, "interference", table);
+  benchx::EmitAnchors(report, "Paper anchors",
+                      {{"Hetero-layer slowdown (%)", 9.57,
+                        hetero_layer_slowdown, "%"},
+                       {"Hetero-tensor slowdown (%)", 7.26,
+                        hetero_tensor_slowdown, "%"},
+                       {"tensor w/ game vs layer w/o game (%)", 15.3,
+                        100.0 * (tensor_with_game / layer_alone - 1.0), "%"}});
   std::printf(
       "Paper: the game holds 60 FPS under both hetero engines and drops to "
       "zero under PPL-OpenCL.\n");
@@ -101,9 +105,4 @@ BENCHMARK(BM_InterferencePrefill)->Arg(0)->Arg(1)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure18();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig18_interference", heterollm::PrintFigure18)

@@ -23,8 +23,8 @@ EnergyRow Measure(const std::string& engine) {
   return {s.avg_power_watts, s.energy / 1e6, s.prefill_tokens_per_s()};
 }
 
-void PrintFigure19() {
-  benchx::PrintHeader("Figure 19",
+void PrintFigure19(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 19",
                       "Power and energy, Llama-8B prefill @ seq 256");
   TextTable table(
       {"engine", "avg power (W)", "energy (J)", "energy/token (mJ)"});
@@ -38,21 +38,25 @@ void PrintFigure19() {
     table.AddRow({name, StrFormat("%.2f", row.power_w),
                   StrFormat("%.2f", row.energy_j),
                   StrFormat("%.1f", row.energy_j * 1e3 / 256)});
+    const std::string base = "energy." + benchx::Slug(name);
+    report.AddMetric(base + ".avg_power_watts", row.power_w,
+                     benchx::LowerIsBetter("W"));
+    report.AddMetric(base + ".energy_j", row.energy_j,
+                     benchx::LowerIsBetter("J"));
+    report.AddMetric(base + ".tok_s", row.tok_s,
+                     benchx::HigherIsBetter("tok/s"));
   }
-  std::printf("%s", table.Render().c_str());
-  std::printf(
-      "%s",
-      workload::RenderComparisonTable(
-          "Paper anchors",
-          {{"Hetero-layer power (W)", 2.23, layer.power_w, "W"},
-           {"PPL-OpenCL power (W)", 4.34, ppl.power_w, "W"},
-           {"Hetero-tensor vs layer power", 1.232,
-            tensor.power_w / layer.power_w, "x"},
-           {"Hetero-tensor vs layer energy", 1.033,
-            tensor.energy_j / layer.energy_j, "x"},
-           {"energy efficiency vs PPL", 5.87,
-            (ppl.energy_j / 256) / (tensor.energy_j / 256), "x"}})
-          .c_str());
+  benchx::EmitTable(report, "power_energy", table);
+  benchx::EmitAnchors(
+      report, "Paper anchors",
+      {{"Hetero-layer power (W)", 2.23, layer.power_w, "W"},
+       {"PPL-OpenCL power (W)", 4.34, ppl.power_w, "W"},
+       {"Hetero-tensor vs layer power", 1.232,
+        tensor.power_w / layer.power_w, "x"},
+       {"Hetero-tensor vs layer energy", 1.033,
+        tensor.energy_j / layer.energy_j, "x"},
+       {"energy efficiency vs PPL", 5.87,
+        (ppl.energy_j / 256) / (tensor.energy_j / 256), "x"}});
 }
 
 void BM_EnergyMeasurement(benchmark::State& state) {
@@ -71,9 +75,4 @@ BENCHMARK(BM_EnergyMeasurement)->DenseRange(0, 2)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure19();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig19_energy", heterollm::PrintFigure19)

@@ -21,8 +21,8 @@ double GpuTflopsAt(int64_t size) {
   return ToTflops(spec.flops(), t);
 }
 
-void PrintFigure2() {
-  benchx::PrintHeader("Figure 2",
+void PrintFigure2(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 2",
                       "GPU performance with varying tensor sizes (square "
                       "matmul, FP16)");
   TextTable table({"size", "achieved TFLOPS", "regime"});
@@ -34,11 +34,17 @@ void PrintFigure2() {
     table.AddRow({std::to_string(size), StrFormat("%.3f", tflops),
                   tflops < 0.9 * 1.0 ? "memory/launch-bound"
                                      : "compute-bound (saturated)"});
+    report.AddMetric(StrFormat("gpu.matmul_%lld.tflops",
+                               static_cast<long long>(size)),
+                     tflops, benchx::HigherIsBetter("TFLOPS"));
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "gpu_tflops_vs_size", table);
   std::printf(
       "Paper: ~1 TFLOPS achieved (2.8 theoretical) once compute-bound; "
       "measured peak %.2f TFLOPS.\n", peak);
+  report.AddMetric("gpu.peak_tflops", peak, benchx::HigherIsBetter("TFLOPS"));
+  report.AddAnchor("GPU achieved TFLOPS (compute-bound)", 1.0, peak,
+                   "TFLOPS");
 }
 
 void BM_GpuMatmulCost(benchmark::State& state) {
@@ -58,9 +64,4 @@ BENCHMARK(BM_GpuMatmulCost)->Arg(64)->Arg(512)->Arg(4096);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig2_gpu_linear", heterollm::PrintFigure2)

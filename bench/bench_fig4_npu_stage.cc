@@ -21,8 +21,8 @@ MicroSeconds NpuLatencyAt(int64_t m) {
   return npu.IsolatedTime(npu.CostMatmul(spec));
 }
 
-void PrintFigure4() {
-  benchx::PrintHeader("Figure 4",
+void PrintFigure4(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 4",
                       "NPU stage performance: Matmul [m,2048]x[2048,2048] "
                       "latency vs m");
   TextTable table({"m", "latency (us)", "same tile as previous?"});
@@ -36,11 +36,17 @@ void PrintFigure4() {
                   same ? "yes (padding plateau)" : "no (new tile)"});
     prev = t;
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "npu_matmul_staircase", table);
   std::printf(
       "Every size within one 32-row tile shares a latency plateau (%d "
       "plateau points measured) — the paper's stage effect.\n",
       plateaus);
+  report.AddMetric("npu.staircase.plateau_points", plateaus,
+                   benchx::Calibration("", /*tolerance=*/0));
+  report.AddMetric("npu.matmul_m32.latency_us", NpuLatencyAt(32),
+                   benchx::LowerIsBetter("us"));
+  report.AddMetric("npu.matmul_m33.latency_us", NpuLatencyAt(33),
+                   benchx::LowerIsBetter("us"));
 }
 
 void BM_NpuMatmulCost(benchmark::State& state) {
@@ -60,9 +66,4 @@ BENCHMARK(BM_NpuMatmulCost)->Arg(31)->Arg(32)->Arg(33)->Arg(64)->Arg(65);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig4_npu_stage", heterollm::PrintFigure4)

@@ -22,9 +22,9 @@ MicroSeconds NpuTime(int64_t m, int64_t n, int64_t k) {
   return npu.IsolatedTime(npu.CostMatmul(spec));
 }
 
-void PrintFigure5() {
+void PrintFigure5(report::BenchReport& report) {
   benchx::PrintHeader(
-      "Figure 5",
+      report, "Figure 5",
       "NPU order-/shape-sensitivity (latency in ms; same FLOPs per row)");
   TextTable table({"K", "[14336,4096]x[4096,K]", "[K,4096]x[4096,14336]",
                    "order ratio", "[4096,14336]x[14336,K] (shape-bad)"});
@@ -38,13 +38,17 @@ void PrintFigure5() {
                   StrFormat("%.2f", ToMillis(rev)),
                   StrFormat("%.1fx", rev / fwd),
                   StrFormat("%.2f", ToMillis(shape_bad))});
+    report.AddMetric(
+        StrFormat("npu.order_ratio.k%lld", static_cast<long long>(k)),
+        rev / fwd, benchx::Calibration("x"));
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "npu_order_shape", table);
   std::printf(
       "Paper reports ~6x order-sensitivity; measured up to %.1fx. The "
       "shape-bad column (reduction dim > streamed rows) shows the FFN-down "
       "weakness the row-cutting strategy patches.\n",
       max_ratio);
+  report.AddAnchor("NPU order-sensitivity (max ratio)", 6.0, max_ratio, "x");
 }
 
 void BM_OrderSensitivity(benchmark::State& state) {
@@ -61,9 +65,4 @@ BENCHMARK(BM_OrderSensitivity)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig5_npu_order_shape", heterollm::PrintFigure5)

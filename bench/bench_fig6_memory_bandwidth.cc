@@ -50,31 +50,39 @@ double DecodeBandwidth(const std::string& engine_name) {
   return ToGBPerSecond(moved, plat.soc().now() - t0);
 }
 
-void PrintFigure6() {
-  benchx::PrintHeader("Figure 6",
+void PrintFigure6(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 6",
                       "SoC memory bandwidth: single vs multiple processors "
                       "(decoding workloads)");
+  const double gpu_only = SteadyBandwidth(false, true, false);
+  const double gpu_npu = SteadyBandwidth(false, true, true);
   TextTable table({"processors", "achieved GB/s", "paper GB/s"});
   table.AddRow({"CPU only", StrFormat("%.1f", SteadyBandwidth(true, false, false)),
                 "40-45"});
-  table.AddRow({"GPU only", StrFormat("%.1f", SteadyBandwidth(false, true, false)),
-                "43.3"});
+  table.AddRow({"GPU only", StrFormat("%.1f", gpu_only), "43.3"});
   table.AddRow({"NPU only", StrFormat("%.1f", SteadyBandwidth(false, false, true)),
                 "40-45"});
-  table.AddRow({"GPU + NPU", StrFormat("%.1f", SteadyBandwidth(false, true, true)),
-                "59.1"});
+  table.AddRow({"GPU + NPU", StrFormat("%.1f", gpu_npu), "59.1"});
   table.AddRow({"CPU + GPU + NPU",
                 StrFormat("%.1f", SteadyBandwidth(true, true, true)),
                 "~60 (ceiling 68)"});
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "steady_bandwidth", table);
+  benchx::EmitAnchors(report, "Paper anchors (steady streaming)",
+                      {{"GPU-only bandwidth (GB/s)", 43.3, gpu_only, "GB/s"},
+                       {"GPU+NPU bandwidth (GB/s)", 59.1, gpu_npu, "GB/s"}});
 
   std::printf("\nEnd-to-end Llama-8B decoding (weights streamed per token):\n");
+  const double ppl_gbps = DecodeBandwidth("PPL-OpenCL");
+  const double hetero_gbps = DecodeBandwidth("Hetero-tensor");
   TextTable e2e({"engine", "achieved GB/s"});
-  e2e.AddRow({"PPL-OpenCL (GPU only)",
-              StrFormat("%.1f", DecodeBandwidth("PPL-OpenCL"))});
+  e2e.AddRow({"PPL-OpenCL (GPU only)", StrFormat("%.1f", ppl_gbps)});
   e2e.AddRow({"Hetero-tensor (GPU+NPU row-cut)",
-              StrFormat("%.1f", DecodeBandwidth("Hetero-tensor"))});
-  std::printf("%s", e2e.Render().c_str());
+              StrFormat("%.1f", hetero_gbps)});
+  benchx::EmitTable(report, "decode_bandwidth_e2e", e2e);
+  report.AddMetric("decode.ppl_opencl.gbps", ppl_gbps,
+                   benchx::HigherIsBetter("GB/s"));
+  report.AddMetric("decode.hetero_tensor.gbps", hetero_gbps,
+                   benchx::HigherIsBetter("GB/s"));
 }
 
 void BM_DecodeBandwidth(benchmark::State& state) {
@@ -91,9 +99,4 @@ BENCHMARK(BM_DecodeBandwidth)->Arg(0)->Arg(1)->Iterations(1)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig6_memory_bandwidth", heterollm::PrintFigure6)

@@ -10,8 +10,8 @@
 namespace heterollm {
 namespace {
 
-void PrintFigure9() {
-  benchx::PrintHeader("Figure 9",
+void PrintFigure9(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Figure 9",
                       "NPU graph generation time per operator vs tensor "
                       "shape");
   hal::NpuGraphCache cache;
@@ -24,7 +24,10 @@ void PrintFigure9() {
          StrFormat("%.2f", ToMillis(cache.GenerationCost({m, 4096, 14336}))),
          StrFormat("%.2f", ToMillis(cache.GenerationCost({m, 14336, 4096})))});
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "graph_gen_per_op", table);
+  report.AddMetric("graph_gen.op_1024x4096x4096.ms",
+                   ToMillis(cache.GenerationCost({1024, 4096, 4096})),
+                   benchx::LowerIsBetter("ms"));
 
   // Whole-model anchors from §5.2.2.
   auto model_cost = [&](int64_t m) {
@@ -35,14 +38,11 @@ void PrintFigure9() {
                              cache.GenerationCost({m, 14336, 4096});
     return per_layer * 32 + cache.GenerationCost({m, 4096, 128256});
   };
-  std::printf("%s",
-              workload::RenderComparisonTable(
-                  "Whole-model graph set (Llama-8B, 4 variants)",
-                  {{"generation @ seq 135 (ms)", 408.4,
-                    ToMillis(model_cost(135)), "ms"},
-                   {"generation @ seq 1000 (ms)", 2050.0,
-                    ToMillis(model_cost(1000)), "ms"}})
-                  .c_str());
+  benchx::EmitAnchors(report, "Whole-model graph set (Llama-8B, 4 variants)",
+                      {{"generation @ seq 135 (ms)", 408.4,
+                        ToMillis(model_cost(135)), "ms"},
+                       {"generation @ seq 1000 (ms)", 2050.0,
+                        ToMillis(model_cost(1000)), "ms"}});
 }
 
 void BM_GraphPrepare(benchmark::State& state) {
@@ -57,9 +57,4 @@ BENCHMARK(BM_GraphPrepare)->Arg(128)->Arg(1024);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintFigure9();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("fig9_graph_gen", heterollm::PrintFigure9)

@@ -4,8 +4,8 @@
 // Decode is bandwidth-bound (paper §4.1.2), so batching B sessions into one
 // decode iteration streams the weights from DRAM once instead of B times;
 // the table below shows the resulting aggregate-throughput speedup and the
-// TTFT tail. Results are also written to serving_throughput.bench.json
-// (one JSON object per {sessions, policy} cell, including ttft_p99_us).
+// TTFT tail. Pass --report_json=<path> to capture per-{sessions, policy}
+// metrics (including full ServingMetrics) in the machine-readable report.
 
 #include <cstdio>
 #include <string>
@@ -51,8 +51,8 @@ ServingMetrics ServeOnce(const model::ModelWeights& weights, int sessions,
   return IterationScheduler(engine.get(), opts).Run(MakeTrace(sessions));
 }
 
-void PrintServingComparison() {
-  benchx::PrintHeader("Serving",
+void PrintServingComparison(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Serving",
                       "serial replay vs continuous batching (InternLM-1.8B)");
   const ModelConfig cfg = ModelConfig::InternLM1_8B();
   model::ModelWeights weights =
@@ -61,8 +61,6 @@ void PrintServingComparison() {
   TextTable table({"sessions", "policy", "agg tok/s", "speedup",
                    "ttft p50 (ms)", "ttft p99 (ms)", "e2e p99 (ms)",
                    "avg batch"});
-  std::string json = "[\n";
-  bool first = true;
   for (int sessions : {4, 8, 16}) {
     const ServingMetrics serial =
         ServeOnce(weights, sessions, SchedulePolicy::kSerial);
@@ -84,22 +82,14 @@ void PrintServingComparison() {
                     StrFormat("%.1f", row.m->ttft_p99() / 1e3),
                     StrFormat("%.1f", row.m->latency_p99() / 1e3),
                     StrFormat("%.2f", row.m->avg_decode_batch)});
-      json += StrFormat("%s{\"sessions\": %d, \"policy\": \"%s\", ",
-                        first ? "" : ",\n", sessions, row.policy);
-      json += StrFormat("\"speedup_vs_serial\": %.4f, \"metrics\": %s}",
-                        row.speedup, row.m->ToJson().c_str());
-      first = false;
+      const std::string prefix =
+          StrFormat("serving.s%d.%s", sessions, row.policy);
+      benchx::AddServingMetrics(report, prefix, *row.m);
+      report.AddMetric(prefix + ".speedup_vs_serial", row.speedup,
+                       benchx::HigherIsBetter("x"));
     }
   }
-  json += "\n]\n";
-  std::printf("%s", table.Render().c_str());
-
-  const char* path = "serving_throughput.bench.json";
-  if (std::FILE* f = std::fopen(path, "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path);
-  }
+  benchx::EmitTable(report, "serving_throughput", table);
 }
 
 void BM_Serve(benchmark::State& state) {
@@ -131,9 +121,4 @@ BENCHMARK(BM_Serve)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintServingComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("serving_throughput", heterollm::PrintServingComparison)

@@ -8,8 +8,9 @@
 namespace heterollm {
 namespace {
 
-void PrintTable1() {
-  benchx::PrintHeader("Table 1", "Mobile heterogeneous SoC specifications");
+void PrintTable1(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Table 1",
+                      "Mobile heterogeneous SoC specifications");
   TextTable table({"Vendor", "SoC", "GPU", "GPU FP16", "NPU", "NPU INT8",
                    "NPU FP16"});
   for (const sim::SocSpec& s : sim::SocSpecCatalog()) {
@@ -19,8 +20,13 @@ void PrintTable1() {
                   s.npu_fp16_tflops > 0
                       ? StrFormat("%.0f TFlops", s.npu_fp16_tflops)
                       : std::string("None")});
+    const std::string base = "soc." + benchx::Slug(s.soc);
+    report.AddMetric(base + ".gpu_fp16_tflops", s.gpu_fp16_tflops,
+                     benchx::Calibration("TFLOPS", /*tolerance=*/0));
+    report.AddMetric(base + ".npu_int8_tops", s.npu_int8_tops,
+                     benchx::Calibration("TOPS", /*tolerance=*/0));
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "soc_specs", table);
   std::printf(
       "NPU FP16 estimated as half of INT8 throughput where undisclosed "
       "(paper footnote).\n");
@@ -36,9 +42,4 @@ BENCHMARK(BM_SocSpecLookup);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintTable1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("table1_soc_specs", heterollm::PrintTable1)

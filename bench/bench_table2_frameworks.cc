@@ -7,8 +7,9 @@
 namespace heterollm {
 namespace {
 
-void PrintTable2() {
-  benchx::PrintHeader("Table 2", "Mobile inference framework capabilities");
+void PrintTable2(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Table 2",
+                      "Mobile inference framework capabilities");
   TextTable table({"Framework", "CPU", "GPU", "NPU", "NPU GEMM",
                    "Sparsity-indep.", "Accuracy", "Performance"});
   for (const core::EngineDescription& d : core::EngineCatalog()) {
@@ -16,12 +17,16 @@ void PrintTable2() {
                   d.sparsity_independent ? "yes" : "no", d.accuracy,
                   d.performance});
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "framework_capabilities", table);
 
   std::printf("\nRunnable engines in this reproduction:\n");
-  for (const std::string& name : core::RunnableEngineNames()) {
+  const std::vector<std::string> runnable = core::RunnableEngineNames();
+  for (const std::string& name : runnable) {
     std::printf("  - %s\n", name.c_str());
   }
+  report.AddMetric("frameworks.runnable_engines",
+                   static_cast<double>(runnable.size()),
+                   benchx::Calibration("count", /*tolerance=*/0));
 }
 
 void BM_EngineConstruction(benchmark::State& state) {
@@ -39,9 +44,4 @@ BENCHMARK(BM_EngineConstruction)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintTable2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("table2_frameworks", heterollm::PrintTable2)

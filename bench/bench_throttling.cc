@@ -9,8 +9,8 @@
 // pieces of every cut now run slower and the bandwidth ceiling shrank. The
 // reactive engine notices the device-state epoch advance, drops the stale
 // caches and re-solves (paying the re-plan cost); the frozen baseline keeps
-// executing its original plans at the throttled clocks. Results are written
-// to throttling.bench.json.
+// executing its original plans at the throttled clocks. Pass
+// --report_json=<path> for the machine-readable comparison.
 
 #include <cstdio>
 #include <memory>
@@ -113,8 +113,8 @@ ThrottledRun ServeOnce(const model::ModelWeights& weights, bool reactive) {
   return run;
 }
 
-void PrintThrottlingComparison() {
-  benchx::PrintHeader("Throttling",
+void PrintThrottlingComparison(report::BenchReport& report) {
+  benchx::PrintHeader(report, "Throttling",
                       "reactive re-planning vs frozen plans under DVFS "
                       "throttling (Llama-8B serving)");
   const ModelConfig cfg = ModelConfig::Llama8B();
@@ -139,8 +139,14 @@ void PrintThrottlingComparison() {
                   StrFormat("%.1f", m.latency_p99() / 1e3),
                   StrFormat("%d", m.replan_events),
                   StrFormat("%.1f", m.energy / 1e3)});
+    benchx::AddServingMetrics(
+        report, "throttling." + benchx::Slug(row.name), m);
   }
-  std::printf("%s", table.Render().c_str());
+  benchx::EmitTable(report, "throttling", table);
+  report.AddMetric("throttling.reactive_decode_speedup",
+                   reactive.metrics.decode_tokens_per_s() /
+                       frozen.metrics.decode_tokens_per_s(),
+                   benchx::HigherIsBetter("x"));
   std::printf(
       "\ndecode speedup %.2fx, ttft p99 %.1f -> %.1f ms "
       "(re-plan cost included)\n",
@@ -153,23 +159,10 @@ void PrintThrottlingComparison() {
     std::printf("  %-4s freq factor %.2f, %.1f degC\n",
                 reactive.unit_names[u].c_str(), reactive.frequency_factor[u],
                 reactive.temperature_c[u]);
-  }
-
-  std::string json = "[\n";
-  bool first = true;
-  for (const Row& row :
-       {Row{"frozen", &frozen}, Row{"reactive", &reactive}}) {
-    json += StrFormat("%s{\"engine\": \"%s\", \"metrics\": %s}",
-                      first ? "" : ",\n", row.name,
-                      row.run->metrics.ToJson().c_str());
-    first = false;
-  }
-  json += "\n]\n";
-  const char* path = "throttling.bench.json";
-  if (std::FILE* f = std::fopen(path, "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path);
+    report.AddMetric(
+        "throttling.device." + benchx::Slug(reactive.unit_names[u]) +
+            ".freq_factor",
+        reactive.frequency_factor[u], benchx::Calibration(""));
   }
 }
 
@@ -196,9 +189,4 @@ BENCHMARK(BM_Throttled)
 }  // namespace
 }  // namespace heterollm
 
-int main(int argc, char** argv) {
-  heterollm::PrintThrottlingComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HETEROLLM_BENCH_MAIN("throttling", heterollm::PrintThrottlingComparison)

@@ -21,6 +21,11 @@ class TextTable {
   // Renders the table with a header separator, columns padded to content.
   std::string Render() const;
 
+  // Structural access so the perf-report pipeline can capture tables as
+  // JSON instead of re-parsing the rendered text.
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

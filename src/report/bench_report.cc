@@ -1,0 +1,249 @@
+#include "src/report/bench_report.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace heterollm::report {
+
+const char* BetterName(Better b) {
+  switch (b) {
+    case Better::kHigher:
+      return "higher";
+    case Better::kLower:
+      return "lower";
+    case Better::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+StatusOr<Better> BetterFromName(const std::string& name) {
+  if (name == "higher") {
+    return Better::kHigher;
+  }
+  if (name == "lower") {
+    return Better::kLower;
+  }
+  if (name == "none") {
+    return Better::kNone;
+  }
+  return InvalidArgumentError("unknown 'better' direction '" + name + "'");
+}
+
+BenchReport::BenchReport(std::string bench_id, std::string title)
+    : bench_id_(std::move(bench_id)), title_(std::move(title)) {}
+
+void BenchReport::AddMetric(const std::string& name, double value,
+                            const MetricOptions& opts) {
+  for (MetricRecord& m : metrics_) {
+    if (m.name == name) {
+      m.value = value;
+      m.unit = opts.unit;
+      m.tolerance = opts.tolerance;
+      m.better = opts.better;
+      return;
+    }
+  }
+  metrics_.push_back({name, value, opts.unit, opts.tolerance, opts.better});
+}
+
+void BenchReport::AddAnchor(const std::string& label, double paper,
+                            double measured, const std::string& unit,
+                            double tolerance) {
+  anchors_.push_back({label, paper, measured, unit, tolerance});
+}
+
+void BenchReport::AddTable(const std::string& section,
+                           std::vector<std::string> header,
+                           std::vector<std::vector<std::string>> rows) {
+  tables_.push_back({section, std::move(header), std::move(rows)});
+}
+
+std::vector<MetricRecord> BenchReport::GateableMetrics() const {
+  std::vector<MetricRecord> out = metrics_;
+  for (const AnchorRecord& a : anchors_) {
+    out.push_back({"anchor/" + a.label, a.measured, a.unit, a.tolerance,
+                   Better::kNone});
+  }
+  return out;
+}
+
+JsonValue BenchReport::ToJsonValue() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", kReportSchemaVersion);
+  doc.Set("bench_id", bench_id_);
+  doc.Set("title", title_);
+
+  JsonValue metrics = JsonValue::Array();
+  for (const MetricRecord& m : metrics_) {
+    JsonValue rec = JsonValue::Object();
+    rec.Set("name", m.name);
+    rec.Set("value", m.value);
+    rec.Set("unit", m.unit);
+    rec.Set("tolerance", m.tolerance);
+    rec.Set("better", BetterName(m.better));
+    metrics.Append(std::move(rec));
+  }
+  doc.Set("metrics", std::move(metrics));
+
+  JsonValue anchors = JsonValue::Array();
+  for (const AnchorRecord& a : anchors_) {
+    JsonValue rec = JsonValue::Object();
+    rec.Set("label", a.label);
+    rec.Set("paper", a.paper);
+    rec.Set("measured", a.measured);
+    rec.Set("ratio", a.ratio());
+    rec.Set("unit", a.unit);
+    rec.Set("tolerance", a.tolerance);
+    anchors.Append(std::move(rec));
+  }
+  doc.Set("anchors", std::move(anchors));
+
+  JsonValue tables = JsonValue::Array();
+  for (const TableRecord& t : tables_) {
+    JsonValue rec = JsonValue::Object();
+    rec.Set("section", t.section);
+    JsonValue header = JsonValue::Array();
+    for (const std::string& h : t.header) {
+      header.Append(h);
+    }
+    rec.Set("header", std::move(header));
+    JsonValue rows = JsonValue::Array();
+    for (const std::vector<std::string>& row : t.rows) {
+      JsonValue cells = JsonValue::Array();
+      for (const std::string& cell : row) {
+        cells.Append(cell);
+      }
+      rows.Append(std::move(cells));
+    }
+    rec.Set("rows", std::move(rows));
+    tables.Append(std::move(rec));
+  }
+  doc.Set("tables", std::move(tables));
+  return doc;
+}
+
+std::string BenchReport::ToJson() const { return ToJsonValue().Dump(2); }
+
+StatusOr<BenchReport> BenchReport::FromJsonValue(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return InvalidArgumentError("report document is not a JSON object");
+  }
+  const double version = doc.GetNumber("schema_version", -1);
+  if (version != kReportSchemaVersion) {
+    return InvalidArgumentError(
+        StrFormat("unsupported report schema_version %g (want %d)", version,
+                  kReportSchemaVersion));
+  }
+  const std::string bench_id = doc.GetString("bench_id");
+  if (bench_id.empty()) {
+    return InvalidArgumentError("report is missing 'bench_id'");
+  }
+  BenchReport report(bench_id, doc.GetString("title"));
+
+  const JsonValue& metrics = doc.Get("metrics");
+  if (metrics.is_array()) {
+    for (const JsonValue& rec : metrics.items()) {
+      if (!rec.is_object() || !rec.Has("name") || !rec.Has("value")) {
+        return InvalidArgumentError("malformed metric record");
+      }
+      StatusOr<Better> better =
+          BetterFromName(rec.GetString("better", "none"));
+      if (!better.ok()) {
+        return better.status();
+      }
+      MetricOptions opts;
+      opts.unit = rec.GetString("unit");
+      opts.tolerance = rec.GetNumber("tolerance", kDefaultTolerance);
+      opts.better = *better;
+      report.AddMetric(rec.GetString("name"), rec.GetNumber("value"), opts);
+    }
+  }
+
+  const JsonValue& anchors = doc.Get("anchors");
+  if (anchors.is_array()) {
+    for (const JsonValue& rec : anchors.items()) {
+      if (!rec.is_object() || !rec.Has("label")) {
+        return InvalidArgumentError("malformed anchor record");
+      }
+      report.AddAnchor(rec.GetString("label"), rec.GetNumber("paper"),
+                       rec.GetNumber("measured"), rec.GetString("unit"),
+                       rec.GetNumber("tolerance", kAnchorTolerance));
+    }
+  }
+
+  const JsonValue& tables = doc.Get("tables");
+  if (tables.is_array()) {
+    for (const JsonValue& rec : tables.items()) {
+      if (!rec.is_object()) {
+        return InvalidArgumentError("malformed table record");
+      }
+      std::vector<std::string> header;
+      if (rec.Get("header").is_array()) {
+        for (const JsonValue& h : rec.Get("header").items()) {
+          header.push_back(h.is_string() ? h.string_value() : "");
+        }
+      }
+      std::vector<std::vector<std::string>> rows;
+      if (rec.Get("rows").is_array()) {
+        for (const JsonValue& row : rec.Get("rows").items()) {
+          std::vector<std::string> cells;
+          if (row.is_array()) {
+            for (const JsonValue& cell : row.items()) {
+              cells.push_back(cell.is_string() ? cell.string_value() : "");
+            }
+          }
+          rows.push_back(std::move(cells));
+        }
+      }
+      report.AddTable(rec.GetString("section"), std::move(header),
+                      std::move(rows));
+    }
+  }
+  return report;
+}
+
+StatusOr<BenchReport> BenchReport::FromJson(const std::string& text) {
+  StatusOr<JsonValue> doc = ParseJson(text);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return FromJsonValue(*doc);
+}
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  const std::string text = ToJson();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<BenchReport> BenchReport::ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  StatusOr<BenchReport> report = FromJson(text);
+  if (!report.ok()) {
+    return InvalidArgumentError(path + ": " + report.status().message());
+  }
+  return report;
+}
+
+}  // namespace heterollm::report

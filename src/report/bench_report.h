@@ -1,0 +1,132 @@
+// BenchReport: the machine-readable result of one benchmark binary run.
+//
+// Every bench binary accumulates named scalar metrics (latency, tok/s,
+// percentiles, energy, bytes/flops), paper-anchor records (metric tagged
+// with the paper's reference value) and the rendered ASCII tables into one
+// report, then serializes it as schema-versioned JSON via --report_json.
+// The JSON is deterministic — same binary, same build, same bytes — so
+// reports diff cleanly and `tools/perfgate` can compare a run against the
+// checked-in baselines under bench/baselines/.
+
+#ifndef SRC_REPORT_BENCH_REPORT_H_
+#define SRC_REPORT_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/report/json.h"
+
+namespace heterollm::report {
+
+// Bump when the JSON layout changes incompatibly; perfgate refuses to
+// compare reports with mismatched schema versions.
+inline constexpr int kReportSchemaVersion = 1;
+
+// Which direction of drift counts as a regression for a metric.
+enum class Better {
+  kHigher,  // throughput-like: only a drop beyond tolerance fails
+  kLower,   // latency/energy-like: only a rise beyond tolerance fails
+  kNone,    // calibration-like: any drift beyond tolerance fails
+};
+
+const char* BetterName(Better b);
+StatusOr<Better> BetterFromName(const std::string& name);
+
+struct MetricRecord {
+  std::string name;  // unique within a report, e.g. "prefill.llama8b.tok_s"
+  double value = 0;
+  std::string unit;
+  // Relative tolerance the perf gate allows before flagging, e.g. 0.05.
+  double tolerance = 0;
+  Better better = Better::kNone;
+};
+
+// A metric the paper reports an absolute number for. Anchors gate on
+// `measured` like ordinary metrics (direction kNone: drift either way is a
+// calibration change worth seeing).
+struct AnchorRecord {
+  std::string label;
+  double paper = 0;
+  double measured = 0;
+  std::string unit;
+  double tolerance = 0;
+
+  double ratio() const { return paper > 0 ? measured / paper : 0; }
+};
+
+// A rendered ASCII table, captured structurally so reports stay diffable
+// without re-parsing aligned text.
+struct TableRecord {
+  std::string section;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+class BenchReport {
+ public:
+  // `bench_id` names the baseline file (bench/baselines/<bench_id>.json).
+  explicit BenchReport(std::string bench_id, std::string title = {});
+
+  const std::string& bench_id() const { return bench_id_; }
+  const std::string& title() const { return title_; }
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  // Default relative tolerance for gated metrics: absorbs cross-compiler
+  // floating-point noise while catching real regressions.
+  static constexpr double kDefaultTolerance = 0.05;
+  // Anchors calibrate against the paper; allow a little more drift before
+  // the gate fires.
+  static constexpr double kAnchorTolerance = 0.10;
+
+  struct MetricOptions {
+    std::string unit;
+    double tolerance = kDefaultTolerance;
+    Better better = Better::kNone;
+  };
+  // Records one scalar. Metric names must be unique; re-adding a name
+  // overwrites (last write wins) so helper routines can refine values.
+  // (Two overloads instead of a `= {}` default: GCC 12 rejects
+  // brace-default arguments of nested classes with member initializers.)
+  void AddMetric(const std::string& name, double value,
+                 const MetricOptions& opts);
+  void AddMetric(const std::string& name, double value) {
+    AddMetric(name, value, MetricOptions());
+  }
+
+  void AddAnchor(const std::string& label, double paper, double measured,
+                 const std::string& unit, double tolerance = kAnchorTolerance);
+
+  void AddTable(const std::string& section, std::vector<std::string> header,
+                std::vector<std::vector<std::string>> rows);
+
+  const std::vector<MetricRecord>& metrics() const { return metrics_; }
+  const std::vector<AnchorRecord>& anchors() const { return anchors_; }
+  const std::vector<TableRecord>& tables() const { return tables_; }
+
+  // Metrics plus anchors flattened under "anchor/<label>" — the set the
+  // perf gate compares.
+  std::vector<MetricRecord> GateableMetrics() const;
+
+  // Deterministic pretty-printed JSON document.
+  std::string ToJson() const;
+  JsonValue ToJsonValue() const;
+
+  static StatusOr<BenchReport> FromJson(const std::string& text);
+  static StatusOr<BenchReport> FromJsonValue(const JsonValue& doc);
+
+  // Writes ToJson() to `path` (parent directory must exist).
+  Status WriteFile(const std::string& path) const;
+  static StatusOr<BenchReport> ReadFile(const std::string& path);
+
+ private:
+  std::string bench_id_;
+  std::string title_;
+  std::vector<MetricRecord> metrics_;
+  std::vector<AnchorRecord> anchors_;
+  std::vector<TableRecord> tables_;
+};
+
+}  // namespace heterollm::report
+
+#endif  // SRC_REPORT_BENCH_REPORT_H_

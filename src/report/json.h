@@ -1,0 +1,113 @@
+// Minimal JSON document model for the perf-report pipeline: a tagged value
+// type, a deterministic serializer and a recursive-descent parser. No
+// third-party dependencies.
+//
+// Determinism contract (what makes reports diffable and baselines stable):
+//   - object members serialize in insertion order, which callers keep fixed;
+//   - numbers use the shortest decimal form that parses back to the same
+//     double (integral values print without a fraction), so the same run
+//     always produces byte-identical text;
+//   - strings escape the minimal JSON set (quote, backslash, control chars)
+//     and pass other bytes through untouched.
+
+#ifndef SRC_REPORT_JSON_H_
+#define SRC_REPORT_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace heterollm::report {
+
+// Shortest decimal representation of `v` that strtod parses back to the
+// same double; integral magnitudes below 2^53 print as plain integers.
+// NaN and infinities (not representable in JSON) serialize as "null".
+std::string FormatJsonNumber(double v);
+
+// Escapes `s` for inclusion in a JSON string literal (without the quotes).
+std::string EscapeJsonString(const std::string& s);
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  JsonValue(double v) : kind_(Kind::kNumber), number_(v) {}  // NOLINT
+  JsonValue(int v) : kind_(Kind::kNumber), number_(v) {}  // NOLINT
+  JsonValue(int64_t v)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& items() const;
+
+  // Array append; HCHECKs on non-array.
+  JsonValue& Append(JsonValue v);
+
+  // Object member write access (inserts at the end on first use) and
+  // read access (returns a shared null for absent keys). HCHECK on
+  // non-object.
+  JsonValue& Set(const std::string& key, JsonValue v);
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // Convenience typed getters for schema decoding: the member's value when
+  // present and of the right kind, otherwise `fallback`.
+  double GetNumber(const std::string& key, double fallback = 0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = {}) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  // Serializes the value. `indent` > 0 pretty-prints with that many spaces
+  // per level (arrays of scalars stay on one line); 0 emits compact JSON.
+  std::string Dump(int indent = 0) const;
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage rejected). Numbers outside double range fail; duplicate object
+// keys keep the last value.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace heterollm::report
+
+#endif  // SRC_REPORT_JSON_H_

@@ -1,0 +1,201 @@
+#include "src/report/perfgate.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm::report {
+
+const char* CheckStatusName(CheckStatus s) {
+  switch (s) {
+    case CheckStatus::kPass:
+      return "pass";
+    case CheckStatus::kImproved:
+      return "improved";
+    case CheckStatus::kRegressed:
+      return "REGRESSED";
+    case CheckStatus::kMissing:
+      return "MISSING";
+    case CheckStatus::kNew:
+      return "new";
+  }
+  return "?";
+}
+
+bool GateResult::passed() const {
+  if (!error.empty()) {
+    return false;
+  }
+  for (const MetricCheck& c : checks) {
+    if (c.failed()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int GateResult::count(CheckStatus s) const {
+  int n = 0;
+  for (const MetricCheck& c : checks) {
+    n += c.status == s ? 1 : 0;
+  }
+  return n;
+}
+
+namespace {
+
+double RelDelta(double baseline, double current) {
+  if (baseline == current) {
+    return 0;
+  }
+  if (baseline == 0) {
+    return current > 0 ? 1.0 : -1.0;
+  }
+  return (current - baseline) / std::abs(baseline);
+}
+
+CheckStatus Classify(double rel_delta, double tolerance, Better better) {
+  if (std::abs(rel_delta) <= tolerance) {
+    return CheckStatus::kPass;
+  }
+  switch (better) {
+    case Better::kHigher:
+      return rel_delta > 0 ? CheckStatus::kImproved : CheckStatus::kRegressed;
+    case Better::kLower:
+      return rel_delta < 0 ? CheckStatus::kImproved : CheckStatus::kRegressed;
+    case Better::kNone:
+      return CheckStatus::kRegressed;
+  }
+  return CheckStatus::kRegressed;
+}
+
+}  // namespace
+
+GateResult CompareReports(const BenchReport& baseline,
+                          const BenchReport& current,
+                          const GateOptions& options) {
+  GateResult result;
+  result.bench_id = baseline.bench_id();
+  if (baseline.bench_id() != current.bench_id()) {
+    result.error = StrFormat("bench_id mismatch: baseline '%s' vs current '%s'",
+                             baseline.bench_id().c_str(),
+                             current.bench_id().c_str());
+    return result;
+  }
+
+  const std::vector<MetricRecord> base_metrics = baseline.GateableMetrics();
+  const std::vector<MetricRecord> cur_metrics = current.GateableMetrics();
+  std::map<std::string, const MetricRecord*> cur_by_name;
+  for (const MetricRecord& m : cur_metrics) {
+    cur_by_name[m.name] = &m;
+  }
+
+  for (const MetricRecord& base : base_metrics) {
+    MetricCheck check;
+    check.name = base.name;
+    check.baseline = base.value;
+    // Tolerance 0 is meaningful (exact-match integers); only a negative /
+    // absent tolerance falls back to the gate-wide default.
+    check.tolerance =
+        base.tolerance >= 0 ? base.tolerance : options.default_tolerance;
+    check.better = base.better;
+    auto it = cur_by_name.find(base.name);
+    if (it == cur_by_name.end()) {
+      check.status = CheckStatus::kMissing;
+    } else {
+      check.current = it->second->value;
+      check.rel_delta = RelDelta(check.baseline, check.current);
+      check.status = Classify(check.rel_delta, check.tolerance, check.better);
+      cur_by_name.erase(it);
+    }
+    result.checks.push_back(check);
+  }
+
+  // Whatever remains in cur_by_name was not in the baseline.
+  for (const MetricRecord& m : cur_metrics) {
+    if (cur_by_name.count(m.name) == 0) {
+      continue;
+    }
+    MetricCheck check;
+    check.name = m.name;
+    check.current = m.value;
+    check.tolerance =
+        m.tolerance >= 0 ? m.tolerance : options.default_tolerance;
+    check.better = m.better;
+    check.status =
+        options.fail_on_new ? CheckStatus::kRegressed : CheckStatus::kNew;
+    result.checks.push_back(check);
+  }
+  return result;
+}
+
+std::string RenderGateSummary(const std::vector<GateResult>& results,
+                              bool verbose) {
+  TextTable table({"bench", "metric", "baseline", "current", "delta",
+                   "tolerance", "status"});
+  int shown = 0;
+  for (const GateResult& r : results) {
+    for (const MetricCheck& c : r.checks) {
+      if (!verbose && c.status == CheckStatus::kPass) {
+        continue;
+      }
+      table.AddRow({r.bench_id, c.name,
+                    c.status == CheckStatus::kNew
+                        ? std::string("-")
+                        : StrFormat("%.4g", c.baseline),
+                    c.status == CheckStatus::kMissing
+                        ? std::string("-")
+                        : StrFormat("%.4g", c.current),
+                    StrFormat("%+.2f%%", 100.0 * c.rel_delta),
+                    StrFormat("%.0f%%", 100.0 * c.tolerance),
+                    CheckStatusName(c.status)});
+      ++shown;
+    }
+  }
+
+  std::string out;
+  if (shown > 0) {
+    out += table.Render();
+  }
+  int benches_failed = 0;
+  int metrics = 0;
+  int regressed = 0;
+  int missing = 0;
+  int improved = 0;
+  int fresh = 0;
+  for (const GateResult& r : results) {
+    benches_failed += r.passed() ? 0 : 1;
+    metrics += static_cast<int>(r.checks.size());
+    regressed += r.count(CheckStatus::kRegressed);
+    missing += r.count(CheckStatus::kMissing);
+    improved += r.count(CheckStatus::kImproved);
+    fresh += r.count(CheckStatus::kNew);
+    if (!r.error.empty()) {
+      out += StrFormat("%s: ERROR %s\n", r.bench_id.c_str(), r.error.c_str());
+    }
+  }
+  out += StrFormat(
+      "perfgate: %zu bench(es), %d metric(s): %d regressed, %d missing, "
+      "%d improved, %d new — %s\n",
+      results.size(), metrics, regressed, missing, improved, fresh,
+      benches_failed == 0 ? "PASS" : "FAIL");
+  if (improved > 0) {
+    out +=
+        "note: improvements beyond tolerance pass the gate but leave the "
+        "baseline stale; regenerate bench/baselines/ to keep it tight.\n";
+  }
+  return out;
+}
+
+bool AllPassed(const std::vector<GateResult>& results) {
+  for (const GateResult& r : results) {
+    if (!r.passed()) {
+      return false;
+    }
+  }
+  return !results.empty();
+}
+
+}  // namespace heterollm::report

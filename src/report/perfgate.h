@@ -1,0 +1,80 @@
+// Perf-gate comparison: checks a freshly generated BenchReport against a
+// checked-in baseline, metric by metric, with per-metric relative
+// tolerances and regression directions. The `tools/perfgate` CLI and the
+// CI perf-gate job are thin wrappers over CompareReports.
+
+#ifndef SRC_REPORT_PERFGATE_H_
+#define SRC_REPORT_PERFGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/report/bench_report.h"
+
+namespace heterollm::report {
+
+enum class CheckStatus {
+  kPass,      // within tolerance
+  kImproved,  // beyond tolerance in the better direction (pass, but the
+              // baseline is stale — refresh it to keep the gate tight)
+  kRegressed,  // beyond tolerance in the worse direction
+  kMissing,    // in the baseline but absent from the current run
+  kNew,        // in the current run but absent from the baseline
+};
+
+const char* CheckStatusName(CheckStatus s);
+
+struct MetricCheck {
+  std::string name;
+  double baseline = 0;
+  double current = 0;
+  double tolerance = 0;
+  Better better = Better::kNone;
+  // (current - baseline) / |baseline|; 0 when baseline is 0 and current is
+  // too, +/-inf-avoiding 1.0 otherwise.
+  double rel_delta = 0;
+  CheckStatus status = CheckStatus::kPass;
+
+  bool failed() const {
+    return status == CheckStatus::kRegressed || status == CheckStatus::kMissing;
+  }
+};
+
+struct GateOptions {
+  // Tolerance used when the baseline metric does not carry one.
+  double default_tolerance = BenchReport::kDefaultTolerance;
+  // When false, metrics present only in the current report merely warn
+  // (kNew); when true they fail the gate. New metrics are expected while a
+  // PR adds coverage — the follow-up baseline refresh absorbs them.
+  bool fail_on_new = false;
+};
+
+struct GateResult {
+  std::string bench_id;
+  std::vector<MetricCheck> checks;
+  // Set when the pair could not be compared at all (schema mismatch,
+  // unreadable file); a failure regardless of `checks`.
+  std::string error;
+
+  bool passed() const;
+  int count(CheckStatus s) const;
+};
+
+// Compares current against baseline. Tolerance and direction come from the
+// *baseline* record (the checked-in contract), falling back to
+// `options.default_tolerance` / the current record when absent.
+GateResult CompareReports(const BenchReport& baseline,
+                          const BenchReport& current,
+                          const GateOptions& options = {});
+
+// One line per non-pass check plus a per-bench verdict and a global
+// summary; `verbose` also lists passing checks.
+std::string RenderGateSummary(const std::vector<GateResult>& results,
+                              bool verbose = false);
+
+// True when every result passed.
+bool AllPassed(const std::vector<GateResult>& results);
+
+}  // namespace heterollm::report
+
+#endif  // SRC_REPORT_PERFGATE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/common/strings.h"
@@ -105,32 +106,39 @@ std::string ServingMetrics::Render() const {
   return out;
 }
 
-std::string ServingMetrics::ToJson() const {
-  std::string out = "{";
-  out += StrFormat(
-      "\"requests\": %zu, \"makespan_us\": %.3f, "
-      "\"tokens_per_s\": %.3f, \"decode_tokens_per_s\": %.3f, "
-      "\"ttft_p50_us\": %.3f, \"ttft_p99_us\": %.3f, "
-      "\"latency_p50_us\": %.3f, \"latency_p99_us\": %.3f, "
-      "\"decode_iterations\": %d, \"avg_decode_batch\": %.4f, "
-      "\"evictions\": %d, \"replan_events\": %d, \"energy_uj\": %.3f, "
-      "\"avg_power_watts\": %.4f, ",
-      requests.size(), makespan(), aggregate_tokens_per_s(),
-      decode_tokens_per_s(), ttft_p50(), ttft_p99(), latency_p50(),
-      latency_p99(), decode_iterations, avg_decode_batch, evictions,
-      replan_events, energy, avg_power_watts);
-  out += "\"per_request\": [";
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const RequestMetrics& r = requests[i];
-    out += StrFormat(
-        "%s{\"id\": %d, \"arrival_us\": %.3f, \"ttft_us\": %.3f, "
-        "\"tpot_us\": %.3f, \"latency_us\": %.3f, \"prompt_tokens\": %d, "
-        "\"decoded_tokens\": %d, \"evictions\": %d}",
-        i == 0 ? "" : ", ", r.id, r.arrival, r.ttft(), r.tpot(),
-        r.e2e_latency(), r.prompt_tokens, r.decoded_tokens, r.evictions);
+report::JsonValue ServingMetrics::ToJsonValue() const {
+  report::JsonValue doc = report::JsonValue::Object();
+  doc.Set("requests", static_cast<int64_t>(requests.size()));
+  doc.Set("makespan_us", makespan());
+  doc.Set("tokens_per_s", aggregate_tokens_per_s());
+  doc.Set("decode_tokens_per_s", decode_tokens_per_s());
+  doc.Set("ttft_p50_us", ttft_p50());
+  doc.Set("ttft_p99_us", ttft_p99());
+  doc.Set("latency_p50_us", latency_p50());
+  doc.Set("latency_p99_us", latency_p99());
+  doc.Set("decode_iterations", decode_iterations);
+  doc.Set("avg_decode_batch", avg_decode_batch);
+  doc.Set("evictions", evictions);
+  doc.Set("replan_events", replan_events);
+  doc.Set("energy_uj", energy);
+  doc.Set("avg_power_watts", avg_power_watts);
+  report::JsonValue per_request = report::JsonValue::Array();
+  for (const RequestMetrics& r : requests) {
+    report::JsonValue row = report::JsonValue::Object();
+    row.Set("id", r.id);
+    row.Set("arrival_us", r.arrival);
+    row.Set("ttft_us", r.ttft());
+    row.Set("tpot_us", r.tpot());
+    row.Set("latency_us", r.e2e_latency());
+    row.Set("prompt_tokens", r.prompt_tokens);
+    row.Set("decoded_tokens", r.decoded_tokens);
+    row.Set("evictions", r.evictions);
+    per_request.Append(std::move(row));
   }
-  out += "]}";
-  return out;
+  doc.Set("per_request", std::move(per_request));
+  return doc;
 }
+
+std::string ServingMetrics::ToJson() const { return ToJsonValue().Dump(); }
 
 }  // namespace heterollm::serve

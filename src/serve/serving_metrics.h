@@ -13,6 +13,7 @@
 
 #include "src/common/types.h"
 #include "src/core/execution_report.h"
+#include "src/report/json.h"
 
 namespace heterollm::serve {
 
@@ -79,8 +80,11 @@ struct ServingMetrics {
   // Human-readable summary (request table + aggregates + unit utilization).
   std::string Render() const;
 
-  // Machine-readable one-object JSON (aggregates + per-request rows).
+  // Machine-readable one-object JSON (aggregates + per-request rows),
+  // serialized through the report::Json writer so escaping and float
+  // formatting stay deterministic.
   std::string ToJson() const;
+  report::JsonValue ToJsonValue() const;
 };
 
 }  // namespace heterollm::serve

@@ -1,0 +1,112 @@
+#include "src/report/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace heterollm::report {
+namespace {
+
+BenchReport MakeSample() {
+  BenchReport report("fig_test", "A sample report");
+  BenchReport::MetricOptions tok;
+  tok.unit = "tok/s";
+  tok.tolerance = 0.05;
+  tok.better = Better::kHigher;
+  report.AddMetric("prefill.tok_s", 123.456, tok);
+  BenchReport::MetricOptions lat;
+  lat.unit = "ms";
+  lat.tolerance = 0.1;
+  lat.better = Better::kLower;
+  report.AddMetric("decode.latency_ms", 7.5, lat);
+  report.AddAnchor("Llama-8B prefill", 245.0, 240.2, "tok/s");
+  report.AddTable("speeds", {"engine", "tok/s"},
+                  {{"gpu", "100"}, {"npu", "140"}});
+  return report;
+}
+
+TEST(BenchReport, JsonRoundTripPreservesEverything) {
+  const BenchReport report = MakeSample();
+  StatusOr<BenchReport> back = BenchReport::FromJson(report.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().message();
+
+  EXPECT_EQ(back->bench_id(), "fig_test");
+  EXPECT_EQ(back->title(), "A sample report");
+  ASSERT_EQ(back->metrics().size(), 2u);
+  EXPECT_EQ(back->metrics()[0].name, "prefill.tok_s");
+  EXPECT_EQ(back->metrics()[0].value, 123.456);
+  EXPECT_EQ(back->metrics()[0].unit, "tok/s");
+  EXPECT_EQ(back->metrics()[0].better, Better::kHigher);
+  EXPECT_EQ(back->metrics()[1].better, Better::kLower);
+  EXPECT_EQ(back->metrics()[1].tolerance, 0.1);
+  ASSERT_EQ(back->anchors().size(), 1u);
+  EXPECT_EQ(back->anchors()[0].label, "Llama-8B prefill");
+  EXPECT_EQ(back->anchors()[0].paper, 245.0);
+  EXPECT_EQ(back->anchors()[0].measured, 240.2);
+  ASSERT_EQ(back->tables().size(), 1u);
+  EXPECT_EQ(back->tables()[0].section, "speeds");
+  ASSERT_EQ(back->tables()[0].rows.size(), 2u);
+  EXPECT_EQ(back->tables()[0].rows[1][1], "140");
+
+  // Serialization is deterministic: round-tripped report re-serializes to
+  // the same bytes.
+  EXPECT_EQ(back->ToJson(), report.ToJson());
+}
+
+TEST(BenchReport, ReAddingAMetricOverwrites) {
+  BenchReport report("id");
+  report.AddMetric("m", 1.0);
+  report.AddMetric("m", 2.0);
+  ASSERT_EQ(report.metrics().size(), 1u);
+  EXPECT_EQ(report.metrics()[0].value, 2.0);
+}
+
+TEST(BenchReport, GateableMetricsIncludeAnchors) {
+  const BenchReport report = MakeSample();
+  const std::vector<MetricRecord> gateable = report.GateableMetrics();
+  ASSERT_EQ(gateable.size(), 3u);
+  EXPECT_EQ(gateable[2].name, "anchor/Llama-8B prefill");
+  EXPECT_EQ(gateable[2].value, 240.2);
+  EXPECT_EQ(gateable[2].tolerance, BenchReport::kAnchorTolerance);
+  EXPECT_EQ(gateable[2].better, Better::kNone);
+}
+
+TEST(BenchReport, FromJsonRejectsWrongSchemaVersion) {
+  BenchReport report("id");
+  std::string text = report.ToJson();
+  const std::string needle = "\"schema_version\": 1";
+  const size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"schema_version\": 999");
+  EXPECT_FALSE(BenchReport::FromJson(text).ok());
+}
+
+TEST(BenchReport, FromJsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(BenchReport::FromJson("not json").ok());
+  EXPECT_FALSE(BenchReport::FromJson("[1, 2]").ok());
+  EXPECT_FALSE(BenchReport::FromJson("{\"schema_version\": 1}").ok());
+}
+
+TEST(BenchReport, WriteAndReadFile) {
+  const std::string path = ::testing::TempDir() + "/bench_report_test.json";
+  const BenchReport report = MakeSample();
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  StatusOr<BenchReport> back = BenchReport::ReadFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->ToJson(), report.ToJson());
+  std::remove(path.c_str());
+  EXPECT_FALSE(BenchReport::ReadFile(path).ok());
+}
+
+TEST(BenchReport, BetterNameRoundTrips) {
+  for (Better b : {Better::kHigher, Better::kLower, Better::kNone}) {
+    StatusOr<Better> back = BetterFromName(BetterName(b));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, b);
+  }
+  EXPECT_FALSE(BetterFromName("sideways").ok());
+}
+
+}  // namespace
+}  // namespace heterollm::report

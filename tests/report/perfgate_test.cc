@@ -1,0 +1,186 @@
+#include "src/report/perfgate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace heterollm::report {
+namespace {
+
+BenchReport::MetricOptions Opts(Better better, double tolerance = 0.05) {
+  BenchReport::MetricOptions o;
+  o.tolerance = tolerance;
+  o.better = better;
+  return o;
+}
+
+const MetricCheck* Find(const GateResult& result, const std::string& name) {
+  for (const MetricCheck& c : result.checks) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Perfgate, IdenticalReportsPass) {
+  BenchReport report("bench");
+  report.AddMetric("tok_s", 100.0, Opts(Better::kHigher));
+  const GateResult result = CompareReports(report, report);
+  EXPECT_TRUE(result.passed());
+  ASSERT_EQ(result.checks.size(), 1u);
+  EXPECT_EQ(result.checks[0].status, CheckStatus::kPass);
+  EXPECT_EQ(result.checks[0].rel_delta, 0.0);
+}
+
+TEST(Perfgate, RegressionBeyondToleranceFails) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("tok_s", 100.0, Opts(Better::kHigher));
+  BenchReport current("bench");
+  current.AddMetric("tok_s", 90.0, Opts(Better::kHigher));  // -10% > 5%
+  const GateResult result = CompareReports(baseline, current);
+  EXPECT_FALSE(result.passed());
+  EXPECT_EQ(result.checks[0].status, CheckStatus::kRegressed);
+  EXPECT_NEAR(result.checks[0].rel_delta, -0.10, 1e-12);
+}
+
+TEST(Perfgate, DriftWithinTolerancepasses) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("tok_s", 100.0, Opts(Better::kHigher));
+  BenchReport current("bench");
+  current.AddMetric("tok_s", 96.0, Opts(Better::kHigher));  // -4% < 5%
+  EXPECT_TRUE(CompareReports(baseline, current).passed());
+}
+
+TEST(Perfgate, ImprovementPassesButIsFlagged) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("tok_s", 100.0, Opts(Better::kHigher));
+  BenchReport current("bench");
+  current.AddMetric("tok_s", 120.0, Opts(Better::kHigher));
+  const GateResult result = CompareReports(baseline, current);
+  EXPECT_TRUE(result.passed());
+  EXPECT_EQ(result.checks[0].status, CheckStatus::kImproved);
+}
+
+TEST(Perfgate, DirectionDecidesWhichDriftRegresses) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("latency_ms", 10.0, Opts(Better::kLower));
+  {
+    BenchReport current("bench");
+    current.AddMetric("latency_ms", 12.0, Opts(Better::kLower));  // worse
+    EXPECT_EQ(CompareReports(baseline, current).checks[0].status,
+              CheckStatus::kRegressed);
+  }
+  {
+    BenchReport current("bench");
+    current.AddMetric("latency_ms", 8.0, Opts(Better::kLower));  // better
+    EXPECT_EQ(CompareReports(baseline, current).checks[0].status,
+              CheckStatus::kImproved);
+  }
+}
+
+TEST(Perfgate, DirectionlessMetricRegressesEitherWay) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("calibration", 10.0, Opts(Better::kNone));
+  for (double drifted : {8.0, 12.0}) {
+    BenchReport current("bench");
+    current.AddMetric("calibration", drifted, Opts(Better::kNone));
+    EXPECT_EQ(CompareReports(baseline, current).checks[0].status,
+              CheckStatus::kRegressed)
+        << drifted;
+  }
+}
+
+TEST(Perfgate, ZeroToleranceMeansExactMatch) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("count", 7.0, Opts(Better::kNone, /*tolerance=*/0));
+  {
+    BenchReport current("bench");
+    current.AddMetric("count", 7.0, Opts(Better::kNone, 0));
+    EXPECT_TRUE(CompareReports(baseline, current).passed());
+  }
+  {
+    BenchReport current("bench");
+    current.AddMetric("count", 8.0, Opts(Better::kNone, 0));
+    EXPECT_FALSE(CompareReports(baseline, current).passed());
+  }
+}
+
+TEST(Perfgate, MissingMetricFailsNewMetricWarns) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("old", 1.0, Opts(Better::kHigher));
+  BenchReport current("bench");
+  current.AddMetric("fresh", 2.0, Opts(Better::kHigher));
+
+  const GateResult result = CompareReports(baseline, current);
+  EXPECT_FALSE(result.passed());  // "old" is missing
+  const MetricCheck* old_check = Find(result, "old");
+  const MetricCheck* fresh_check = Find(result, "fresh");
+  ASSERT_NE(old_check, nullptr);
+  ASSERT_NE(fresh_check, nullptr);
+  EXPECT_EQ(old_check->status, CheckStatus::kMissing);
+  EXPECT_EQ(fresh_check->status, CheckStatus::kNew);
+  EXPECT_FALSE(fresh_check->failed());
+
+  GateOptions strict;
+  strict.fail_on_new = true;
+  const GateResult strict_result =
+      CompareReports(baseline, current, strict);
+  EXPECT_EQ(Find(strict_result, "fresh")->status, CheckStatus::kRegressed);
+}
+
+TEST(Perfgate, AnchorsGateOnMeasuredValue) {
+  BenchReport baseline("bench");
+  baseline.AddAnchor("paper anchor", 100.0, 98.0, "tok/s");
+  BenchReport current("bench");
+  current.AddAnchor("paper anchor", 100.0, 60.0, "tok/s");  // way off
+  const GateResult result = CompareReports(baseline, current);
+  EXPECT_FALSE(result.passed());
+  const MetricCheck* check = Find(result, "anchor/paper anchor");
+  ASSERT_NE(check, nullptr);
+  EXPECT_EQ(check->status, CheckStatus::kRegressed);
+}
+
+TEST(Perfgate, BenchIdMismatchIsAnError) {
+  BenchReport baseline("alpha");
+  BenchReport current("beta");
+  const GateResult result = CompareReports(baseline, current);
+  EXPECT_FALSE(result.passed());
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Perfgate, ZeroBaselineHandledWithoutDivision) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("m", 0.0, Opts(Better::kHigher));
+  {
+    BenchReport current("bench");
+    current.AddMetric("m", 0.0, Opts(Better::kHigher));
+    EXPECT_TRUE(CompareReports(baseline, current).passed());
+  }
+  {
+    BenchReport current("bench");
+    current.AddMetric("m", 5.0, Opts(Better::kHigher));
+    const GateResult result = CompareReports(baseline, current);
+    EXPECT_EQ(result.checks[0].rel_delta, 1.0);
+    EXPECT_EQ(result.checks[0].status, CheckStatus::kImproved);
+  }
+}
+
+TEST(Perfgate, SummaryAndAllPassed) {
+  BenchReport baseline("bench");
+  baseline.AddMetric("tok_s", 100.0, Opts(Better::kHigher));
+  BenchReport current("bench");
+  current.AddMetric("tok_s", 50.0, Opts(Better::kHigher));
+  const GateResult fail = CompareReports(baseline, current);
+  const GateResult pass = CompareReports(baseline, baseline);
+
+  EXPECT_TRUE(AllPassed({pass}));
+  EXPECT_FALSE(AllPassed({pass, fail}));
+  EXPECT_FALSE(AllPassed({}));  // empty result set is not a pass
+
+  const std::string summary = RenderGateSummary({pass, fail});
+  EXPECT_NE(summary.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(summary.find("FAIL"), std::string::npos);
+  EXPECT_NE(RenderGateSummary({pass}).find("PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heterollm::report

@@ -1,0 +1,153 @@
+// perfgate: compare bench reports against checked-in baselines.
+//
+// Usage:
+//   perfgate --baseline=<dir-or-file> --current=<dir-or-file>
+//            [--default_tolerance=0.05] [--fail_on_new]
+//
+// Directory mode pairs files by name: every baseline <id>.json must have a
+// matching current <id>.json. File mode compares exactly one pair. Exit code
+// 0 when every gated metric is within tolerance, 1 otherwise — this is the
+// contract the CI perf-gate job and the `perfgate_baselines` ctest rely on.
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/report/bench_report.h"
+#include "src/report/perfgate.h"
+
+namespace heterollm {
+namespace {
+
+struct Args {
+  std::string baseline;
+  std::string current;
+  report::GateOptions options;
+  bool ok = true;
+};
+
+bool ConsumeFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (ConsumeFlag(argv[i], "--baseline=", &args.baseline)) continue;
+    if (ConsumeFlag(argv[i], "--current=", &args.current)) continue;
+    if (ConsumeFlag(argv[i], "--default_tolerance=", &value)) {
+      args.options.default_tolerance = std::atof(value.c_str());
+      continue;
+    }
+    if (std::strcmp(argv[i], "--fail_on_new") == 0) {
+      args.options.fail_on_new = true;
+      continue;
+    }
+    std::fprintf(stderr, "perfgate: unknown argument '%s'\n", argv[i]);
+    args.ok = false;
+  }
+  if (args.baseline.empty() || args.current.empty()) {
+    std::fprintf(stderr,
+                 "perfgate: --baseline=<path> and --current=<path> are "
+                 "required\n");
+    args.ok = false;
+  }
+  return args;
+}
+
+bool IsDirectory(const std::string& path) {
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) return false;
+  closedir(dir);
+  return true;
+}
+
+// Names of the *.json entries directly inside `path`, sorted.
+std::vector<std::string> ListReports(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) return names;
+  while (dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 5 && name.rfind(".json") == name.size() - 5) {
+      names.push_back(name);
+    }
+  }
+  closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<report::GateResult> GatePair(const std::string& baseline_path,
+                                      const std::string& current_path,
+                                      const report::GateOptions& options) {
+  StatusOr<report::BenchReport> baseline =
+      report::BenchReport::ReadFile(baseline_path);
+  if (!baseline.ok()) return baseline.status();
+  StatusOr<report::BenchReport> current =
+      report::BenchReport::ReadFile(current_path);
+  if (!current.ok()) return current.status();
+  return report::CompareReports(*baseline, *current, options);
+}
+
+int Run(const Args& args) {
+  std::vector<report::GateResult> results;
+  if (IsDirectory(args.baseline)) {
+    if (!IsDirectory(args.current)) {
+      std::fprintf(stderr,
+                   "perfgate: --baseline is a directory but --current is "
+                   "not\n");
+      return 2;
+    }
+    const std::vector<std::string> names = ListReports(args.baseline);
+    if (names.empty()) {
+      std::fprintf(stderr, "perfgate: no *.json baselines under %s\n",
+                   args.baseline.c_str());
+      return 2;
+    }
+    for (const std::string& name : names) {
+      StatusOr<report::GateResult> result =
+          GatePair(args.baseline + "/" + name, args.current + "/" + name,
+                   args.options);
+      if (!result.ok()) {
+        report::GateResult failed;
+        failed.bench_id = name;
+        failed.error = result.status().message();
+        results.push_back(failed);
+        continue;
+      }
+      results.push_back(*std::move(result));
+    }
+  } else {
+    StatusOr<report::GateResult> result =
+        GatePair(args.baseline, args.current, args.options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "perfgate: %s\n",
+                   result.status().message().c_str());
+      return 2;
+    }
+    results.push_back(*std::move(result));
+  }
+
+  std::printf("%s", report::RenderGateSummary(results).c_str());
+  return report::AllPassed(results) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace heterollm
+
+int main(int argc, char** argv) {
+  const heterollm::Args args = heterollm::ParseArgs(argc, argv);
+  if (!args.ok) return 2;
+  return heterollm::Run(args);
+}
