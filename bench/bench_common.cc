@@ -117,6 +117,19 @@ void AddServingMetrics(report::BenchReport& report, const std::string& prefix,
   report.AddMetric(prefix + ".evictions", m.evictions, Calibration(""));
   report.AddMetric(prefix + ".replan_events", m.replan_events,
                    Calibration(""));
+  report.AddMetric(prefix + ".prefix_hit_tokens",
+                   static_cast<double>(m.prefix_hit_tokens),
+                   HigherIsBetter("tok"));
+  report.AddMetric(prefix + ".prefix_hit_rate", m.prefix_hit_rate(),
+                   HigherIsBetter(""));
+  report.AddMetric(prefix + ".blocks_evicted",
+                   static_cast<double>(m.blocks_evicted), Calibration(""));
+  report.AddMetric(prefix + ".kv_blocks_peak",
+                   static_cast<double>(m.kv_blocks_peak),
+                   LowerIsBetter("blocks"));
+  report.AddMetric(prefix + ".peak_active_sessions",
+                   static_cast<double>(m.peak_active_sessions),
+                   HigherIsBetter("sessions"));
   report.AddMetric(prefix + ".energy_mj", m.energy / 1e3,
                    LowerIsBetter("mJ"));
   report.AddMetric(prefix + ".avg_power_watts", m.avg_power_watts,

@@ -16,6 +16,7 @@
 #include "src/common/table.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/serving_engine.h"
 #include "src/serve/serving_metrics.h"
 
 namespace heterollm {
@@ -42,13 +43,12 @@ RequestQueue MakeTrace(int sessions) {
 ServingMetrics ServeOnce(const model::ModelWeights& weights, int sessions,
                          SchedulePolicy policy) {
   core::Platform platform(core::PlatformOptionsFor(kEngine));
-  auto engine = core::CreateEngine(
-      kEngine, &platform, &weights,
-      IterationScheduler::ServingEngineOptions(kMaxBatch));
   SchedulerOptions opts;
   opts.policy = policy;
   opts.max_decode_batch = kMaxBatch;
-  return IterationScheduler(engine.get(), opts).Run(MakeTrace(sessions));
+  auto engine = serve::BuildServingEngine(&platform, &weights, opts, kEngine);
+  HCHECK(engine.ok());
+  return IterationScheduler(engine->get(), opts).Run(MakeTrace(sessions));
 }
 
 void PrintServingComparison(report::BenchReport& report) {

@@ -22,6 +22,7 @@
 #include "src/common/table.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/serving_engine.h"
 #include "src/serve/serving_metrics.h"
 #include "src/sim/thermal_model.h"
 
@@ -96,11 +97,12 @@ ThrottledRun ServeOnce(const model::ModelWeights& weights, bool reactive) {
 
   core::EngineOptions eopts;
   eopts.reactive_replanning = reactive;
-  auto engine = core::CreateEngine(
-      kEngine, &platform, &weights,
-      IterationScheduler::ServingEngineOptions(kMaxBatch, eopts));
   SchedulerOptions sopts;
   sopts.max_decode_batch = kMaxBatch;
+  auto built =
+      serve::BuildServingEngine(&platform, &weights, sopts, kEngine, eopts);
+  HCHECK(built.ok());
+  std::unique_ptr<core::EngineBase> engine = std::move(built).value();
 
   ThrottledRun run;
   run.metrics = IterationScheduler(engine.get(), sopts).Run(MakeTrace());

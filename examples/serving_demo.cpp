@@ -17,6 +17,7 @@
 #include "src/core/engine_registry.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/serving_engine.h"
 #include "src/serve/serving_metrics.h"
 #include "src/sim/thermal_model.h"
 
@@ -50,13 +51,17 @@ int main(int argc, char** argv) {
       popts.conditions = {cap};
     }
     core::Platform platform(popts);
-    auto engine = core::CreateEngine(
-        "Hetero-tensor", &platform, &weights,
-        serve::IterationScheduler::ServingEngineOptions(max_batch));
     serve::SchedulerOptions opts;
     opts.policy = policy;
     opts.max_decode_batch = max_batch;
-    return serve::IterationScheduler(engine.get(), opts).Run(queue);
+    StatusOr<std::unique_ptr<core::EngineBase>> engine =
+        serve::BuildServingEngine(&platform, &weights, opts);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine setup failed: %s\n",
+                   engine.status().ToString().c_str());
+      std::exit(1);
+    }
+    return serve::IterationScheduler(engine->get(), opts).Run(queue);
   };
 
   std::printf("== serial FIFO replay (%d sessions, InternLM-1.8B) ==\n",

@@ -73,6 +73,28 @@ PhaseStats EngineBase::PrefillInto(model::KvCache* cache,
   return stats;
 }
 
+PhaseStats EngineBase::PrefillFrom(model::KvCache* cache,
+                                   const Tensor& prompt, int64_t start_pos) {
+  HCHECK(cache != nullptr);
+  HCHECK(start_pos >= 0 && start_pos < prompt.shape().rows());
+  HCHECK_MSG(cache->length() == start_pos,
+             "cache length must equal the prefill start offset");
+  if (start_pos == 0) {
+    return PrefillInto(cache, prompt);
+  }
+  return PrefillInto(cache,
+                     prompt.SliceRows(start_pos, prompt.shape().rows()));
+}
+
+PhaseStats EngineBase::DecodeInto(model::KvCache* cache, const Tensor& token) {
+  HCHECK(cache != nullptr);
+  HCHECK_MSG(batch_caches_.empty(), "serving iteration already in flight");
+  batch_caches_ = {cache};
+  PhaseStats stats = DecodeStep(token);
+  batch_caches_.clear();
+  return stats;
+}
+
 PhaseStats EngineBase::BatchedDecodeStep(
     const std::vector<model::KvCache*>& caches) {
   HCHECK(!caches.empty());
@@ -562,11 +584,11 @@ EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
   if (serving_batch()) {
     for (size_t slot = 0; slot < session_count(); ++slot) {
       const int64_t r = static_cast<int64_t>(slot);
-      session_cache(slot).Append(layer, k_rot.tensor.SliceRows(r, r + 1),
-                                 v.tensor.SliceRows(r, r + 1));
+      session_cache(slot).AppendLayer(layer, k_rot.tensor.SliceRows(r, r + 1),
+                                      v.tensor.SliceRows(r, r + 1));
     }
   } else {
-    session_cache(0).Append(layer, k_rot.tensor, v.tensor);
+    session_cache(0).AppendLayer(layer, k_rot.tensor, v.tensor);
   }
   // Attention (on the vector backend) must see k/v results.
   hal::Device& vec_dev = platform_->device(vector_backend());
@@ -587,12 +609,26 @@ EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
 
 PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
   RefreshDeviceState();
-  if (!options_.use_compiled_schedule) {
-    return RunStackLegacy(input, phase);
+  // One transactional KV step per session slot: every layer must append its
+  // rows before the commit below, or the cache aborts — the per-layer
+  // "all layers appended the same rows" contract is enforced here instead
+  // of trusted.
+  const int64_t per_slot = serving_batch() ? 1 : input.shape().rows();
+  for (size_t slot = 0; slot < session_count(); ++slot) {
+    session_cache(slot).BeginStep(per_slot);
   }
-  const graph::CompiledSchedule& sched =
-      ScheduleFor(phase, input.shape().rows(), serving_batch());
-  return ScheduleExecutor(this).Run(sched, input);
+  PhaseStats stats;
+  if (!options_.use_compiled_schedule) {
+    stats = RunStackLegacy(input, phase);
+  } else {
+    const graph::CompiledSchedule& sched =
+        ScheduleFor(phase, input.shape().rows(), serving_batch());
+    stats = ScheduleExecutor(this).Run(sched, input);
+  }
+  for (size_t slot = 0; slot < session_count(); ++slot) {
+    session_cache(slot).CommitStep();
+  }
+  return stats;
 }
 
 const graph::CompiledSchedule& EngineBase::ScheduleFor(Phase phase,

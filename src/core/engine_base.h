@@ -161,6 +161,20 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   // Prefills `prompt` into `cache` (instead of the engine's own cache).
   PhaseStats PrefillInto(model::KvCache* cache, const tensor::Tensor& prompt);
 
+  // Prefill-from-offset: `cache` already holds `start_pos` committed
+  // positions (a prefix-cache hit adopted via KvCache::AdoptPrefix); only
+  // rows [start_pos, prompt rows) are run — and priced — through the stack.
+  // RoPE offsets and attention spans come from the cache length, so the
+  // residual tokens attend over the full cached prefix. `start_pos` must be
+  // < prompt rows (the last position is never cached).
+  PhaseStats PrefillFrom(model::KvCache* cache, const tensor::Tensor& prompt,
+                         int64_t start_pos);
+
+  // One single-session decode step against `cache` (any ExecutionMode —
+  // unlike BatchedDecodeStep there is one forward pass over one cache, so
+  // compute-mode numerics are meaningful).
+  PhaseStats DecodeInto(model::KvCache* cache, const tensor::Tensor& token);
+
   // One continuous-batching decode iteration: row i of the synthetic
   // [B, hidden] input is the next token of the session behind `caches[i]`.
   // Matmuls run once at m = B, streaming each weight once for the whole

@@ -65,12 +65,12 @@ ScheduleExecutor::Value ScheduleExecutor::RunAttention(
   if (e_->serving_batch()) {
     for (size_t slot = 0; slot < e_->session_count(); ++slot) {
       const int64_t r = static_cast<int64_t>(slot);
-      e_->session_cache(slot).Append(step.layer,
-                                     k.tensor.SliceRows(r, r + 1),
-                                     v.tensor.SliceRows(r, r + 1));
+      e_->session_cache(slot).AppendLayer(step.layer,
+                                          k.tensor.SliceRows(r, r + 1),
+                                          v.tensor.SliceRows(r, r + 1));
     }
   } else {
-    e_->session_cache(0).Append(step.layer, k.tensor, v.tensor);
+    e_->session_cache(0).AppendLayer(step.layer, k.tensor, v.tensor);
   }
   // Attention (on the vector backend) must see k/v results.
   hal::Device& vec_dev = e_->platform_->device(e_->vector_backend());

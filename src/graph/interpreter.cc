@@ -72,6 +72,9 @@ StatusOr<std::vector<Tensor>> GraphInterpreter::Run(const Graph& g,
   HRETURN_IF_ERROR(g.Validate());
   namespace ops = tensor::ops;
   const int64_t past = kv_cache_.length();
+  // One transactional KV step spans the whole graph execution; every
+  // attention node appends its layer's rows inside it.
+  kv_cache_.BeginStep(input.shape().rows());
 
   std::unordered_map<NodeId, Tensor> values;
   for (NodeId id : g.LiveNodesInOrder()) {
@@ -99,7 +102,7 @@ StatusOr<std::vector<Tensor>> GraphInterpreter::Run(const Graph& g,
         break;
       }
       case OpType::kAttention: {
-        kv_cache_.Append(n.attrs.layer, in(1), in(2));
+        kv_cache_.AppendLayer(n.attrs.layer, in(1), in(2));
         tensor::AttentionParams params;
         params.num_heads = n.attrs.num_heads;
         params.num_kv_heads = n.attrs.num_kv_heads;
@@ -137,6 +140,8 @@ StatusOr<std::vector<Tensor>> GraphInterpreter::Run(const Graph& g,
         break;
     }
   }
+
+  kv_cache_.CommitStep();
 
   std::vector<Tensor> results;
   results.reserve(g.outputs().size());

@@ -1,73 +1,290 @@
 #include "src/model/kv_cache.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/common/strings.h"
 
 namespace heterollm::model {
 
 using tensor::Shape;
 using tensor::Tensor;
 
-KvCache::KvCache(const ModelConfig& config, int64_t capacity,
-                 ExecutionMode mode)
-    : config_(config), capacity_(capacity), mode_(mode) {
-  HCHECK(capacity > 0);
-  layers_.resize(static_cast<size_t>(config.num_layers));
-  Reset();
-}
+namespace {
 
-void KvCache::Reset() {
-  length_ = 0;
-  const Shape shape({capacity_, config_.kv_dim()});
-  for (auto& lc : layers_) {
-    lc.length = 0;
-    if (mode_ == ExecutionMode::kCompute) {
-      lc.k = Tensor::Zeros(shape, tensor::DType::kFp16);
-      lc.v = Tensor::Zeros(shape, tensor::DType::kFp16);
-    } else {
-      lc.k = Tensor::Deferred(shape, tensor::DType::kFp16);
-      lc.v = Tensor::Deferred(shape, tensor::DType::kFp16);
+// The legacy contiguous owner: one private block spanning the whole
+// capacity, stored as one [capacity, kv_dim] K and V tensor per layer.
+class ContiguousKvBacking : public KvBlockBacking {
+ public:
+  ContiguousKvBacking(const ModelConfig& config, int64_t capacity,
+                      ExecutionMode mode)
+      : config_(config), capacity_(capacity), mode_(mode) {
+    HCHECK(capacity > 0);
+    layers_.resize(static_cast<size_t>(config.num_layers));
+    Materialize();
+  }
+
+  int64_t block_tokens() const override { return capacity_; }
+
+  int32_t AllocateBlock() override {
+    if (allocated_) {
+      return -1;  // the single block is taken
+    }
+    allocated_ = true;
+    refs_ = 1;
+    return 0;
+  }
+
+  void ReleaseBlock(int32_t block) override {
+    HCHECK(block == 0 && allocated_ && refs_ > 0);
+    if (--refs_ == 0) {
+      allocated_ = false;
+      Materialize();  // fresh zeroed storage for the next session
     }
   }
-}
 
-void KvCache::Append(int layer, const Tensor& k, const Tensor& v) {
-  HCHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
-  HCHECK(k.shape().rank() == 2 && k.shape() == v.shape());
-  HCHECK(k.shape().cols() == config_.kv_dim());
-  LayerCache& lc = layers_[static_cast<size_t>(layer)];
-  const int64_t rows = k.shape().rows();
-  HCHECK_MSG(lc.length + rows <= capacity_, "KV cache overflow");
+  int ref_count(int32_t block) const override {
+    HCHECK(block == 0 && allocated_);
+    return refs_;
+  }
 
-  if (mode_ == ExecutionMode::kCompute) {
-    HCHECK(k.has_data() && v.has_data());
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t c = 0; c < config_.kv_dim(); ++c) {
-        lc.k.Set(lc.length + r, c, k.At(r, c));
-        lc.v.Set(lc.length + r, c, v.At(r, c));
+  int32_t ForkBlock(int32_t, int64_t) override {
+    return -1;  // a contiguous owner has nothing to fork into
+  }
+
+  void WriteRow(int32_t block, int layer, int64_t row, const Tensor& k,
+                const Tensor& v, int64_t src_row) override {
+    HCHECK(block == 0 && row >= 0 && row < capacity_);
+    if (mode_ != ExecutionMode::kCompute) {
+      return;
+    }
+    LayerStore& ls = layers_[static_cast<size_t>(layer)];
+    for (int64_t c = 0; c < config_.kv_dim(); ++c) {
+      ls.k.Set(row, c, k.At(src_row, c));
+      ls.v.Set(row, c, v.At(src_row, c));
+    }
+  }
+
+  Tensor ReadK(int32_t block, int layer, int64_t rows) const override {
+    HCHECK(block == 0);
+    return layers_[static_cast<size_t>(layer)].k.SliceRows(0, rows);
+  }
+
+  Tensor ReadV(int32_t block, int layer, int64_t rows) const override {
+    HCHECK(block == 0);
+    return layers_[static_cast<size_t>(layer)].v.SliceRows(0, rows);
+  }
+
+ private:
+  struct LayerStore {
+    Tensor k;
+    Tensor v;
+  };
+
+  void Materialize() {
+    const Shape shape({capacity_, config_.kv_dim()});
+    for (LayerStore& ls : layers_) {
+      if (mode_ == ExecutionMode::kCompute) {
+        ls.k = Tensor::Zeros(shape, tensor::DType::kFp16);
+        ls.v = Tensor::Zeros(shape, tensor::DType::kFp16);
+      } else {
+        ls.k = Tensor::Deferred(shape, tensor::DType::kFp16);
+        ls.v = Tensor::Deferred(shape, tensor::DType::kFp16);
       }
     }
   }
-  lc.length += rows;
-  // The cache's global length is the minimum across layers, so a partially
-  // appended step never reports as visible.
-  int64_t min_len = lc.length;
-  for (const auto& other : layers_) {
-    min_len = std::min(min_len, other.length);
+
+  ModelConfig config_;
+  int64_t capacity_ = 0;
+  ExecutionMode mode_ = ExecutionMode::kSimulate;
+  bool allocated_ = false;
+  int refs_ = 0;
+  std::vector<LayerStore> layers_;
+};
+
+}  // namespace
+
+KvCache::KvCache(const ModelConfig& config, int64_t capacity,
+                 ExecutionMode mode)
+    : config_(config), mode_(mode), capacity_(capacity) {
+  HCHECK(capacity > 0);
+  owned_backing_ =
+      std::make_unique<ContiguousKvBacking>(config, capacity, mode);
+  backing_ = owned_backing_.get();
+  appended_.assign(static_cast<size_t>(config.num_layers), 0);
+  // The single block is the view's whole table from day one.
+  const int32_t block = backing_->AllocateBlock();
+  HCHECK(block == 0);
+  blocks_ = {block};
+}
+
+KvCache::KvCache(const ModelConfig& config, KvBlockBacking* backing,
+                 ExecutionMode mode, int64_t max_tokens)
+    : config_(config), mode_(mode), capacity_(max_tokens), backing_(backing) {
+  HCHECK(backing != nullptr);
+  HCHECK(max_tokens > 0);
+  appended_.assign(static_cast<size_t>(config.num_layers), 0);
+}
+
+KvCache::~KvCache() {
+  if (backing_ != nullptr) {  // moved-from caches skip release
+    ReleaseAll();
   }
-  length_ = min_len;
 }
 
-Tensor KvCache::K(int layer) const {
-  HCHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
-  const LayerCache& lc = layers_[static_cast<size_t>(layer)];
-  return lc.k.SliceRows(0, lc.length);
+void KvCache::ReleaseAll() {
+  for (int32_t block : blocks_) {
+    backing_->ReleaseBlock(block);
+  }
+  blocks_.clear();
 }
 
-Tensor KvCache::V(int layer) const {
-  HCHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
-  const LayerCache& lc = layers_[static_cast<size_t>(layer)];
-  return lc.v.SliceRows(0, lc.length);
+void KvCache::Reset() {
+  HCHECK_MSG(!step_open(), "Reset with an uncommitted step in flight");
+  ReleaseAll();
+  length_ = 0;
+  if (owned_backing_ != nullptr) {
+    const int32_t block = backing_->AllocateBlock();
+    HCHECK(block == 0);
+    blocks_ = {block};
+  }
 }
+
+int64_t KvCache::block_tokens() const { return backing_->block_tokens(); }
+
+int64_t KvCache::BlocksForTokens(int64_t tokens, int64_t block_tokens) {
+  HCHECK(block_tokens > 0);
+  return (tokens + block_tokens - 1) / block_tokens;
+}
+
+int64_t KvCache::BlocksNeededFor(int64_t rows) const {
+  HCHECK(rows >= 1);
+  const int64_t bt = block_tokens();
+  const int64_t have = held_blocks();
+  int64_t need =
+      std::max<int64_t>(0, BlocksForTokens(length_ + rows, bt) - have);
+  // Appending into a shared tail block forks it first (copy-on-write).
+  if (length_ % bt != 0 && have > 0 &&
+      backing_->ref_count(blocks_.back()) > 1) {
+    ++need;
+  }
+  return need;
+}
+
+void KvCache::AdoptPrefix(const std::vector<int32_t>& blocks, int64_t tokens) {
+  HCHECK_MSG(length_ == 0 && blocks_.empty() && !step_open(),
+             "AdoptPrefix requires an empty pooled cache");
+  HCHECK(owned_backing_ == nullptr);
+  HCHECK(tokens >= 0 && tokens <= capacity_);
+  HCHECK(tokens <= static_cast<int64_t>(blocks.size()) * block_tokens());
+  blocks_ = blocks;
+  length_ = tokens;
+}
+
+void KvCache::BeginStep(int64_t rows) {
+  HCHECK_MSG(!step_open(), "BeginStep while a step is already open");
+  HCHECK(rows >= 1);
+  HCHECK_MSG(length_ + rows <= capacity_, "KV cache overflow");
+  const int64_t bt = block_tokens();
+  // Copy-on-write: the step writes into the tail block; if it is shared
+  // (prefix-cache pin, forked session), fork a private copy of the
+  // committed rows first so the other holders never see the new rows.
+  if (length_ % bt != 0 && !blocks_.empty() &&
+      backing_->ref_count(blocks_.back()) > 1) {
+    const int32_t fork = backing_->ForkBlock(blocks_.back(), length_ % bt);
+    HCHECK_MSG(fork >= 0, "KV pool exhausted (copy-on-write)");
+    backing_->ReleaseBlock(blocks_.back());
+    blocks_.back() = fork;
+  }
+  const int64_t want = BlocksForTokens(length_ + rows, bt);
+  while (held_blocks() < want) {
+    const int32_t block = backing_->AllocateBlock();
+    HCHECK_MSG(block >= 0, "KV pool exhausted");
+    blocks_.push_back(block);
+  }
+  step_rows_ = rows;
+  std::fill(appended_.begin(), appended_.end(), 0);
+}
+
+void KvCache::AppendLayer(int layer, const Tensor& k, const Tensor& v) {
+  HCHECK_MSG(step_open(), "AppendLayer outside BeginStep/CommitStep");
+  HCHECK(layer >= 0 && layer < config_.num_layers);
+  HCHECK(k.shape().rank() == 2 && k.shape() == v.shape());
+  HCHECK(k.shape().cols() == config_.kv_dim());
+  HCHECK_MSG(k.shape().rows() == step_rows_,
+             "append row count does not match the open step");
+  HCHECK_MSG(appended_[static_cast<size_t>(layer)] == 0,
+             "layer already appended this step");
+  if (mode_ == ExecutionMode::kCompute) {
+    HCHECK(k.has_data() && v.has_data());
+    const int64_t bt = block_tokens();
+    for (int64_t r = 0; r < step_rows_; ++r) {
+      const int64_t pos = length_ + r;
+      backing_->WriteRow(blocks_[static_cast<size_t>(pos / bt)], layer,
+                         pos % bt, k, v, r);
+    }
+  }
+  appended_[static_cast<size_t>(layer)] = step_rows_;
+}
+
+void KvCache::CommitStep() {
+  HCHECK_MSG(step_open(), "CommitStep without an open step");
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    HCHECK_MSG(appended_[static_cast<size_t>(layer)] == step_rows_,
+               StrFormat("partial step: layer %d appended %lld of %lld rows",
+                         layer,
+                         static_cast<long long>(
+                             appended_[static_cast<size_t>(layer)]),
+                         static_cast<long long>(step_rows_)));
+  }
+  length_ += step_rows_;
+  step_rows_ = -1;
+  std::fill(appended_.begin(), appended_.end(), 0);
+}
+
+void KvCache::AppendStep(const std::vector<Tensor>& ks,
+                         const std::vector<Tensor>& vs) {
+  HCHECK_MSG(ks.size() == static_cast<size_t>(config_.num_layers) &&
+                 vs.size() == ks.size(),
+             "AppendStep needs one K and one V tensor per layer");
+  HCHECK(!ks.empty());
+  BeginStep(ks[0].shape().rows());
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    AppendLayer(layer, ks[static_cast<size_t>(layer)],
+                vs[static_cast<size_t>(layer)]);
+  }
+  CommitStep();
+}
+
+int64_t KvCache::visible_rows(int layer) const {
+  HCHECK(layer >= 0 && layer < config_.num_layers);
+  return length_ + appended_[static_cast<size_t>(layer)];
+}
+
+tensor::Tensor KvCache::Gather(int layer, bool want_k) const {
+  const int64_t rows = visible_rows(layer);
+  if (mode_ != ExecutionMode::kCompute) {
+    return Tensor::Deferred(Shape({rows, config_.kv_dim()}),
+                            tensor::DType::kFp16);
+  }
+  if (blocks_.empty() || rows == 0) {
+    return Tensor::Zeros(Shape({0, config_.kv_dim()}), tensor::DType::kFp16);
+  }
+  const int64_t bt = block_tokens();
+  std::vector<Tensor> parts;
+  for (int64_t pos = 0; pos < rows; pos += bt) {
+    const int64_t span = std::min(bt, rows - pos);
+    const int32_t block = blocks_[static_cast<size_t>(pos / bt)];
+    parts.push_back(want_k ? backing_->ReadK(block, layer, span)
+                           : backing_->ReadV(block, layer, span));
+  }
+  return parts.size() == 1 ? std::move(parts[0]) : Tensor::ConcatRows(parts);
+}
+
+tensor::Tensor KvCache::K(int layer) const { return Gather(layer, true); }
+
+tensor::Tensor KvCache::V(int layer) const { return Gather(layer, false); }
 
 Bytes KvCache::BytesForTokens(const ModelConfig& config, int64_t tokens) {
   // K+V, fp16, every layer.
@@ -76,12 +293,7 @@ Bytes KvCache::BytesForTokens(const ModelConfig& config, int64_t tokens) {
 }
 
 Bytes KvCache::populated_bytes() const {
-  Bytes total = 0;
-  for (const auto& lc : layers_) {
-    total += 2.0 * static_cast<double>(lc.length) *
-             static_cast<double>(config_.kv_dim()) * 2.0;  // K+V, fp16
-  }
-  return total;
+  return BytesForTokens(config_, length_);
 }
 
 }  // namespace heterollm::model

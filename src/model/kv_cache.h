@@ -1,8 +1,38 @@
-// Per-layer key/value cache for autoregressive decoding.
+// Key/value cache for autoregressive decoding, as a view over a block table.
+//
+// A `KvCache` no longer owns one monolithic [capacity, kv_dim] tensor per
+// layer. It is a *view*: an ordered table of fixed-size token blocks whose
+// storage lives behind a `KvBlockBacking`. Two backings exist:
+//
+//   * the legacy contiguous owner (built by the `(config, capacity, mode)`
+//     constructor): a single block spanning the whole capacity, private to
+//     this cache — bit-identical behavior and footprint to the old design;
+//   * `serve::KvBlockPool`: a shared, refcounted pool of small blocks, which
+//     lets a serving scheduler account KV memory at block granularity and
+//     share identical prompt prefixes across requests (see
+//     src/serve/prefix_cache.h).
+//
+// The old per-layer `Append` contract ("all layers must append the same
+// number of rows, and length() is the min across layers") was easy to hold
+// wrong. It is replaced by a transactional step:
+//
+//   cache.BeginStep(rows);                 // reserves blocks, CoW-forks
+//   cache.AppendLayer(layer, k, v);        // exactly once per layer
+//   cache.CommitStep();                    // all layers appended, or abort
+//
+// or, when every layer's rows are at hand, the one-shot equivalent
+// `AppendStep(layer_ks, layer_vs)`. Row-count mismatches, double appends and
+// partial commits are rejected at the API boundary instead of silently
+// leaving the cache in a mixed state. During an open step, `K(layer)` /
+// `V(layer)` include that layer's in-flight rows (attention for layer L runs
+// right after L's append), while `length()` stays at the committed count —
+// exactly the offsets RoPE and causal attention need.
 
 #ifndef SRC_MODEL_KV_CACHE_H_
 #define SRC_MODEL_KV_CACHE_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/model/model_config.h"
@@ -10,44 +40,147 @@
 
 namespace heterollm::model {
 
+// Storage provider behind a KvCache's block table. A block holds
+// `block_tokens()` consecutive token positions for every layer (K and V).
+// Implementations are refcounted so committed blocks can be shared across
+// caches (cross-request prefix reuse); a refcount of 1 means the holder is
+// the sole owner.
+class KvBlockBacking {
+ public:
+  virtual ~KvBlockBacking() = default;
+
+  virtual int64_t block_tokens() const = 0;
+
+  // Allocates a free block with refcount 1; returns -1 when exhausted.
+  virtual int32_t AllocateBlock() = 0;
+
+  // Drops one reference; the block returns to the free list at zero.
+  virtual void ReleaseBlock(int32_t block) = 0;
+
+  // Current reference count of an allocated block.
+  virtual int ref_count(int32_t block) const = 0;
+
+  // Copy-on-write fork: allocates a new block whose first `rows` positions
+  // equal `src`'s (all layers, K and V); returns -1 when exhausted. The
+  // caller still holds its reference on `src`.
+  virtual int32_t ForkBlock(int32_t src, int64_t rows) = 0;
+
+  // Writes position `row` of `block` for `layer` from row `src_row` of the
+  // [rows, kv_dim] tensors `k` / `v`. A no-op for shape-only (simulate)
+  // storage.
+  virtual void WriteRow(int32_t block, int layer, int64_t row,
+                        const tensor::Tensor& k, const tensor::Tensor& v,
+                        int64_t src_row) = 0;
+
+  // Reads the first `rows` K (resp. V) positions of `block` for `layer` as
+  // a [rows, kv_dim] tensor.
+  virtual tensor::Tensor ReadK(int32_t block, int layer,
+                               int64_t rows) const = 0;
+  virtual tensor::Tensor ReadV(int32_t block, int layer,
+                               int64_t rows) const = 0;
+};
+
 class KvCache {
  public:
-  // Builds an empty cache for `config` with room for `capacity` positions.
+  // Legacy contiguous owner: a private single-block backing with room for
+  // `capacity` positions. Engines use this for their built-in session cache.
   KvCache(const ModelConfig& config, int64_t capacity, ExecutionMode mode);
 
-  // Appends `k`/`v` rows ([rows, kv_dim]) for `layer`. All layers must be
-  // appended the same number of rows per step; `length()` reflects the most
-  // recent fully-appended position count.
-  void Append(int layer, const tensor::Tensor& k, const tensor::Tensor& v);
+  // Pooled view: blocks are allocated from `backing` on append and released
+  // on Reset/destruction. `max_tokens` caps the positions this view may
+  // hold (a serving scheduler passes prompt + decode budget).
+  KvCache(const ModelConfig& config, KvBlockBacking* backing,
+          ExecutionMode mode, int64_t max_tokens);
 
-  // Views of the first `length()` cached positions for `layer`.
+  ~KvCache();
+
+  KvCache(KvCache&&) = default;
+  KvCache& operator=(KvCache&&) = delete;
+  KvCache(const KvCache&) = delete;
+  KvCache& operator=(const KvCache&) = delete;
+
+  // --- transactional append ------------------------------------------------
+
+  // Opens a step of `rows` positions: validates capacity, allocates the
+  // blocks the step needs (copy-on-write forking a shared tail block) and
+  // arms per-layer bookkeeping. Aborts on overflow or pool exhaustion — use
+  // `BlocksNeededFor` + pool free-block counts to gate beforehand.
+  void BeginStep(int64_t rows);
+
+  // Appends this step's `rows` K/V rows ([rows, kv_dim]) for `layer`.
+  // Exactly once per layer per step; row counts must match BeginStep.
+  void AppendLayer(int layer, const tensor::Tensor& k, const tensor::Tensor& v);
+
+  // Commits the step: every layer must have appended; `length()` advances.
+  void CommitStep();
+
+  bool step_open() const { return step_rows_ >= 0; }
+
+  // One-shot transactional append: `ks`/`vs` carry one [rows, kv_dim]
+  // tensor per layer. Equivalent to BeginStep + AppendLayer* + CommitStep.
+  void AppendStep(const std::vector<tensor::Tensor>& ks,
+                  const std::vector<tensor::Tensor>& vs);
+
+  // --- views ---------------------------------------------------------------
+
+  // The cached K/V positions of `layer`: all committed rows, plus the rows
+  // `layer` has appended in the currently open step (if any).
   tensor::Tensor K(int layer) const;
   tensor::Tensor V(int layer) const;
 
+  // Committed positions (in-flight step rows excluded).
   int64_t length() const { return length_; }
   int64_t capacity() const { return capacity_; }
 
+  // --- block-table accounting ----------------------------------------------
+
+  int64_t block_tokens() const;
+  // Blocks currently held by this view (committed + in-flight).
+  int64_t held_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+  const std::vector<int32_t>& blocks() const { return blocks_; }
+
+  // Blocks BeginStep(rows) would have to allocate right now, including a
+  // copy-on-write fork of a shared tail block.
+  int64_t BlocksNeededFor(int64_t rows) const;
+
+  // ceil(tokens / block_tokens).
+  static int64_t BlocksForTokens(int64_t tokens, int64_t block_tokens);
+
+  // Adopts `tokens` positions of already-populated blocks as this cache's
+  // prefix (a prefix-cache hit). The cache must be empty; the caller
+  // transfers one backing reference per block to the cache.
+  void AdoptPrefix(const std::vector<int32_t>& blocks, int64_t tokens);
+
+  // --- footprint -----------------------------------------------------------
+
   // FP16 K+V byte footprint of `tokens` cached positions across all layers
-  // of `config` — what a serving scheduler reserves against its KV budget.
+  // of `config` — what a serving scheduler charges against its KV budget.
   static Bytes BytesForTokens(const ModelConfig& config, int64_t tokens);
 
-  // FP16 byte footprint of the populated cache region across all layers.
+  // FP16 byte footprint of the committed positions across all layers.
   Bytes populated_bytes() const;
 
+  // Releases every block back to the backing and clears the table.
   void Reset();
 
  private:
-  struct LayerCache {
-    tensor::Tensor k;  // [capacity, kv_dim]
-    tensor::Tensor v;
-    int64_t length = 0;
-  };
+  void ReleaseAll();
+  // Rows of `layer` visible right now (committed + in-flight).
+  int64_t visible_rows(int layer) const;
+  tensor::Tensor Gather(int layer, bool want_k) const;
 
   ModelConfig config_;
-  int64_t capacity_ = 0;
   ExecutionMode mode_ = ExecutionMode::kSimulate;
+  int64_t capacity_ = 0;
   int64_t length_ = 0;
-  std::vector<LayerCache> layers_;
+
+  std::unique_ptr<KvBlockBacking> owned_backing_;  // legacy contiguous owner
+  KvBlockBacking* backing_ = nullptr;              // never null
+  std::vector<int32_t> blocks_;                    // the block table
+
+  // Open-step state: step_rows_ < 0 means no step is open.
+  int64_t step_rows_ = -1;
+  std::vector<int64_t> appended_;  // per-layer rows appended this step
 };
 
 }  // namespace heterollm::model

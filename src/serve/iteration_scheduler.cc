@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "src/model/kv_cache.h"
+#include "src/serve/kv_pool.h"
+#include "src/serve/prefix_cache.h"
 
 namespace heterollm::serve {
 
@@ -15,22 +17,31 @@ using model::KvCache;
 using tensor::Shape;
 using tensor::Tensor;
 
+Status SchedulerOptions::Validate() const {
+  if (max_decode_batch < 1) {
+    return InvalidArgumentError("max_decode_batch must be >= 1");
+  }
+  if (!(kv_budget_bytes > 0)) {
+    return InvalidArgumentError("kv_budget_bytes must be positive");
+  }
+  if (kv_block_tokens < 1) {
+    return InvalidArgumentError("kv_block_tokens must be >= 1");
+  }
+  return Status::Ok();
+}
+
+StatusOr<SchedulerOptions> SchedulerOptions::Validated(
+    SchedulerOptions options) {
+  HRETURN_IF_ERROR(options.Validate());
+  return options;
+}
+
 IterationScheduler::IterationScheduler(core::EngineBase* engine,
                                        const SchedulerOptions& options)
     : engine_(engine), options_(options) {
   HCHECK(engine != nullptr);
-  HCHECK(options.max_decode_batch >= 1);
-  HCHECK(options.kv_budget_bytes > 0);
-}
-
-core::EngineOptions IterationScheduler::ServingEngineOptions(
-    int max_decode_batch, core::EngineOptions base) {
-  HCHECK(max_decode_batch >= 1);
-  base.decode_widths.clear();
-  for (int b = 1; b <= max_decode_batch; ++b) {
-    base.decode_widths.push_back(b);
-  }
-  return base;
+  const Status valid = options.Validate();
+  HCHECK_MSG(valid.ok(), valid.message().c_str());
 }
 
 namespace {
@@ -115,16 +126,33 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
                                        ServingMetrics* m) {
   const model::ModelConfig& cfg = engine_->model_config();
   sim::SocSimulator& soc = engine_->platform()->soc();
+  const int64_t bt = options_.kv_block_tokens;
+
+  // The KV budget carved into blocks. Blocks are allocated as tokens are
+  // appended, but admission still reserves each session's whole remaining
+  // footprint (prompt + decode, minus blocks adopted from the prefix
+  // cache): admitting on current occupancy alone invites mid-decode
+  // exhaustion and eviction churn that discards decoded progress. The
+  // block-granular win is that shared prefix blocks are counted once
+  // across sessions.
+  const int64_t total_blocks =
+      KvBlockPool::BlocksForBudget(cfg, options_.kv_budget_bytes, bt);
+  HCHECK_MSG(total_blocks >= 1,
+             "kv_budget_bytes smaller than one KV block");
+  KvBlockPool pool(cfg, bt, total_blocks, model::ExecutionMode::kSimulate);
+  PrefixCache prefix(&pool);
+  const bool use_prefix = options_.enable_prefix_cache;
 
   // Dynamic-conditions degradation. Both knobs are exactly neutral while no
   // condition has engaged (scale 1.0, factors 1.0), so the default serving
   // path is untouched.
   //
-  // Effective KV budget: a scripted `kv_budget_scale` shrinks the admission
-  // budget; new admissions are deferred (active sessions keep their
-  // reservations — we degrade, not abort).
-  auto kv_budget = [&]() -> Bytes {
-    return options_.kv_budget_bytes * soc.kv_budget_scale();
+  // A scripted `kv_budget_scale` shrinks the pool's usable-block soft cap;
+  // new allocations are deferred (active sessions keep their blocks — we
+  // degrade, not abort).
+  auto apply_kv_squeeze = [&] {
+    pool.set_usable_blocks(static_cast<int64_t>(
+        std::floor(total_blocks * soc.kv_budget_scale() + 1e-9)));
   };
   // Effective decode batch: throttled units decode slower, so cap the batch
   // by the slowest unit's frequency factor (and the KV squeeze) to keep
@@ -142,7 +170,7 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
   struct Slot {
     size_t idx = 0;  // index into requests/metrics
     std::unique_ptr<KvCache> cache;
-    Bytes reserved = 0;
+    int64_t footprint = 0;  // max blocks this session will ever hold
     int decoded = 0;
     int64_t last_iter = -1;  // round-robin fairness key
   };
@@ -152,7 +180,6 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
   std::vector<bool> was_admitted(requests.size(), false);
   size_t next_arrival = 0;
   size_t completed = 0;
-  Bytes reserved_total = 0;
   int64_t iter = 0;
   double batch_accum = 0;
 
@@ -164,81 +191,155 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     }
   };
 
-  auto kv_need = [&](const Request& r) {
-    return KvCache::BytesForTokens(cfg, r.prompt_len + r.decode_len);
-  };
-
   auto evict = [&](size_t slot_pos) {
     Slot& victim = active[slot_pos];
     RequestMetrics& vm = m->requests[victim.idx];
     ++vm.evictions;
     vm.decoded_tokens = 0;  // progress is discarded with the cache
-    reserved_total -= victim.reserved;
     waiting.push_back(victim.idx);
+    // Destroying the cache releases its blocks; blocks also pinned by the
+    // prefix cache stay resident (and become evictable LRU entries).
     active.erase(active.begin() + static_cast<ptrdiff_t>(slot_pos));
   };
 
-  // Admits (and prefills) the head waiting request if the budget allows,
-  // preempting one active session when permitted. Returns true on admission.
+  // The active session with the most remaining decode work (least sunk
+  // progress relative to what it still needs); ties fall to the most
+  // recent admission.
+  auto pick_victim = [&]() -> size_t {
+    size_t victim = 0;
+    int victim_remaining = -1;
+    for (size_t s = 0; s < active.size(); ++s) {
+      const int remaining =
+          requests[active[s].idx].decode_len - active[s].decoded;
+      if (remaining >= victim_remaining) {
+        victim = s;
+        victim_remaining = remaining;
+      }
+    }
+    return victim;
+  };
+
+  // Blocks already promised to active sessions but not yet allocated.
+  // Free blocks behind this line are spoken for: decode growth must never
+  // fail (outside a scripted KV squeeze), so admission only spends
+  // `available - headroom`.
+  auto headroom = [&]() -> int64_t {
+    int64_t reserved = 0;
+    for (const Slot& slot : active) {
+      reserved += slot.footprint - slot.cache->held_blocks();
+    }
+    return reserved;
+  };
+  // Whole reservations of every active session (held + headroom). Shared
+  // prefix blocks adopted by several sessions are counted once per holder,
+  // which makes the single-eviction feasibility check below conservative —
+  // never optimistic.
+  auto reserved_blocks = [&]() -> int64_t {
+    int64_t reserved = 0;
+    for (const Slot& slot : active) {
+      reserved += slot.footprint;
+    }
+    return reserved;
+  };
+
+  // Admits (and prefills) the head waiting request if the pool can cover
+  // its whole remaining footprint, evicting cached prefixes and preempting
+  // at most active sessions when permitted. Returns true on admission.
   auto try_admit = [&]() -> bool {
     if (waiting.empty()) {
       return false;
     }
     const size_t idx = waiting.front();
     const Request& r = requests[idx];
-    const Bytes need = kv_need(r);
-    HCHECK_MSG(need <= options_.kv_budget_bytes,
+    // Livelock guard: a conversation that cannot fit the whole budget even
+    // alone would evict forever. (The old reserve-by-max admission enforced
+    // this implicitly; block accounting must keep it explicit.)
+    HCHECK_MSG(KvCache::BlocksForTokens(r.prompt_len + r.decode_len, bt) <=
+                   total_blocks,
                "request KV footprint exceeds the whole budget");
-    if (reserved_total + need > kv_budget()) {
-      // Preempt at most one session, and only for a newcomer (a request
-      // that has already held a slot queues instead — prevents eviction
-      // ping-pong).
-      if (!options_.allow_eviction || was_admitted[idx] || active.empty()) {
+
+    // Prefix lookup pins matched blocks (refs held by us until adopted or
+    // released below).
+    PrefixCache::Match hit;
+    if (use_prefix && !r.prompt_tokens.empty()) {
+      hit = prefix.Acquire(r.prompt_tokens);
+    }
+    // Blocks this session will allocate over its whole life: residual
+    // prompt plus every decode token. Adopted prefix blocks are already
+    // allocated (and pinned by the Acquire above), so they are excluded —
+    // that subtraction is what lets a shared head admit more sessions than
+    // whole-footprint reservation per session would.
+    const int64_t footprint =
+        KvCache::BlocksForTokens(r.prompt_len + r.decode_len, bt);
+    const int64_t need =
+        footprint - static_cast<int64_t>(hit.blocks.size());
+
+    auto release_hit = [&] {
+      for (int32_t b : hit.blocks) {
+        pool.ReleaseBlock(b);
+      }
+    };
+    bool preempted = false;
+    while (pool.available_blocks() - headroom() < need) {
+      // Cheapest memory first: drop LRU unpinned cached prefixes.
+      if (prefix.EvictUntilFree(need + headroom()) > 0) {
+        continue;
+      }
+      // Then preempt at most one session, and only for a newcomer (a
+      // request that has already held a slot queues instead — prevents
+      // eviction ping-pong).
+      if (preempted || !options_.allow_eviction || was_admitted[idx] ||
+          active.empty()) {
+        release_hit();
         return false;
       }
-      // Victim: most remaining decode work (least sunk progress relative
-      // to what it still needs); ties fall to the most recent admission.
-      size_t victim = 0;
-      int victim_remaining = -1;
-      for (size_t s = 0; s < active.size(); ++s) {
-        const int remaining =
-            requests[active[s].idx].decode_len - active[s].decoded;
-        if (remaining >= victim_remaining) {
-          victim = s;
-          victim_remaining = remaining;
-        }
-      }
-      if (reserved_total - active[victim].reserved + need > kv_budget()) {
+      const size_t victim = pick_victim();
+      if (reserved_blocks() - active[victim].footprint + footprint >
+          pool.usable_blocks()) {
+        release_hit();
         return false;  // one eviction would not make room
       }
       evict(victim);
+      preempted = true;
     }
+
     waiting.pop_front();
     Slot slot;
     slot.idx = idx;
+    slot.footprint = footprint;
     slot.cache = std::make_unique<KvCache>(
-        cfg, r.prompt_len + std::max(r.decode_len, 1),
-        model::ExecutionMode::kSimulate);
-    slot.reserved = need;
-    reserved_total += need;
+        pool.MakeCache(r.prompt_len + std::max(r.decode_len, 1)));
+    if (!hit.blocks.empty()) {
+      slot.cache->AdoptPrefix(hit.blocks, hit.tokens);  // refs transferred
+    }
     was_admitted[idx] = true;
     RequestMetrics& rm = m->requests[idx];
     rm.admitted = engine_->host_now();
-    engine_->PrefillInto(slot.cache.get(), MakePrompt(r.prompt_len, cfg.hidden));
+    m->prefilled_tokens += r.prompt_len;
+    m->prefix_hit_tokens += hit.tokens;
+    engine_->PrefillFrom(slot.cache.get(), MakePrompt(r.prompt_len, cfg.hidden),
+                         hit.tokens);
     rm.first_token = engine_->host_now();
+    if (use_prefix && !r.prompt_tokens.empty()) {
+      // The committed prompt blocks are now reusable by any later request
+      // with the same prompt head.
+      prefix.Insert(r.prompt_tokens, slot.cache->blocks(),
+                    slot.cache->length());
+    }
     if (r.decode_len == 0) {
       rm.completion = rm.first_token;
-      reserved_total -= need;
-      ++completed;
+      ++completed;  // slot.cache destructs: blocks return to the pool
     } else {
       active.push_back(std::move(slot));
+      m->peak_active_sessions = std::max(
+          m->peak_active_sessions, static_cast<int>(active.size()));
     }
     return true;
   };
 
-  auto decode_iteration = [&] {
-    // Round-robin fair selection: the max_decode_batch least recently
-    // decoded sessions run this iteration (stable by arrival for ties).
+  // Round-robin fair selection: the max_decode_batch least recently
+  // decoded sessions run this iteration (stable by arrival for ties).
+  auto select_order = [&]() -> std::vector<size_t> {
     std::vector<size_t> order(active.size());
     for (size_t s = 0; s < order.size(); ++s) {
       order[s] = s;
@@ -249,6 +350,32 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     const size_t batch_cap = static_cast<size_t>(effective_decode_batch());
     if (order.size() > batch_cap) {
       order.resize(batch_cap);
+    }
+    return order;
+  };
+
+  auto decode_iteration = [&] {
+    std::vector<size_t> order = select_order();
+    // Allocate-on-append: this iteration appends one token per selected
+    // session, which may need fresh blocks. Admission reserved those, so
+    // this loop only trips when a scripted KV squeeze shrank the usable
+    // pool under the reservations. Make room *before* the engine opens the
+    // transactional steps (BeginStep aborts on exhaustion).
+    auto blocks_needed = [&] {
+      int64_t n = 0;
+      for (size_t s : order) {
+        n += active[s].cache->BlocksNeededFor(1);
+      }
+      return n;
+    };
+    while (blocks_needed() > pool.available_blocks()) {
+      if (prefix.EvictUntilFree(blocks_needed()) > 0) {
+        continue;
+      }
+      HCHECK_MSG(options_.allow_eviction && active.size() > 1,
+                 "KV pool exhausted mid-decode with nothing to evict");
+      evict(pick_victim());
+      order = select_order();
     }
     std::vector<KvCache*> caches;
     caches.reserve(order.size());
@@ -269,7 +396,6 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
       rm.decoded_tokens = slot.decoded;
       if (slot.decoded >= requests[slot.idx].decode_len) {
         rm.completion = now;
-        reserved_total -= slot.reserved;
         ++completed;
         done.push_back(s);
       }
@@ -281,6 +407,7 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
   };
 
   while (completed < requests.size()) {
+    apply_kv_squeeze();
     admit_arrivals();
     if (options_.iteration == IterationPolicy::kPrefillFirst) {
       while (try_admit()) {
@@ -292,12 +419,12 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     if (!active.empty()) {
       decode_iteration();
     } else if (!waiting.empty()) {
-      // Nothing is running, so the whole budget is free and the head
-      // request must be admissible (its footprint was HCHECKed against the
-      // budget); admit rather than stall. The exception: a scripted KV
-      // squeeze can make even an empty platform inadmissible — then wait
-      // for the next condition event (the squeeze may lift) instead of
-      // aborting.
+      // Nothing is running, so (modulo cached prefixes, which try_admit
+      // evicts on demand) the whole pool is free and the head request must
+      // be admissible — its footprint was HCHECKed against the budget;
+      // admit rather than stall. The exception: a scripted KV squeeze can
+      // make even an empty platform inadmissible — then wait for the next
+      // condition event (the squeeze may lift) instead of aborting.
       const bool admitted = try_admit();
       if (!admitted && soc.kv_budget_scale() < 1.0) {
         const MicroSeconds next_event = soc.NextConditionEventTime();
@@ -323,6 +450,8 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
   if (m->decode_iterations > 0) {
     m->avg_decode_batch = batch_accum / m->decode_iterations;
   }
+  m->blocks_evicted = prefix.evicted_blocks();
+  m->kv_blocks_peak = pool.peak_used_blocks();
 }
 
 }  // namespace heterollm::serve

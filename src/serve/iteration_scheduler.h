@@ -9,11 +9,15 @@
 // per-session. Serial session replay streams the full weight set once per
 // token per user; continuous batching streams it once per iteration.
 //
-// Admission is governed by a KV-cache memory budget: a request reserves its
-// whole-conversation footprint (prompt + decode positions) on admission and
-// queues while the budget is exhausted. Optionally the scheduler preempts
-// (evicts) an active session to admit a newcomer; an evicted session drops
-// its cache and restarts from prefill when re-admitted.
+// KV memory is managed at *block* granularity (src/serve/kv_pool.h): the
+// budget is carved into fixed-size token blocks, a session allocates blocks
+// as tokens are appended (not its whole-conversation footprint up front),
+// and committed prompt blocks feed a cross-request prefix cache
+// (src/serve/prefix_cache.h) — a request whose prompt head is cached adopts
+// those blocks and prefills only the residual tokens. Under pressure the
+// scheduler first evicts unpinned cached prefixes (LRU), then preempts an
+// active session; an evicted session drops its cache and restarts from
+// prefill when re-admitted.
 //
 // The scheduler drives `ExecutionMode::kSimulate` engines only — batched
 // decoding shares one forward pass across sessions with different cache
@@ -22,6 +26,7 @@
 #ifndef SRC_SERVE_ITERATION_SCHEDULER_H_
 #define SRC_SERVE_ITERATION_SCHEDULER_H_
 
+#include "src/common/status.h"
 #include "src/core/engine_base.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/serving_metrics.h"
@@ -51,27 +56,40 @@ struct SchedulerOptions {
   IterationPolicy iteration = IterationPolicy::kPrefillFirst;
   // Max sessions per batched decode iteration. The engine must have static
   // NPU decode graphs for every batch size up to this value — build it with
-  // `ServingEngineOptions` (or matching `decode_widths`).
+  // `BuildServingEngine` (src/serve/serving_engine.h), which wires the
+  // decode widths for you.
   int max_decode_batch = 8;
-  // KV-cache memory budget across all admitted sessions.
+  // KV-cache memory budget across all admitted sessions. Continuous
+  // batching carves it into `kv_block_tokens`-sized blocks; whatever the
+  // division leaves over is unusable slack.
   Bytes kv_budget_bytes = 256 * kMiB;
+  // Tokens per KV block. Smaller blocks track conversation footprints more
+  // exactly and share finer prefixes; larger blocks cut bookkeeping.
+  int64_t kv_block_tokens = 16;
+  // Share committed prompt blocks across requests with identical prompt
+  // heads (needs traces that carry `Request::prompt_tokens`).
+  bool enable_prefix_cache = true;
   // Preempt an active session when a never-admitted request cannot fit.
   bool allow_eviction = true;
+
+  // Field-level validity: max_decode_batch >= 1, kv_budget_bytes > 0,
+  // kv_block_tokens >= 1, and the budget affords at least one block's worth
+  // of bytes is checked downstream (it needs the model config).
+  Status Validate() const;
+  // The SolverConfig pattern: a Status-returning factory so callers handle
+  // bad options as errors instead of aborting inside the scheduler.
+  static StatusOr<SchedulerOptions> Validated(SchedulerOptions options);
 };
 
 class IterationScheduler {
  public:
+  // HCHECKs `options.Validate()`; use `SchedulerOptions::Validated` first
+  // when the options come from user input.
   IterationScheduler(core::EngineBase* engine, const SchedulerOptions& options);
 
   // Serves every request in `queue`; returns when all have completed.
   // Simulated time continues from the engine's current clock.
   ServingMetrics Run(const RequestQueue& queue);
-
-  // Engine options for serving: decode widths cover every batch size in
-  // [1, max_decode_batch] so batched iterations always find a pre-compiled
-  // NPU graph.
-  static core::EngineOptions ServingEngineOptions(
-      int max_decode_batch, core::EngineOptions base = {});
 
   const SchedulerOptions& options() const { return options_; }
 

@@ -14,6 +14,9 @@ RequestQueue::RequestQueue(std::vector<Request> requests)
     HCHECK_MSG(r.prompt_len >= 1, "request needs at least one prompt token");
     HCHECK(r.decode_len >= 0);
     HCHECK(r.arrival >= 0);
+    HCHECK_MSG(r.prompt_tokens.empty() ||
+                   r.prompt_tokens.size() == static_cast<size_t>(r.prompt_len),
+               "prompt_tokens must be empty or match prompt_len");
   }
   std::stable_sort(
       requests_.begin(), requests_.end(),
@@ -40,6 +43,53 @@ RequestQueue RequestQueue::Synthetic(Rng& rng, int count,
     r.prompt_len = turns[i].prompt_len;
     r.decode_len = turns[i].decode_len;
     requests.push_back(r);
+  }
+  return RequestQueue(std::move(requests));
+}
+
+RequestQueue RequestQueue::SyntheticSharedPrefix(
+    Rng& rng, int count, MicroSeconds mean_interarrival_us,
+    double shared_fraction, int shared_prefix_len, int min_suffix,
+    int max_suffix, int min_decode, int max_decode) {
+  HCHECK(count > 0);
+  HCHECK(mean_interarrival_us > 0);
+  HCHECK(shared_fraction >= 0 && shared_fraction <= 1);
+  HCHECK(shared_prefix_len >= 1);
+  HCHECK(min_suffix >= 1 && max_suffix >= min_suffix);
+  HCHECK(min_decode >= 0 && max_decode >= min_decode);
+  // One global system prompt shared by the hitting fraction. Token ids live
+  // in a 2^20 vocabulary, so a 16+-token chunk colliding by chance across
+  // unrelated requests is not a practical concern.
+  constexpr uint64_t kVocab = 1u << 20;
+  std::vector<int32_t> system_prompt(static_cast<size_t>(shared_prefix_len));
+  for (int32_t& t : system_prompt) {
+    t = static_cast<int32_t>(rng.NextBelow(kVocab));
+  }
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(count));
+  MicroSeconds arrival = 0;
+  for (int i = 0; i < count; ++i) {
+    arrival += -mean_interarrival_us * std::log(1.0 - rng.NextUnit());
+    const bool shared = rng.NextUnit() < shared_fraction;
+    const int suffix =
+        min_suffix +
+        static_cast<int>(rng.NextBelow(
+            static_cast<uint64_t>(max_suffix - min_suffix + 1)));
+    Request r;
+    r.id = i;
+    r.arrival = arrival;
+    r.prompt_len = shared_prefix_len + suffix;
+    r.decode_len =
+        min_decode + static_cast<int>(rng.NextBelow(
+                         static_cast<uint64_t>(max_decode - min_decode + 1)));
+    r.prompt_tokens.reserve(static_cast<size_t>(r.prompt_len));
+    if (shared) {
+      r.prompt_tokens = system_prompt;
+    }
+    while (r.prompt_tokens.size() < static_cast<size_t>(r.prompt_len)) {
+      r.prompt_tokens.push_back(static_cast<int32_t>(rng.NextBelow(kVocab)));
+    }
+    requests.push_back(std::move(r));
   }
   return RequestQueue(std::move(requests));
 }

@@ -11,6 +11,7 @@
 #define SRC_SERVE_REQUEST_QUEUE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -23,6 +24,10 @@ struct Request {
   MicroSeconds arrival = 0;
   int prompt_len = 0;  // tokens to prefill (>= 1)
   int decode_len = 0;  // tokens to decode after the first (>= 0)
+  // Prompt token ids, `prompt_len` of them when present. Empty means the
+  // trace carries lengths only — the scheduler then skips prefix-cache
+  // lookups for this request (nothing to match on).
+  std::vector<int32_t> prompt_tokens;
 };
 
 class RequestQueue {
@@ -39,6 +44,16 @@ class RequestQueue {
                                 MicroSeconds mean_interarrival_us,
                                 int min_prompt = 24, int max_prompt = 1024,
                                 int min_decode = 16, int max_decode = 128);
+
+  // Shared-system-prompt trace (the mobile multi-agent pattern): a
+  // `shared_fraction` of requests open with one common `shared_prefix_len`
+  // token system prompt followed by a short unique suffix; the rest carry
+  // fully unique prompts of the same length distribution. Prompt token ids
+  // are populated, so a prefix cache can actually match the shared head.
+  static RequestQueue SyntheticSharedPrefix(
+      Rng& rng, int count, MicroSeconds mean_interarrival_us,
+      double shared_fraction, int shared_prefix_len, int min_suffix,
+      int max_suffix, int min_decode, int max_decode);
 
   const std::vector<Request>& requests() const { return requests_; }
   size_t size() const { return requests_.size(); }

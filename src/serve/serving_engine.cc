@@ -1,0 +1,39 @@
+#include "src/serve/serving_engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace heterollm::serve {
+
+StatusOr<std::unique_ptr<core::EngineBase>> BuildServingEngine(
+    core::Platform* platform, const model::ModelWeights* weights,
+    const SchedulerOptions& options, const std::string& engine_name,
+    core::EngineOptions base) {
+  HCHECK(platform != nullptr);
+  HCHECK(weights != nullptr);
+  HRETURN_IF_ERROR(options.Validate());
+  if (base.kv_capacity % options.kv_block_tokens != 0) {
+    return InvalidArgumentError(StrFormat(
+        "kv_block_tokens (%lld) must divide the engine KV capacity (%lld)",
+        static_cast<long long>(options.kv_block_tokens),
+        static_cast<long long>(base.kv_capacity)));
+  }
+  const std::vector<std::string> runnable = core::RunnableEngineNames();
+  if (std::find(runnable.begin(), runnable.end(), engine_name) ==
+      runnable.end()) {
+    return NotFoundError(
+        StrFormat("unknown engine \"%s\"", engine_name.c_str()));
+  }
+  // Batched decode shares one forward pass across B sessions; the NPU needs
+  // a pre-compiled static graph for every width the scheduler may pick.
+  base.decode_widths.clear();
+  for (int b = 1; b <= options.max_decode_batch; ++b) {
+    base.decode_widths.push_back(b);
+  }
+  return core::CreateEngine(engine_name, platform, weights, base);
+}
+
+}  // namespace heterollm::serve

@@ -1,0 +1,41 @@
+// Factory for serving-ready engines.
+//
+// The scheduler needs engine and scheduler options to agree: batched decode
+// requires a static NPU decode graph for every batch size up to
+// `max_decode_batch`, and block-granular KV accounting requires the engine's
+// KV capacity to be a whole number of blocks. `BuildServingEngine` validates
+// the scheduler options, derives the engine options from them and constructs
+// the engine in one step, so callers cannot wire the two halves
+// inconsistently (the old pattern — a static `ServingEngineOptions` helper
+// the caller had to remember to thread through `CreateEngine` — made that an
+// easy mistake).
+
+#ifndef SRC_SERVE_SERVING_ENGINE_H_
+#define SRC_SERVE_SERVING_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/engine_base.h"
+#include "src/core/engine_registry.h"
+#include "src/serve/iteration_scheduler.h"
+
+namespace heterollm::serve {
+
+// Builds `engine_name` (default: the heterogeneous tensor-partitioning
+// engine) over `platform`/`weights`, configured for serving under `options`:
+// decode widths 1..max_decode_batch are pre-compiled, and `base` supplies
+// every other engine knob (reactive re-planning, kv_capacity, ...).
+//
+// Errors (never aborts): invalid SchedulerOptions, kv_block_tokens not
+// dividing the engine KV capacity, or an unknown engine name.
+StatusOr<std::unique_ptr<core::EngineBase>> BuildServingEngine(
+    core::Platform* platform, const model::ModelWeights* weights,
+    const SchedulerOptions& options,
+    const std::string& engine_name = "Hetero-tensor",
+    core::EngineOptions base = core::EngineOptions());
+
+}  // namespace heterollm::serve
+
+#endif  // SRC_SERVE_SERVING_ENGINE_H_

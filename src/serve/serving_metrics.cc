@@ -102,6 +102,15 @@ std::string ServingMetrics::Render() const {
       ToMillis(latency_p50()), ToMillis(latency_p99()), decode_iterations,
       avg_decode_batch, evictions, replan_events, energy / 1e3,
       avg_power_watts);
+  if (prefilled_tokens > 0) {
+    out += StrFormat(
+        "prefix cache: hit %lld/%lld prompt tokens (%.1f%%)  "
+        "blocks evicted=%lld  kv blocks peak=%lld  peak sessions=%d\n",
+        static_cast<long long>(prefix_hit_tokens),
+        static_cast<long long>(prefilled_tokens), 100.0 * prefix_hit_rate(),
+        static_cast<long long>(blocks_evicted),
+        static_cast<long long>(kv_blocks_peak), peak_active_sessions);
+  }
   out += report.Render();
   return out;
 }
@@ -122,6 +131,11 @@ report::JsonValue ServingMetrics::ToJsonValue() const {
   doc.Set("replan_events", replan_events);
   doc.Set("energy_uj", energy);
   doc.Set("avg_power_watts", avg_power_watts);
+  doc.Set("prefix_hit_tokens", prefix_hit_tokens);
+  doc.Set("prefix_hit_rate", prefix_hit_rate());
+  doc.Set("blocks_evicted", blocks_evicted);
+  doc.Set("kv_blocks_peak", kv_blocks_peak);
+  doc.Set("peak_active_sessions", peak_active_sessions);
   report::JsonValue per_request = report::JsonValue::Array();
   for (const RequestMetrics& r : requests) {
     report::JsonValue row = report::JsonValue::Object();

@@ -60,7 +60,23 @@ struct ServingMetrics {
   int replan_events = 0;       // device-state changes the engine reacted to
   MicroJoules energy = 0;      // energy over the window (snapshot delta)
   double avg_power_watts = 0;  // energy / makespan
+  // Prefix-cache / paged-KV accounting (all zero on the serial path and
+  // whenever the prefix cache is disabled or the trace carries no tokens).
+  int64_t prefix_hit_tokens = 0;    // prompt tokens skipped via cached prefixes
+  int64_t prefilled_tokens = 0;     // prompt tokens across admissions (incl.
+                                    // eviction restarts) — hit-rate denominator
+  int64_t blocks_evicted = 0;       // prefix-cache blocks dropped under pressure
+  int64_t kv_blocks_peak = 0;       // pool high-water mark (blocks)
+  int peak_active_sessions = 0;     // max concurrently admitted sessions
   core::ExecutionReport report;  // per-unit utilization over the window
+
+  // Fraction of prompt tokens served from the prefix cache.
+  double prefix_hit_rate() const {
+    return prefilled_tokens > 0
+               ? static_cast<double>(prefix_hit_tokens) /
+                     static_cast<double>(prefilled_tokens)
+               : 0;
+  }
 
   MicroSeconds makespan() const {
     return window_end > window_start ? window_end - window_start : 0;

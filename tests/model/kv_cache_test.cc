@@ -1,5 +1,7 @@
 #include "src/model/kv_cache.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
@@ -14,30 +16,42 @@ TEST(KvCacheTest, StartsEmpty) {
   KvCache cache(ModelConfig::Tiny(), 128, ExecutionMode::kCompute);
   EXPECT_EQ(cache.length(), 0);
   EXPECT_EQ(cache.K(0).shape().rows(), 0);
+  EXPECT_FALSE(cache.step_open());
 }
 
-TEST(KvCacheTest, AppendGrowsAllLayers) {
+TEST(KvCacheTest, CommittedStepGrowsAllLayers) {
   ModelConfig cfg = ModelConfig::Tiny();
   KvCache cache(cfg, 128, ExecutionMode::kCompute);
   Rng rng(1);
   Tensor k = Tensor::Random(Shape({4, cfg.kv_dim()}), rng);
   Tensor v = Tensor::Random(Shape({4, cfg.kv_dim()}), rng);
+  cache.BeginStep(4);
   for (int l = 0; l < cfg.num_layers; ++l) {
-    cache.Append(l, k, v);
+    cache.AppendLayer(l, k, v);
   }
+  cache.CommitStep();
   EXPECT_EQ(cache.length(), 4);
   EXPECT_EQ(cache.K(0).shape(), Shape({4, cfg.kv_dim()}));
 }
 
-TEST(KvCacheTest, LengthIsMinAcrossLayers) {
+// During an open step, a layer that has appended sees its in-flight rows
+// (attention for layer L runs right after L's append) while `length()` stays
+// at the committed count (the RoPE offset for this step's rows).
+TEST(KvCacheTest, OpenStepIsVisiblePerLayerButUncommitted) {
   ModelConfig cfg = ModelConfig::Tiny();
   KvCache cache(cfg, 128, ExecutionMode::kCompute);
   Rng rng(2);
   Tensor k = Tensor::Random(Shape({2, cfg.kv_dim()}), rng);
-  cache.Append(0, k, k);  // only layer 0
-  EXPECT_EQ(cache.length(), 0);  // layer 1 not appended yet
-  cache.Append(1, k, k);
+  cache.BeginStep(2);
+  cache.AppendLayer(0, k, k);
+  EXPECT_TRUE(cache.step_open());
+  EXPECT_EQ(cache.length(), 0);                // not committed yet
+  EXPECT_EQ(cache.K(0).shape().rows(), 2);     // layer 0 sees its rows
+  EXPECT_EQ(cache.K(1).shape().rows(), 0);     // layer 1 has not appended
+  cache.AppendLayer(1, k, k);
+  cache.CommitStep();
   EXPECT_EQ(cache.length(), 2);
+  EXPECT_EQ(cache.K(1).shape().rows(), 2);
 }
 
 TEST(KvCacheTest, ValuesRoundTrip) {
@@ -48,10 +62,10 @@ TEST(KvCacheTest, ValuesRoundTrip) {
   Tensor v1 = Tensor::Random(Shape({3, cfg.kv_dim()}), rng);
   Tensor k2 = Tensor::Random(Shape({1, cfg.kv_dim()}), rng);
   Tensor v2 = Tensor::Random(Shape({1, cfg.kv_dim()}), rng);
-  for (int l = 0; l < cfg.num_layers; ++l) {
-    cache.Append(l, k1, v1);
-    cache.Append(l, k2, v2);
-  }
+  cache.AppendStep(std::vector<Tensor>(cfg.num_layers, k1),
+                   std::vector<Tensor>(cfg.num_layers, v1));
+  cache.AppendStep(std::vector<Tensor>(cfg.num_layers, k2),
+                   std::vector<Tensor>(cfg.num_layers, v2));
   Tensor k = cache.K(0);
   EXPECT_EQ(k.shape().rows(), 4);
   EXPECT_EQ(tensor::Tensor::MaxAbsDiff(k.SliceRows(0, 3), k1), 0.0f);
@@ -64,20 +78,19 @@ TEST(KvCacheTest, ResetClears) {
   KvCache cache(cfg, 16, ExecutionMode::kCompute);
   Rng rng(4);
   Tensor k = Tensor::Random(Shape({3, cfg.kv_dim()}), rng);
-  for (int l = 0; l < cfg.num_layers; ++l) {
-    cache.Append(l, k, k);
-  }
+  cache.AppendStep(std::vector<Tensor>(cfg.num_layers, k),
+                   std::vector<Tensor>(cfg.num_layers, k));
   cache.Reset();
   EXPECT_EQ(cache.length(), 0);
+  EXPECT_EQ(cache.K(0).shape().rows(), 0);
 }
 
 TEST(KvCacheTest, SimulateModeTracksShapesOnly) {
   ModelConfig cfg = ModelConfig::Llama8B();
   KvCache cache(cfg, 2048, ExecutionMode::kSimulate);
   Tensor k = Tensor::Deferred(Shape({256, cfg.kv_dim()}));
-  for (int l = 0; l < cfg.num_layers; ++l) {
-    cache.Append(l, k, k);
-  }
+  cache.AppendStep(std::vector<Tensor>(cfg.num_layers, k),
+                   std::vector<Tensor>(cfg.num_layers, k));
   EXPECT_EQ(cache.length(), 256);
   EXPECT_FALSE(cache.K(5).has_data());
   EXPECT_EQ(cache.K(5).shape().rows(), 256);
@@ -87,19 +100,62 @@ TEST(KvCacheTest, PopulatedBytesFp16) {
   ModelConfig cfg = ModelConfig::Llama8B();
   KvCache cache(cfg, 2048, ExecutionMode::kSimulate);
   Tensor k = Tensor::Deferred(Shape({100, cfg.kv_dim()}));
-  for (int l = 0; l < cfg.num_layers; ++l) {
-    cache.Append(l, k, k);
-  }
+  cache.AppendStep(std::vector<Tensor>(cfg.num_layers, k),
+                   std::vector<Tensor>(cfg.num_layers, k));
   // 2 (K+V) * 100 rows * 1024 * 2 bytes * 32 layers.
   EXPECT_DOUBLE_EQ(cache.populated_bytes(), 2.0 * 100 * 1024 * 2 * 32);
+}
+
+TEST(KvCacheTest, BlocksForTokensRoundsUp) {
+  EXPECT_EQ(KvCache::BlocksForTokens(0, 16), 0);
+  EXPECT_EQ(KvCache::BlocksForTokens(1, 16), 1);
+  EXPECT_EQ(KvCache::BlocksForTokens(16, 16), 1);
+  EXPECT_EQ(KvCache::BlocksForTokens(17, 16), 2);
 }
 
 TEST(KvCacheDeathTest, OverflowAborts) {
   ModelConfig cfg = ModelConfig::Tiny();
   KvCache cache(cfg, 4, ExecutionMode::kCompute);
+  EXPECT_DEATH(cache.BeginStep(5), "overflow");
+}
+
+// The transactional boundary rejects the misuse the old per-layer Append
+// silently tolerated: partial steps, double appends, row mismatches.
+TEST(KvCacheDeathTest, PartialCommitAborts) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
   Rng rng(5);
-  Tensor k = Tensor::Random(Shape({5, cfg.kv_dim()}), rng);
-  EXPECT_DEATH(cache.Append(0, k, k), "overflow");
+  Tensor k = Tensor::Random(Shape({2, cfg.kv_dim()}), rng);
+  cache.BeginStep(2);
+  cache.AppendLayer(0, k, k);  // layer 1 never appends
+  EXPECT_DEATH(cache.CommitStep(), "partial step");
+}
+
+TEST(KvCacheDeathTest, DoubleAppendAborts) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
+  Rng rng(6);
+  Tensor k = Tensor::Random(Shape({2, cfg.kv_dim()}), rng);
+  cache.BeginStep(2);
+  cache.AppendLayer(0, k, k);
+  EXPECT_DEATH(cache.AppendLayer(0, k, k), "already appended");
+}
+
+TEST(KvCacheDeathTest, RowMismatchAborts) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
+  Rng rng(7);
+  Tensor k3 = Tensor::Random(Shape({3, cfg.kv_dim()}), rng);
+  cache.BeginStep(2);
+  EXPECT_DEATH(cache.AppendLayer(0, k3, k3), "does not match");
+}
+
+TEST(KvCacheDeathTest, AppendOutsideStepAborts) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
+  Rng rng(8);
+  Tensor k = Tensor::Random(Shape({1, cfg.kv_dim()}), rng);
+  EXPECT_DEATH(cache.AppendLayer(0, k, k), "step");
 }
 
 }  // namespace

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +10,7 @@
 #include "src/model/kv_cache.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/serving_engine.h"
 #include "src/serve/serving_metrics.h"
 #include "src/sim/thermal_model.h"
 
@@ -24,7 +27,7 @@ struct Harness {
   std::unique_ptr<core::EngineBase> engine;
 };
 
-Harness MakeEngine(const ModelWeights& weights, int max_decode_batch,
+Harness MakeEngine(const ModelWeights& weights, const SchedulerOptions& sopts,
                    const std::vector<sim::ConditionEvent>& conditions = {},
                    bool thermal = false) {
   Harness h;
@@ -34,9 +37,10 @@ Harness MakeEngine(const ModelWeights& weights, int max_decode_batch,
     opts.thermal = sim::ThermalConfig::MobileSustained();
   }
   h.platform = std::make_unique<core::Platform>(opts);
-  h.engine = core::CreateEngine(
-      "Hetero-tensor", h.platform.get(), &weights,
-      IterationScheduler::ServingEngineOptions(max_decode_batch));
+  StatusOr<std::unique_ptr<core::EngineBase>> engine =
+      BuildServingEngine(h.platform.get(), &weights, sopts);
+  HCHECK(engine.ok());
+  h.engine = std::move(engine).value();
   return h;
 }
 
@@ -82,7 +86,9 @@ TEST(ServingMetricsTest, PercentileNearestRank) {
 TEST(ServingTest, BatchedDecodeAmortizesWeightStreaming) {
   const ModelConfig cfg = ModelConfig::InternLM1_8B();
   ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
-  Harness h = MakeEngine(weights, /*max_decode_batch=*/4);
+  SchedulerOptions sopts;
+  sopts.max_decode_batch = 4;
+  Harness h = MakeEngine(weights, sopts);
 
   std::vector<std::unique_ptr<KvCache>> caches;
   std::vector<KvCache*> batch;
@@ -123,14 +129,15 @@ TEST(ServingTest, FifoSerialVsContinuousBatchingOrdering) {
 
   SchedulerOptions serial_opts;
   serial_opts.policy = SchedulePolicy::kSerial;
-  Harness hs = MakeEngine(weights, 4);
+  serial_opts.max_decode_batch = 4;
+  Harness hs = MakeEngine(weights, serial_opts);
   ServingMetrics serial =
       IterationScheduler(hs.engine.get(), serial_opts).Run(queue);
 
   SchedulerOptions cb_opts;
   cb_opts.policy = SchedulePolicy::kContinuousBatching;
   cb_opts.max_decode_batch = 4;
-  Harness hc = MakeEngine(weights, 4);
+  Harness hc = MakeEngine(weights, cb_opts);
   ServingMetrics cb =
       IterationScheduler(hc.engine.get(), cb_opts).Run(queue);
 
@@ -159,13 +166,14 @@ TEST(ServingTest, ContinuousBatchingThroughputAt8Sessions) {
 
   SchedulerOptions serial_opts;
   serial_opts.policy = SchedulePolicy::kSerial;
-  Harness hs = MakeEngine(weights, 8);
+  serial_opts.max_decode_batch = 8;
+  Harness hs = MakeEngine(weights, serial_opts);
   ServingMetrics serial =
       IterationScheduler(hs.engine.get(), serial_opts).Run(queue);
 
   SchedulerOptions cb_opts;
   cb_opts.max_decode_batch = 8;
-  Harness hc = MakeEngine(weights, 8);
+  Harness hc = MakeEngine(weights, cb_opts);
   ServingMetrics cb =
       IterationScheduler(hc.engine.get(), cb_opts).Run(queue);
 
@@ -184,10 +192,11 @@ TEST(ServingTest, KvBudgetQueuesWhenFull) {
   SchedulerOptions opts;
   opts.allow_eviction = false;
   opts.max_decode_batch = 2;
-  // Budget fits exactly one request's conversation.
-  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 64 + 8);
+  // Budget fits exactly one request's conversation: 64 + 8 tokens round up
+  // to 5 blocks of 16 (the decode tail spills into a fifth block).
+  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 80);
 
-  Harness h = MakeEngine(weights, 2);
+  Harness h = MakeEngine(weights, opts);
   ServingMetrics m =
       IterationScheduler(h.engine.get(), opts).Run(RequestQueue(reqs));
 
@@ -222,9 +231,11 @@ TEST(ServingTest, KvBudgetEvictsAndRestarts) {
   SchedulerOptions opts;
   opts.allow_eviction = true;
   opts.max_decode_batch = 2;
-  opts.kv_budget_bytes = 1.5 * KvCache::BytesForTokens(cfg, 64 + 64);
+  // 8 blocks of 16: fits r0's whole conversation (64 + 64), but by r1's
+  // arrival r0 occupies 5+ blocks, so r1's 5-block admission must preempt.
+  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 128);
 
-  Harness h = MakeEngine(weights, 2);
+  Harness h = MakeEngine(weights, opts);
   ServingMetrics m =
       IterationScheduler(h.engine.get(), opts).Run(RequestQueue(reqs));
 
@@ -250,7 +261,7 @@ TEST(ServingTest, DeterministicAcrossRuns) {
         /*max_prompt=*/256, /*min_decode=*/4, /*max_decode=*/16);
     SchedulerOptions opts;
     opts.max_decode_batch = 4;
-    Harness h = MakeEngine(weights, 4);
+    Harness h = MakeEngine(weights, opts);
     return IterationScheduler(h.engine.get(), opts).Run(queue);
   };
 
@@ -270,7 +281,7 @@ TEST(ServingTest, DecodeFairStillCompletesEverything) {
   SchedulerOptions opts;
   opts.iteration = IterationPolicy::kDecodeFair;
   opts.max_decode_batch = 4;
-  Harness h = MakeEngine(weights, 4);
+  Harness h = MakeEngine(weights, opts);
   ServingMetrics m = IterationScheduler(h.engine.get(), opts).Run(queue);
 
   for (const RequestMetrics& r : m.requests) {
@@ -290,7 +301,7 @@ TEST(ServingTest, WindowedEnergyDoesNotAccumulateAcrossRuns) {
 
   SchedulerOptions opts;
   opts.max_decode_batch = 4;
-  Harness h = MakeEngine(weights, 4);
+  Harness h = MakeEngine(weights, opts);
   IterationScheduler scheduler(h.engine.get(), opts);
   scheduler.Run(queue);  // warm-up: caches populated, clocks advanced
   ServingMetrics second = scheduler.Run(queue);
@@ -322,7 +333,7 @@ TEST(ServingTest, ThrottledPlatformShrinksDecodeBatch) {
 
   SchedulerOptions opts;
   opts.max_decode_batch = 8;
-  Harness h = MakeEngine(weights, 8, {cap});
+  Harness h = MakeEngine(weights, opts, {cap});
   ServingMetrics m = IterationScheduler(h.engine.get(), opts).Run(queue);
 
   // Effective batch = floor(8 * 0.5) = 4.
@@ -348,9 +359,10 @@ TEST(ServingTest, KvSqueezeDefersAdmissionUntilLifted) {
 
   SchedulerOptions opts;
   opts.max_decode_batch = 2;
-  // The budget fits the request exactly — but not at half scale.
-  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 64 + 4);
-  Harness h = MakeEngine(weights, 2, {squeeze, lift});
+  // The budget fits the request exactly (5 blocks of 16 for 64 + 4
+  // tokens) — but not at half scale (2 usable blocks).
+  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 80);
+  Harness h = MakeEngine(weights, opts, {squeeze, lift});
   ServingMetrics m =
       IterationScheduler(h.engine.get(), opts).Run(RequestQueue(reqs));
 
@@ -376,7 +388,7 @@ TEST(ServingTest, ThrottleTraceIsDeterministic) {
     background.background_bandwidth_bytes_per_us = 15e3;
     SchedulerOptions opts;
     opts.max_decode_batch = 4;
-    Harness h = MakeEngine(weights, 4, {cap, background}, /*thermal=*/true);
+    Harness h = MakeEngine(weights, opts, {cap, background}, /*thermal=*/true);
     return IterationScheduler(h.engine.get(), opts).Run(queue);
   };
 
@@ -387,6 +399,156 @@ TEST(ServingTest, ThrottleTraceIsDeterministic) {
   // reaction is surfaced in the serving metrics.
   EXPECT_GE(a.replan_events, 1);
   EXPECT_NE(a.ToJson().find("\"replan_events\""), std::string::npos);
+}
+
+// Bad scheduler options surface as Status errors from the validating
+// factory instead of aborting inside the scheduler.
+TEST(SchedulerOptionsTest, ValidatedRejectsBadFields) {
+  SchedulerOptions ok;
+  EXPECT_TRUE(SchedulerOptions::Validated(ok).ok());
+
+  SchedulerOptions bad_batch;
+  bad_batch.max_decode_batch = 0;
+  const StatusOr<SchedulerOptions> r1 = SchedulerOptions::Validated(bad_batch);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  SchedulerOptions bad_budget;
+  bad_budget.kv_budget_bytes = 0;
+  EXPECT_FALSE(SchedulerOptions::Validated(bad_budget).ok());
+
+  SchedulerOptions bad_block;
+  bad_block.kv_block_tokens = 0;
+  EXPECT_FALSE(SchedulerOptions::Validated(bad_block).ok());
+}
+
+TEST(ServingEngineTest, RejectsBlockSizeNotDividingCapacity) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+  core::Platform platform(core::PlatformOptionsFor("Hetero-tensor"));
+
+  SchedulerOptions opts;
+  opts.kv_block_tokens = 17;  // does not divide the default kv_capacity 4096
+  const StatusOr<std::unique_ptr<core::EngineBase>> r =
+      BuildServingEngine(&platform, &weights, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_FALSE(
+      BuildServingEngine(&platform, &weights, SchedulerOptions(), "no-such")
+          .ok());
+}
+
+TEST(RequestQueueTest, SharedPrefixTraceCarriesTokens) {
+  Rng rng(7);
+  RequestQueue q = RequestQueue::SyntheticSharedPrefix(
+      rng, 12, /*mean_interarrival_us=*/2e4, /*shared_fraction=*/0.8,
+      /*shared_prefix_len=*/128, /*min_suffix=*/8, /*max_suffix=*/32,
+      /*min_decode=*/4, /*max_decode=*/8);
+  ASSERT_EQ(q.size(), 12u);
+  int shared = 0;
+  const Request& first = q.requests().front();
+  for (const Request& r : q.requests()) {
+    ASSERT_EQ(r.prompt_tokens.size(), static_cast<size_t>(r.prompt_len));
+    EXPECT_GE(r.prompt_len, 128 + 8);
+    if (std::equal(first.prompt_tokens.begin(),
+                   first.prompt_tokens.begin() + 128,
+                   r.prompt_tokens.begin())) {
+      ++shared;
+    }
+  }
+  // 0.8 shared fraction: most requests carry the same 128-token head.
+  EXPECT_GE(shared, 6);
+}
+
+// Two identical prompts back to back: the second adopts the first's
+// committed prompt blocks, prefills only the residual tokens, and its TTFT
+// collapses. Two runs of the same trace are bit-identical.
+TEST(ServingTest, PrefixHitCutsTtftDeterministically) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  std::vector<int32_t> prompt(256);
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<int32_t>(1000 + i);
+  }
+  auto run_once = [&](bool enable) {
+    std::vector<Request> reqs;
+    for (int i = 0; i < 2; ++i) {
+      Request r;
+      r.id = i;
+      r.arrival = i * 1e6;  // far apart: no batching effects, pure prefill
+      r.prompt_len = 256;
+      r.decode_len = 4;
+      r.prompt_tokens = prompt;
+      reqs.push_back(r);
+    }
+    SchedulerOptions opts;
+    opts.max_decode_batch = 2;
+    opts.enable_prefix_cache = enable;
+    Harness h = MakeEngine(weights, opts);
+    return IterationScheduler(h.engine.get(), opts).Run(RequestQueue(reqs));
+  };
+
+  ServingMetrics on = run_once(true);
+  // 256-token prompt, 16-token blocks, full-prompt matches are capped one
+  // token short: the repeat hits floor(255 / 16) = 15 blocks = 240 tokens.
+  EXPECT_EQ(on.prefix_hit_tokens, 240);
+  EXPECT_DOUBLE_EQ(on.prefix_hit_rate(), 240.0 / 512.0);
+  EXPECT_LT(on.requests[1].ttft(), 0.5 * on.requests[0].ttft());
+
+  ServingMetrics off = run_once(false);
+  EXPECT_EQ(off.prefix_hit_tokens, 0);
+  // The first prefill additionally pays the one-time plan solve for the
+  // 256-row shape; the repeat replays the cached plan, so it can only be
+  // cheaper — but by far less than the prefix hit saves.
+  EXPECT_LE(off.requests[1].ttft(), off.requests[0].ttft());
+  EXPECT_LT(on.requests[1].ttft(), off.requests[1].ttft());
+
+  EXPECT_EQ(run_once(true).ToJson(), on.ToJson());
+}
+
+// Block-granular admission admits more concurrent sessions than
+// whole-conversation reservation would under the same budget when the
+// workload shares a prompt head: shared blocks are counted once.
+TEST(ServingTest, SharedPrefixRaisesPeakSessions) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  std::vector<int32_t> prompt(96);
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<int32_t>(5000 + i);
+  }
+  auto run_once = [&](bool enable) {
+    std::vector<Request> reqs;
+    for (int i = 0; i < 4; ++i) {
+      Request r;
+      r.id = i;
+      r.arrival = 0;
+      r.prompt_len = 96;
+      r.decode_len = 16;
+      r.prompt_tokens = prompt;
+      reqs.push_back(r);
+    }
+    SchedulerOptions opts;
+    opts.max_decode_batch = 4;
+    // 16 blocks: two full conversations (96 + 16 = 112 tokens = 7 blocks
+    // each). With the shared 80-token head cached (5 blocks, counted once)
+    // each extra session only adds its private tail (1 prompt block + 1
+    // decode block).
+    opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 256);
+    opts.enable_prefix_cache = enable;
+    Harness h = MakeEngine(weights, opts);
+    return IterationScheduler(h.engine.get(), opts).Run(RequestQueue(reqs));
+  };
+
+  ServingMetrics on = run_once(true);
+  ServingMetrics off = run_once(false);
+  EXPECT_GT(on.peak_active_sessions, off.peak_active_sessions);
+  EXPECT_LE(on.kv_blocks_peak, 16);
+  for (const RequestMetrics& r : on.requests) {
+    EXPECT_EQ(r.decoded_tokens, 16);
+  }
 }
 
 }  // namespace
