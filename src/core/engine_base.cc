@@ -115,6 +115,42 @@ PhaseStats EngineBase::BatchedDecodeStep(
   return stats;
 }
 
+PhaseStats EngineBase::VerifyInto(model::KvCache* cache,
+                                  const Tensor& tokens) {
+  HCHECK(cache != nullptr);
+  HCHECK(tokens.shape().rank() == 2);
+  HCHECK(tokens.shape().cols() == weights_->config().hidden);
+  HCHECK_MSG(batch_caches_.empty(), "serving iteration already in flight");
+  batch_caches_ = {cache};
+  all_rows_logits_ = true;
+  PhaseStats stats = DecodeStep(tokens);
+  all_rows_logits_ = false;
+  batch_caches_.clear();
+  return stats;
+}
+
+PhaseStats EngineBase::BatchedVerifyStep(
+    const std::vector<model::KvCache*>& caches, int64_t rows_per_slot) {
+  HCHECK(!caches.empty());
+  HCHECK(rows_per_slot >= 1);
+  HCHECK_MSG(batch_caches_.empty(), "serving iteration already in flight");
+  for (model::KvCache* cache : caches) {
+    HCHECK(cache != nullptr);
+  }
+  HCHECK_MSG(mode_ == ExecutionMode::kSimulate,
+             "batched verify is timing-only (ExecutionMode::kSimulate)");
+  batch_caches_ = caches;
+  serving_rows_per_slot_ = rows_per_slot;
+  const Tensor tokens = Tensor::Deferred(
+      Shape({static_cast<int64_t>(caches.size()) * rows_per_slot,
+             weights_->config().hidden}),
+      tensor::DType::kFp16);
+  PhaseStats stats = DecodeStep(tokens);
+  serving_rows_per_slot_ = 1;
+  batch_caches_.clear();
+  return stats;
+}
+
 void EngineBase::PregenerateNpuGraphs(const std::vector<int64_t>& seq_lens,
                                       int64_t row_align) {
   HCHECK(row_align > 0);
@@ -539,28 +575,34 @@ EngineBase::Value EngineBase::Attention(Value& q, int layer,
 EngineBase::Value EngineBase::BatchedAttention(Value& q, int layer) {
   const auto& cfg = weights_->config();
   hal::Device& dev = platform_->device(vector_backend());
-  // One single-token attention kernel per session: each slot reads its own
-  // cache length, so the cost tracks every conversation's true history
-  // (the part of a decode iteration that does NOT amortize with batching).
+  // One attention kernel per session: each slot reads its own cache length,
+  // so the cost tracks every conversation's true history (the part of a
+  // decode iteration that does NOT amortize with batching). A slot covers
+  // one query row in plain continuous batching, window+1 rows during a
+  // batched speculative verify.
+  const int64_t per = serving_rows_per_slot_;
   Value merged;
   for (size_t slot = 0; slot < session_count(); ++slot) {
     hal::AttentionSpec spec;
-    spec.m = 1;
-    spec.t = session_cache(slot).K(layer).shape().rows();
+    spec.m = per;
+    // Causal: query row i of the slot attends to kv_len - per + i + 1
+    // positions; charge the average span (matches Attention above).
+    const int64_t kv_len = session_cache(slot).K(layer).shape().rows();
+    spec.t = kv_len - per + (per + 1) / 2;
     spec.num_heads = cfg.num_heads;
     spec.num_kv_heads = cfg.num_kv_heads;
     spec.head_dim = cfg.head_dim;
     sim::KernelDesc desc = dev.CostAttention(spec);
     desc.label = StrFormat("attn:L%d", layer);
-    Tensor out = Tensor::Deferred(Shape({1, cfg.q_dim()}), tensor::DType::kFp16);
+    Tensor out =
+        Tensor::Deferred(Shape({per, cfg.q_dim()}), tensor::DType::kFp16);
     Value piece = SubmitKernel(dev, desc, {&q}, std::move(out));
     merged.deps.insert(merged.deps.end(), piece.deps.begin(),
                        piece.deps.end());
   }
-  merged.tensor =
-      Tensor::Deferred(Shape({static_cast<int64_t>(session_count()),
-                              cfg.q_dim()}),
-                       tensor::DType::kFp16);
+  merged.tensor = Tensor::Deferred(
+      Shape({static_cast<int64_t>(session_count()) * per, cfg.q_dim()}),
+      tensor::DType::kFp16);
   return merged;
 }
 
@@ -582,10 +624,12 @@ EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
   // The cache append itself is a strided device-side write folded into the
   // projection kernels; attention's kernel dependencies flow through q/k/v.
   if (serving_batch()) {
+    const int64_t per = serving_rows_per_slot_;
     for (size_t slot = 0; slot < session_count(); ++slot) {
-      const int64_t r = static_cast<int64_t>(slot);
-      session_cache(slot).AppendLayer(layer, k_rot.tensor.SliceRows(r, r + 1),
-                                      v.tensor.SliceRows(r, r + 1));
+      const int64_t r = static_cast<int64_t>(slot) * per;
+      session_cache(slot).AppendLayer(layer,
+                                      k_rot.tensor.SliceRows(r, r + per),
+                                      v.tensor.SliceRows(r, r + per));
     }
   } else {
     session_cache(0).AppendLayer(layer, k_rot.tensor, v.tensor);
@@ -613,7 +657,10 @@ PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
   // rows before the commit below, or the cache aborts — the per-layer
   // "all layers appended the same rows" contract is enforced here instead
   // of trusted.
-  const int64_t per_slot = serving_batch() ? 1 : input.shape().rows();
+  const int64_t per_slot =
+      serving_batch() ? serving_rows_per_slot_ : input.shape().rows();
+  HCHECK(per_slot * static_cast<int64_t>(session_count()) ==
+         input.shape().rows());
   for (size_t slot = 0; slot < session_count(); ++slot) {
     session_cache(slot).BeginStep(per_slot);
   }
@@ -621,8 +668,11 @@ PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
   if (!options_.use_compiled_schedule) {
     stats = RunStackLegacy(input, phase);
   } else {
-    const graph::CompiledSchedule& sched =
-        ScheduleFor(phase, input.shape().rows(), serving_batch());
+    // A speculative verify wants every row's logits — exactly the serving
+    // schedule's shape (kLastRows = identity, LM head planned at full m), so
+    // the two share cache entries.
+    const graph::CompiledSchedule& sched = ScheduleFor(
+        phase, input.shape().rows(), serving_batch() || all_rows_logits_);
     stats = ScheduleExecutor(this).Run(sched, input);
   }
   for (size_t slot = 0; slot < session_count(); ++slot) {
@@ -738,11 +788,12 @@ PhaseStats EngineBase::RunStackLegacy(const Tensor& input, Phase phase) {
   }
   Value final_norm = RmsNorm(hidden, weights_->final_norm());
 
-  // LM head over the last position only — in a serving batch every row is
-  // its session's last position, so all of them go through the head.
+  // LM head over the last position only — unless every row's logits are
+  // needed: in a serving batch each row is its session's last position, and
+  // a speculative verify reads the argmax at every draft position.
   const int64_t rows = final_norm.tensor.shape().rows();
   Value last;
-  last.tensor = serving_batch()
+  last.tensor = serving_batch() || all_rows_logits_
                     ? final_norm.tensor
                     : final_norm.tensor.SliceRows(rows - 1, rows);
   last.deps = final_norm.deps;

@@ -183,6 +183,27 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   // (requires ExecutionMode::kSimulate).
   PhaseStats BatchedDecodeStep(const std::vector<model::KvCache*>& caches);
 
+  // --- speculative decoding -------------------------------------------------
+
+  // Speculative verify: scores the k+1 rows of `tokens` ([t0, d1..dk] as
+  // embeddings) against `cache` in ONE pass, returning logits for EVERY row
+  // — row i's argmax decides whether draft i+1 is accepted. Decode is
+  // memory-bound on every backend the paper characterizes, so the batched
+  // pass streams the weights once and costs barely more than one token.
+  // All k rows are appended to the cache; the caller rolls the rejected
+  // suffix back with `KvCache::RollbackTo`. Works in any ExecutionMode
+  // (single cache, single forward pass — compute-mode numerics are real).
+  PhaseStats VerifyInto(model::KvCache* cache, const tensor::Tensor& tokens);
+
+  // Continuous-batching speculative verify: every session advances by
+  // `rows_per_slot` (= draft window + 1) positions in one iteration. Rows
+  // [i*rows_per_slot, (i+1)*rows_per_slot) of the synthetic input belong to
+  // the session behind `caches[i]`; matmuls run once at m = B*rows_per_slot,
+  // attention stays per-session at m = rows_per_slot. Timing-only, like
+  // BatchedDecodeStep (requires ExecutionMode::kSimulate).
+  PhaseStats BatchedVerifyStep(const std::vector<model::KvCache*>& caches,
+                               int64_t rows_per_slot);
+
   // Advances the host clock to `t` if it lags (idle wait between arrivals).
   void AdvanceHostTo(MicroSeconds t) { host_now_ = std::max(host_now_, t); }
 
@@ -195,6 +216,7 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   const model::ModelConfig& model_config() const {
     return weights_->config();
   }
+  model::ExecutionMode mode() const { return mode_; }
   const EngineOptions& options() const { return options_; }
 
  protected:
@@ -330,6 +352,14 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   // Decode GPU-dominant pipelining: when true, partitioned decode matmuls
   // defer the wait on their GPU piece (queue order synchronizes it).
   bool decode_pipelining_ = true;
+  // Rows each serving slot contributes to the current iteration: 1 for plain
+  // continuous batching, draft window + 1 during a batched speculative
+  // verify (cache appends and attention slice the input per slot).
+  int64_t serving_rows_per_slot_ = 1;
+  // Keep every row's logits through the LM head (speculative verify needs
+  // the argmax at each draft position, not just the last). Selects the
+  // serving-shaped schedule, whose kLastRows step is the identity.
+  bool all_rows_logits_ = false;
   // Workspace slots acquired once per session (pool reuse across layers).
   std::vector<int> workspace_slots_;
   // Layer currently executing (for per-op-instance graph keys).

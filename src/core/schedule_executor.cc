@@ -63,11 +63,12 @@ ScheduleExecutor::Value ScheduleExecutor::RunAttention(
   // The cache append itself is a strided device-side write folded into the
   // projection kernels; attention's kernel dependencies flow through q/k/v.
   if (e_->serving_batch()) {
+    const int64_t per = e_->serving_rows_per_slot_;
     for (size_t slot = 0; slot < e_->session_count(); ++slot) {
-      const int64_t r = static_cast<int64_t>(slot);
+      const int64_t r = static_cast<int64_t>(slot) * per;
       e_->session_cache(slot).AppendLayer(step.layer,
-                                          k.tensor.SliceRows(r, r + 1),
-                                          v.tensor.SliceRows(r, r + 1));
+                                          k.tensor.SliceRows(r, r + per),
+                                          v.tensor.SliceRows(r, r + per));
     }
   } else {
     e_->session_cache(0).AppendLayer(step.layer, k.tensor, v.tensor);

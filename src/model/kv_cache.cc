@@ -127,6 +127,22 @@ KvCache::KvCache(const ModelConfig& config, KvBlockBacking* backing,
   appended_.assign(static_cast<size_t>(config.num_layers), 0);
 }
 
+KvCache::KvCache(KvCache&& other) noexcept
+    : config_(other.config_),
+      mode_(other.mode_),
+      capacity_(other.capacity_),
+      length_(other.length_),
+      owned_backing_(std::move(other.owned_backing_)),
+      backing_(other.backing_),
+      blocks_(std::move(other.blocks_)),
+      step_rows_(other.step_rows_),
+      appended_(std::move(other.appended_)) {
+  other.backing_ = nullptr;
+  other.blocks_.clear();
+  other.length_ = 0;
+  other.step_rows_ = -1;
+}
+
 KvCache::~KvCache() {
   if (backing_ != nullptr) {  // moved-from caches skip release
     ReleaseAll();
@@ -177,34 +193,78 @@ void KvCache::AdoptPrefix(const std::vector<int32_t>& blocks, int64_t tokens) {
              "AdoptPrefix requires an empty pooled cache");
   HCHECK(owned_backing_ == nullptr);
   HCHECK(tokens >= 0 && tokens <= capacity_);
-  HCHECK(tokens <= static_cast<int64_t>(blocks.size()) * block_tokens());
+  // Exactly the blocks the tokens span: a looser table would break the
+  // tail-block invariant BeginStep's copy-on-write fork relies on (the
+  // block being written is always blocks_.back()).
+  HCHECK_MSG(static_cast<int64_t>(blocks.size()) ==
+                 BlocksForTokens(tokens, block_tokens()),
+             "AdoptPrefix block table does not match the adopted tokens");
   blocks_ = blocks;
   length_ = tokens;
 }
 
-void KvCache::BeginStep(int64_t rows) {
-  HCHECK_MSG(!step_open(), "BeginStep while a step is already open");
+bool KvCache::TryReserveStep(int64_t rows) {
+  HCHECK_MSG(!step_open(), "TryReserveStep while a step is already open");
   HCHECK(rows >= 1);
   HCHECK_MSG(length_ + rows <= capacity_, "KV cache overflow");
   const int64_t bt = block_tokens();
   // Copy-on-write: the step writes into the tail block; if it is shared
   // (prefix-cache pin, forked session), fork a private copy of the
-  // committed rows first so the other holders never see the new rows.
-  if (length_ % bt != 0 && !blocks_.empty() &&
-      backing_->ref_count(blocks_.back()) > 1) {
-    const int32_t fork = backing_->ForkBlock(blocks_.back(), length_ % bt);
-    HCHECK_MSG(fork >= 0, "KV pool exhausted (copy-on-write)");
+  // committed rows first so the other holders never see the new rows. The
+  // old tail is not released until the whole reservation has succeeded, so
+  // a failure below unwinds to exactly the prior state.
+  const bool fork_needed = length_ % bt != 0 && !blocks_.empty() &&
+                           backing_->ref_count(blocks_.back()) > 1;
+  int32_t fork = -1;
+  if (fork_needed) {
+    fork = backing_->ForkBlock(blocks_.back(), length_ % bt);
+    if (fork < 0) {
+      return false;
+    }
+  }
+  const int64_t want = BlocksForTokens(length_ + rows, bt);
+  std::vector<int32_t> fresh;
+  while (held_blocks() + static_cast<int64_t>(fresh.size()) < want) {
+    const int32_t block = backing_->AllocateBlock();
+    if (block < 0) {
+      for (int32_t b : fresh) {
+        backing_->ReleaseBlock(b);
+      }
+      if (fork >= 0) {
+        backing_->ReleaseBlock(fork);
+      }
+      return false;
+    }
+    fresh.push_back(block);
+  }
+  if (fork >= 0) {
     backing_->ReleaseBlock(blocks_.back());
     blocks_.back() = fork;
   }
-  const int64_t want = BlocksForTokens(length_ + rows, bt);
-  while (held_blocks() < want) {
-    const int32_t block = backing_->AllocateBlock();
-    HCHECK_MSG(block >= 0, "KV pool exhausted");
-    blocks_.push_back(block);
-  }
+  blocks_.insert(blocks_.end(), fresh.begin(), fresh.end());
+  return true;
+}
+
+void KvCache::BeginStep(int64_t rows) {
+  HCHECK_MSG(TryReserveStep(rows), "KV pool exhausted");
   step_rows_ = rows;
   std::fill(appended_.begin(), appended_.end(), 0);
+}
+
+void KvCache::RollbackTo(int64_t tokens) {
+  HCHECK_MSG(!step_open(), "RollbackTo with an uncommitted step in flight");
+  HCHECK(tokens >= 0 && tokens <= length_);
+  // The legacy contiguous owner keeps its single block: rows past the new
+  // length are never read (Gather stops at the visible rows) and the next
+  // step overwrites them in place.
+  const int64_t keep = owned_backing_ != nullptr
+                           ? held_blocks()
+                           : BlocksForTokens(tokens, block_tokens());
+  while (held_blocks() > keep) {
+    backing_->ReleaseBlock(blocks_.back());
+    blocks_.pop_back();
+  }
+  length_ = tokens;
 }
 
 void KvCache::AppendLayer(int layer, const Tensor& k, const Tensor& v) {

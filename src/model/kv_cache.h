@@ -94,17 +94,28 @@ class KvCache {
 
   ~KvCache();
 
-  KvCache(KvCache&&) = default;
+  // Move leaves the source inert: its `backing_` is nulled so destruction
+  // (and a stray Reset) cannot release blocks it no longer owns. A
+  // defaulted move would copy the raw pointer and leave the source armed.
+  KvCache(KvCache&& other) noexcept;
   KvCache& operator=(KvCache&&) = delete;
   KvCache(const KvCache&) = delete;
   KvCache& operator=(const KvCache&) = delete;
 
   // --- transactional append ------------------------------------------------
 
-  // Opens a step of `rows` positions: validates capacity, allocates the
-  // blocks the step needs (copy-on-write forking a shared tail block) and
-  // arms per-layer bookkeeping. Aborts on overflow or pool exhaustion — use
-  // `BlocksNeededFor` + pool free-block counts to gate beforehand.
+  // Reserves every block `BeginStep(rows)` would consume: the copy-on-write
+  // fork of a shared tail block plus any fresh blocks the new rows spill
+  // into. Returns false — with the cache left exactly as it was, every
+  // freshly allocated block returned to the backing — when the pool cannot
+  // supply them, so a serving scheduler can preempt/evict and retry instead
+  // of crashing. Idempotent: once it has returned true for `rows`, calling
+  // it again (and the BeginStep that follows) allocates nothing.
+  bool TryReserveStep(int64_t rows);
+
+  // Opens a step of `rows` positions: reserves blocks via TryReserveStep and
+  // arms per-layer bookkeeping. Aborts on overflow or pool exhaustion —
+  // callers racing a tight pool should gate with TryReserveStep first.
   void BeginStep(int64_t rows);
 
   // Appends this step's `rows` K/V rows ([rows, kv_dim]) for `layer`.
@@ -120,6 +131,18 @@ class KvCache {
   // tensor per layer. Equivalent to BeginStep + AppendLayer* + CommitStep.
   void AppendStep(const std::vector<tensor::Tensor>& ks,
                   const std::vector<tensor::Tensor>& vs);
+
+  // --- speculative rollback ------------------------------------------------
+
+  // Truncates the committed length back to `tokens` (0 <= tokens <=
+  // length()), releasing every block past the new tail. The speculative-
+  // decoding accept path: verify commits the whole draft window, then the
+  // rejected suffix is rolled back. Safe on shared-prefix tails — rows a
+  // step wrote always live in a private (CoW-forked) block, so truncation
+  // never edits storage another holder can see; the abandoned rows are
+  // overwritten by the next step before they become visible again. No step
+  // may be open.
+  void RollbackTo(int64_t tokens);
 
   // --- views ---------------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/model/kv_cache.h"
 #include "src/serve/kv_pool.h"
 #include "src/serve/prefix_cache.h"
@@ -26,6 +27,12 @@ Status SchedulerOptions::Validate() const {
   }
   if (kv_block_tokens < 1) {
     return InvalidArgumentError("kv_block_tokens must be >= 1");
+  }
+  if (speculative_window < 0) {
+    return InvalidArgumentError("speculative_window must be >= 0");
+  }
+  if (speculative_acceptance < 0 || speculative_acceptance > 1.0) {
+    return InvalidArgumentError("speculative_acceptance must be in [0, 1]");
   }
   return Status::Ok();
 }
@@ -127,6 +134,13 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
   const model::ModelConfig& cfg = engine_->model_config();
   sim::SocSimulator& soc = engine_->platform()->soc();
   const int64_t bt = options_.kv_block_tokens;
+  // Speculative decoding: every decode iteration advances each selected
+  // session by up to W+1 tokens through one batched verify pass; rejected
+  // drafts roll back. Acceptance is drawn per draft from a seeded stream
+  // (simulate-mode engines have no logits to compare), so runs stay
+  // deterministic.
+  const int spec_window = options_.speculative_window;
+  Rng spec_rng(options_.speculative_seed);
 
   // The KV budget carved into blocks. Blocks are allocated as tokens are
   // appended, but admission still reserves each session's whole remaining
@@ -251,12 +265,18 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     }
     const size_t idx = waiting.front();
     const Request& r = requests[idx];
+    // Decoding sessions carry the speculative draft window on top of their
+    // conversation: a verify step transiently appends window+1 rows before
+    // rolling the rejected suffix back, and admission must reserve that
+    // high-water mark or a full pool would abort mid-verify.
+    const int64_t spec_slack = r.decode_len > 0 ? spec_window : 0;
     // Livelock guard: a conversation that cannot fit the whole budget even
     // alone would evict forever. (The old reserve-by-max admission enforced
     // this implicitly; block accounting must keep it explicit.)
-    HCHECK_MSG(KvCache::BlocksForTokens(r.prompt_len + r.decode_len, bt) <=
-                   total_blocks,
-               "request KV footprint exceeds the whole budget");
+    HCHECK_MSG(
+        KvCache::BlocksForTokens(r.prompt_len + r.decode_len + spec_slack,
+                                 bt) <= total_blocks,
+        "request KV footprint exceeds the whole budget");
 
     // Prefix lookup pins matched blocks (refs held by us until adopted or
     // released below).
@@ -269,8 +289,8 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     // allocated (and pinned by the Acquire above), so they are excluded —
     // that subtraction is what lets a shared head admit more sessions than
     // whole-footprint reservation per session would.
-    const int64_t footprint =
-        KvCache::BlocksForTokens(r.prompt_len + r.decode_len, bt);
+    const int64_t footprint = KvCache::BlocksForTokens(
+        r.prompt_len + r.decode_len + spec_slack, bt);
     const int64_t need =
         footprint - static_cast<int64_t>(hit.blocks.size());
 
@@ -308,7 +328,7 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     slot.idx = idx;
     slot.footprint = footprint;
     slot.cache = std::make_unique<KvCache>(
-        pool.MakeCache(r.prompt_len + std::max(r.decode_len, 1)));
+        pool.MakeCache(r.prompt_len + std::max(r.decode_len, 1) + spec_slack));
     if (!hit.blocks.empty()) {
       slot.cache->AdoptPrefix(hit.blocks, hit.tokens);  // refs transferred
     }
@@ -354,17 +374,27 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     return order;
   };
 
-  auto decode_iteration = [&] {
+  // One batched decode (or speculative verify) iteration. Returns false —
+  // with nothing decoded — only when the pool cannot supply the next
+  // block(s) and no recovery move is left; the caller then waits for the
+  // next condition event (only a scripted KV squeeze can pin the pool under
+  // the admission-time reservations) instead of the old hard abort.
+  auto decode_iteration = [&]() -> bool {
     std::vector<size_t> order = select_order();
-    // Allocate-on-append: this iteration appends one token per selected
-    // session, which may need fresh blocks. Admission reserved those, so
-    // this loop only trips when a scripted KV squeeze shrank the usable
-    // pool under the reservations. Make room *before* the engine opens the
-    // transactional steps (BeginStep aborts on exhaustion).
+    // Rows each session appends this iteration: 1, or draft window + 1
+    // under speculation. Under pool pressure the window is shed first —
+    // degrading to plain decode is cheaper than evicting a session.
+    int64_t rows = spec_window > 0 ? spec_window + 1 : 1;
+    // Allocate-on-append: this iteration appends `rows` tokens per selected
+    // session, which may need fresh blocks (including a copy-on-write fork
+    // of a shared tail — BlocksNeededFor counts it exactly as BeginStep
+    // consumes it). Admission reserved those, so this loop only trips when
+    // a scripted KV squeeze shrank the usable pool under the reservations.
+    // Make room *before* the engine opens the transactional steps.
     auto blocks_needed = [&] {
       int64_t n = 0;
       for (size_t s : order) {
-        n += active[s].cache->BlocksNeededFor(1);
+        n += active[s].cache->BlocksNeededFor(rows);
       }
       return n;
     };
@@ -372,27 +402,71 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
       if (prefix.EvictUntilFree(blocks_needed()) > 0) {
         continue;
       }
-      HCHECK_MSG(options_.allow_eviction && active.size() > 1,
-                 "KV pool exhausted mid-decode with nothing to evict");
-      evict(pick_victim());
-      order = select_order();
+      if (rows > 1) {
+        rows = 1;
+        continue;
+      }
+      if (options_.allow_eviction && active.size() > 1) {
+        evict(pick_victim());
+        order = select_order();
+        continue;
+      }
+      return false;
     }
+    // Reserve block-exactly per session before the engine opens the
+    // transactional steps. TryReserveStep either takes every block the step
+    // needs or takes none and reports failure, and it is idempotent — the
+    // BeginStep inside the engine then allocates nothing. A session that
+    // cannot reserve (a squeeze racing the aggregate check above) sits this
+    // iteration out instead of aborting the process.
+    std::vector<size_t> ready;
     std::vector<KvCache*> caches;
+    ready.reserve(order.size());
     caches.reserve(order.size());
     for (size_t s : order) {
-      caches.push_back(active[s].cache.get());
+      if (active[s].cache->TryReserveStep(rows)) {
+        ready.push_back(s);
+        caches.push_back(active[s].cache.get());
+      }
     }
-    engine_->BatchedDecodeStep(caches);
+    if (caches.empty()) {
+      return false;
+    }
+    if (rows > 1) {
+      engine_->BatchedVerifyStep(caches, rows);
+    } else {
+      engine_->BatchedDecodeStep(caches);
+    }
     ++iter;
     ++m->decode_iterations;
-    batch_accum += static_cast<double>(order.size());
+    batch_accum += static_cast<double>(ready.size());
     const MicroSeconds now = engine_->host_now();
+    const int k = static_cast<int>(rows) - 1;  // drafts verified per session
     std::vector<size_t> done;
-    for (size_t s : order) {
+    for (size_t s : ready) {
       Slot& slot = active[s];
       slot.last_iter = iter;
-      ++slot.decoded;
       RequestMetrics& rm = m->requests[slot.idx];
+      int emitted = 1;
+      if (k > 0) {
+        // Accept a geometric prefix of the k drafts, emit accepted + the
+        // bonus token (capped at the request's remaining budget), and roll
+        // the rejected suffix back. Rolled-back rows never count toward
+        // decoded totals, TPOT intervals or token throughput — only the
+        // draft/accepted counters see them.
+        const int64_t len_before = slot.cache->length() - rows;
+        int accepted = 0;
+        while (accepted < k &&
+               spec_rng.NextUnit() < options_.speculative_acceptance) {
+          ++accepted;
+        }
+        const int remaining = requests[slot.idx].decode_len - slot.decoded;
+        emitted = std::min(1 + accepted, remaining);
+        rm.draft_tokens += k;
+        rm.accepted_tokens += emitted - 1;
+        slot.cache->RollbackTo(len_before + emitted);
+      }
+      slot.decoded += emitted;
       rm.decoded_tokens = slot.decoded;
       if (slot.decoded >= requests[slot.idx].decode_len) {
         rm.completion = now;
@@ -404,6 +478,7 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     for (auto it = done.rbegin(); it != done.rend(); ++it) {
       active.erase(active.begin() + static_cast<ptrdiff_t>(*it));
     }
+    return true;
   };
 
   while (completed < requests.size()) {
@@ -417,7 +492,19 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
       try_admit();
     }
     if (!active.empty()) {
-      decode_iteration();
+      if (!decode_iteration()) {
+        // The pool is pinned under this batch's next block with no
+        // recovery move left — only a scripted KV squeeze can do that
+        // (admission reserved every session's whole footprint). Wait for
+        // the next condition event (the squeeze may lift) instead of
+        // aborting; sessions keep their blocks and their progress.
+        const MicroSeconds next_event = soc.NextConditionEventTime();
+        HCHECK_MSG(std::isfinite(next_event),
+                   "KV pool exhausted mid-decode with nothing to evict and "
+                   "no further condition events");
+        soc.AdvanceIdleTo(next_event);
+        engine_->AdvanceHostTo(soc.now());
+      }
     } else if (!waiting.empty()) {
       // Nothing is running, so (modulo cached prefixes, which try_admit
       // evicts on demand) the whole pool is free and the head request must

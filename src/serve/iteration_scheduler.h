@@ -71,9 +71,22 @@ struct SchedulerOptions {
   bool enable_prefix_cache = true;
   // Preempt an active session when a never-admitted request cannot fit.
   bool allow_eviction = true;
+  // Speculative decoding: draft tokens verified per decode iteration
+  // (0 = off). Every selected session advances by up to window+1 tokens per
+  // iteration through one batched verify pass; rejected drafts are rolled
+  // back block-exactly. Admission reserves the window on top of each
+  // session's footprint, and `BuildServingEngine` pre-compiles the wider
+  // decode graphs (batch * (window+1)).
+  int speculative_window = 0;
+  // Per-draft acceptance probability of the simulated verifier (serving
+  // drives simulate-mode engines, so there are no real logits to compare).
+  double speculative_acceptance = 0.75;
+  // Seeds the acceptance draws — runs are deterministic per seed.
+  uint64_t speculative_seed = 17;
 
   // Field-level validity: max_decode_batch >= 1, kv_budget_bytes > 0,
-  // kv_block_tokens >= 1, and the budget affords at least one block's worth
+  // kv_block_tokens >= 1, speculative_window >= 0, speculative_acceptance
+  // in [0, 1], and the budget affords at least one block's worth
   // of bytes is checked downstream (it needs the model config).
   Status Validate() const;
   // The SolverConfig pattern: a Status-returning factory so callers handle

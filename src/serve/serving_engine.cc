@@ -29,10 +29,22 @@ StatusOr<std::unique_ptr<core::EngineBase>> BuildServingEngine(
   }
   // Batched decode shares one forward pass across B sessions; the NPU needs
   // a pre-compiled static graph for every width the scheduler may pick.
+  // With speculation on, a verify iteration runs at B * (window + 1) rows
+  // (each session contributes its whole draft window), and pressure can
+  // also shed the window back to plain decode — so both families of widths
+  // are provisioned.
   base.decode_widths.clear();
+  const int rows_per_slot = options.speculative_window + 1;
   for (int b = 1; b <= options.max_decode_batch; ++b) {
     base.decode_widths.push_back(b);
+    if (rows_per_slot > 1) {
+      base.decode_widths.push_back(static_cast<int64_t>(b) * rows_per_slot);
+    }
   }
+  std::sort(base.decode_widths.begin(), base.decode_widths.end());
+  base.decode_widths.erase(
+      std::unique(base.decode_widths.begin(), base.decode_widths.end()),
+      base.decode_widths.end());
   return core::CreateEngine(engine_name, platform, weights, base);
 }
 

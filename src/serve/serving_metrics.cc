@@ -53,6 +53,29 @@ int64_t ServingMetrics::total_tokens() const {
   return total;
 }
 
+int64_t ServingMetrics::total_draft_tokens() const {
+  int64_t total = 0;
+  for (const RequestMetrics& r : requests) {
+    total += r.draft_tokens;
+  }
+  return total;
+}
+
+int64_t ServingMetrics::total_accepted_tokens() const {
+  int64_t total = 0;
+  for (const RequestMetrics& r : requests) {
+    total += r.accepted_tokens;
+  }
+  return total;
+}
+
+double ServingMetrics::speculative_acceptance_rate() const {
+  const int64_t drafts = total_draft_tokens();
+  return drafts > 0 ? static_cast<double>(total_accepted_tokens()) /
+                          static_cast<double>(drafts)
+                    : 0;
+}
+
 double ServingMetrics::decode_tokens_per_s() const {
   const MicroSeconds window = makespan();
   return window > 0 ? total_decoded_tokens() / ToSeconds(window) : 0;
@@ -102,6 +125,17 @@ std::string ServingMetrics::Render() const {
       ToMillis(latency_p50()), ToMillis(latency_p99()), decode_iterations,
       avg_decode_batch, evictions, replan_events, energy / 1e3,
       avg_power_watts);
+  if (total_draft_tokens() > 0) {
+    out += StrFormat(
+        "speculative: drafts=%lld accepted=%lld (%.1f%%)  "
+        "tokens/iter=%.2f\n",
+        static_cast<long long>(total_draft_tokens()),
+        static_cast<long long>(total_accepted_tokens()),
+        100.0 * speculative_acceptance_rate(),
+        decode_iterations > 0
+            ? static_cast<double>(total_decoded_tokens()) / decode_iterations
+            : 0.0);
+  }
   if (prefilled_tokens > 0) {
     out += StrFormat(
         "prefix cache: hit %lld/%lld prompt tokens (%.1f%%)  "
@@ -136,6 +170,9 @@ report::JsonValue ServingMetrics::ToJsonValue() const {
   doc.Set("blocks_evicted", blocks_evicted);
   doc.Set("kv_blocks_peak", kv_blocks_peak);
   doc.Set("peak_active_sessions", peak_active_sessions);
+  doc.Set("draft_tokens", total_draft_tokens());
+  doc.Set("accepted_tokens", total_accepted_tokens());
+  doc.Set("acceptance_rate", speculative_acceptance_rate());
   report::JsonValue per_request = report::JsonValue::Array();
   for (const RequestMetrics& r : requests) {
     report::JsonValue row = report::JsonValue::Object();
@@ -147,6 +184,8 @@ report::JsonValue ServingMetrics::ToJsonValue() const {
     row.Set("prompt_tokens", r.prompt_tokens);
     row.Set("decoded_tokens", r.decoded_tokens);
     row.Set("evictions", r.evictions);
+    row.Set("draft_tokens", r.draft_tokens);
+    row.Set("accepted_tokens", r.accepted_tokens);
     per_request.Append(std::move(row));
   }
   doc.Set("per_request", std::move(per_request));

@@ -24,8 +24,14 @@ struct RequestMetrics {
   MicroSeconds first_token = 0;  // completion of the (last) prefill
   MicroSeconds completion = 0;
   int prompt_tokens = 0;
-  int decoded_tokens = 0;
+  int decoded_tokens = 0;  // emitted tokens only — rolled-back speculative
+                           // rows are never counted here (or in tpot())
   int evictions = 0;  // times this request was preempted and restarted
+  // Speculative decoding (zero when speculation is off): drafts verified
+  // for this request, and drafts accepted (each accepted draft is one
+  // emitted token the batched verify got for free).
+  int draft_tokens = 0;
+  int accepted_tokens = 0;
 
   // Span helpers return 0 for incomplete requests (unset timestamps would
   // otherwise yield negative spans) and guard every ratio's denominator.
@@ -83,6 +89,10 @@ struct ServingMetrics {
   }
   int64_t total_decoded_tokens() const;
   int64_t total_tokens() const;  // prompt + decoded
+  // Speculative decoding aggregates (all zero when speculation is off).
+  int64_t total_draft_tokens() const;
+  int64_t total_accepted_tokens() const;
+  double speculative_acceptance_rate() const;
 
   // Decoded (respectively all) tokens over the serving window.
   double decode_tokens_per_s() const;

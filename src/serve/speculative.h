@@ -1,0 +1,177 @@
+// Speculative decoding with a heterogeneous draft/verify split.
+//
+// Decode is memory-bound on every mobile backend the paper characterizes
+// (§4.1.2): one decode step streams the whole weight set from DRAM to score
+// a single token. Scoring k+1 tokens in one batched pass streams the
+// weights once for all of them, so verifying a window of k cheap draft
+// tokens costs barely more than one token — accepted drafts are nearly
+// free. Two draft sources are provided:
+//
+//   * a *draft model* — a second, much smaller `EngineBase` (e.g.
+//     InternLM-1.8B drafting for Llama-8B) decoding the window token by
+//     token on the same platform; the verify pass on the target model then
+//     scores the whole window at once;
+//   * an *n-gram self-draft* fallback that needs no second model: a
+//     host-side table of recently seen contexts proposes continuations
+//     (cheap, surprisingly effective on repetitive text).
+//
+// Accept/rollback rides on the KV pool's copy-on-write machinery: the
+// verify step appends the whole window under `KvCache::BeginStep` (which
+// CoW-forks a shared tail block, so speculation never corrupts blocks a
+// prefix cache or sibling session can see), and the rejected suffix is
+// undone with the transactional `KvCache::RollbackTo`. The emitted token
+// sequence is bit-identical to greedy decoding without speculation: a draft
+// is accepted only when it equals the argmax the target model produces at
+// that position.
+//
+// In `ExecutionMode::kSimulate` there are no logits; acceptance is drawn
+// per draft position from a seeded RNG (`sim_acceptance`), and the module
+// prices the draft/verify timing faithfully (the draft engine really
+// decodes, the verify step really runs at window+1 rows).
+
+#ifndef SRC_SERVE_SPECULATIVE_H_
+#define SRC_SERVE_SPECULATIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/engine_base.h"
+#include "src/model/kv_cache.h"
+#include "src/tensor/tensor.h"
+
+namespace heterollm::serve {
+
+// Deterministic synthetic token embedding: row `token` of a procedurally
+// generated embedding table (Gaussian, seeded by `seed` and `token`), shaped
+// [1, hidden]. Deferred in simulate mode. The same (seed, token) pair always
+// yields the same embedding, which is what makes speculative and plain
+// greedy decoding comparable bit-for-bit in tests.
+tensor::Tensor TokenEmbedding(const model::ModelConfig& config, int32_t token,
+                              model::ExecutionMode mode, uint64_t seed);
+
+// Argmax over row `row` of a materialized [rows, vocab] logits tensor;
+// ties break toward the lower index.
+int32_t Argmax(const tensor::Tensor& logits, int64_t row);
+
+// Host-side n-gram self-draft: maps each context of up to `order` recent
+// tokens to the continuation most recently observed after it. Drafting backs
+// off to shorter contexts and finally repeats the last token, so it always
+// proposes something.
+class NgramDrafter {
+ public:
+  explicit NgramDrafter(int order);
+
+  // Records `token` as the continuation of the current history.
+  void Observe(int32_t token);
+  void ObserveAll(const std::vector<int32_t>& tokens);
+
+  // Proposes `k` tokens assuming `next` follows the observed history
+  // (`next` is the pending token whose successors are being drafted).
+  // Pure lookup: observes nothing.
+  std::vector<int32_t> Draft(int32_t next, int k) const;
+
+ private:
+  int order_;
+  std::vector<int32_t> history_;
+  // Context (1..order_ trailing tokens) -> most recent continuation.
+  std::map<std::vector<int32_t>, int32_t> table_;
+};
+
+struct SpeculativeOptions {
+  // Draft tokens verified per step (k). The verify pass runs at k+1 rows,
+  // and the last rounds of a generation shrink k to the tokens remaining,
+  // so the target engine needs every decode width 1..window+1 pre-compiled
+  // (`EngineOptions::decode_widths`).
+  int window = 3;
+  // Context length of the n-gram self-draft fallback.
+  int ngram_order = 2;
+  // Simulate-mode acceptance probability per draft position (compute mode
+  // accepts by real argmax agreement instead).
+  double sim_acceptance = 0.75;
+  // Seeds the synthetic embedding table and the simulate-mode draws.
+  uint64_t seed = 17;
+  // Host-side cost per n-gram draft token (table lookup); draft-model
+  // drafting is priced by the draft engine's own decode steps instead.
+  MicroSeconds draft_cost_us = 5.0;
+  // Optional draft model (a smaller EngineBase on the same platform). The
+  // decoder keeps the draft cache in lockstep with the target cache,
+  // including rollback of rejected drafts. Null = n-gram self-draft.
+  core::EngineBase* draft_engine = nullptr;
+};
+
+struct SpeculativeStats {
+  int64_t emitted_tokens = 0;   // tokens produced (drafts accepted + bonus)
+  int64_t draft_tokens = 0;     // drafts proposed
+  int64_t accepted_tokens = 0;  // drafts accepted
+  int64_t verify_steps = 0;     // batched verify passes
+  int64_t rollback_tokens = 0;  // rejected rows rolled back
+  MicroSeconds decode_time = 0;  // draft + verify wall time (simulated)
+
+  double acceptance_rate() const {
+    return draft_tokens > 0
+               ? static_cast<double>(accepted_tokens) /
+                     static_cast<double>(draft_tokens)
+               : 0;
+  }
+  // Tokens emitted per verify step; > 1 means speculation is paying off.
+  double tokens_per_step() const {
+    return verify_steps > 0 ? static_cast<double>(emitted_tokens) /
+                                  static_cast<double>(verify_steps)
+                            : 0;
+  }
+  double tokens_per_s() const {
+    return decode_time > 0 && emitted_tokens > 0
+               ? emitted_tokens / ToSeconds(decode_time)
+               : 0;
+  }
+};
+
+// Single-session speculative decoder over a caller-provided cache (works on
+// both pooled and contiguous caches, in either execution mode).
+class SpeculativeDecoder {
+ public:
+  // `cache` must be empty and outlive the decoder; its capacity must cover
+  // prompt + generated + window tokens (the verify step transiently
+  // overshoots by the rejected suffix before rolling it back).
+  SpeculativeDecoder(core::EngineBase* engine, model::KvCache* cache,
+                     const SpeculativeOptions& options);
+
+  // Prefills `prompt` (token ids -> synthetic embeddings) and arms the
+  // first pending token. Call exactly once, before Generate.
+  void Prefill(const std::vector<int32_t>& prompt);
+
+  // Generates `count` tokens greedily (speculate + verify + rollback);
+  // returns them in order. Callable repeatedly; stats accumulate.
+  std::vector<int32_t> Generate(int count);
+
+  const SpeculativeStats& stats() const { return stats_; }
+
+ private:
+  // Proposes k drafts following `pending_` (draft engine or n-gram).
+  std::vector<int32_t> DraftWindow(int k);
+  // Brings the draft cache to `target`'s committed length (feeds tokens the
+  // draft model has not seen yet, at most one per round).
+  void CatchUpDraft();
+
+  core::EngineBase* engine_;
+  model::KvCache* cache_;
+  SpeculativeOptions options_;
+  model::ExecutionMode mode_;
+  std::unique_ptr<model::KvCache> draft_cache_;
+  NgramDrafter ngram_;
+  Rng sim_rng_;
+  // prompt + emitted tokens, in order (the committed sequence).
+  std::vector<int32_t> tokens_;
+  // Last sampled token: not yet emitted, KV not yet in the cache — the
+  // same state a plain greedy loop is in between decode steps.
+  int32_t pending_ = -1;
+  bool prefilled_ = false;
+  SpeculativeStats stats_;
+};
+
+}  // namespace heterollm::serve
+
+#endif  // SRC_SERVE_SPECULATIVE_H_

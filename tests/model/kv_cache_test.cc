@@ -1,5 +1,6 @@
 #include "src/model/kv_cache.h"
 
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -156,6 +157,76 @@ TEST(KvCacheDeathTest, AppendOutsideStepAborts) {
   Rng rng(8);
   Tensor k = Tensor::Random(Shape({1, cfg.kv_dim()}), rng);
   EXPECT_DEATH(cache.AppendLayer(0, k, k), "step");
+}
+
+// Appends `rows` random rows to every layer in one committed step.
+void AppendRows(KvCache* cache, const ModelConfig& cfg, int64_t rows,
+                Rng& rng) {
+  const Tensor k = Tensor::Random(Shape({rows, cfg.kv_dim()}), rng);
+  const Tensor v = Tensor::Random(Shape({rows, cfg.kv_dim()}), rng);
+  cache->AppendStep(
+      std::vector<Tensor>(static_cast<size_t>(cfg.num_layers), k),
+      std::vector<Tensor>(static_cast<size_t>(cfg.num_layers), v));
+}
+
+TEST(KvCacheTest, RollbackToTruncatesAndAllowsRedecode) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 32, ExecutionMode::kCompute);
+  Rng rng(9);
+  AppendRows(&cache, cfg, 6, rng);
+  const Tensor kept = cache.K(0).SliceRows(0, 3);
+
+  cache.RollbackTo(3);
+  EXPECT_EQ(cache.length(), 3);
+  EXPECT_EQ(cache.K(0).shape().rows(), 3);
+  EXPECT_EQ(Tensor::MaxAbsDiff(cache.K(0), kept), 0.0f);
+
+  // The truncated tail is writable again.
+  AppendRows(&cache, cfg, 2, rng);
+  EXPECT_EQ(cache.length(), 5);
+  EXPECT_EQ(Tensor::MaxAbsDiff(cache.K(0).SliceRows(0, 3), kept), 0.0f);
+
+  // No-op rollback and rollback-to-empty are both legal.
+  cache.RollbackTo(5);
+  EXPECT_EQ(cache.length(), 5);
+  cache.RollbackTo(0);
+  EXPECT_EQ(cache.length(), 0);
+}
+
+TEST(KvCacheTest, TryReserveStepOnContiguousCacheIsIdempotent) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
+  Rng rng(10);
+  EXPECT_TRUE(cache.TryReserveStep(4));
+  // BeginStep re-runs the reservation; holding the rows already makes it a
+  // no-op rather than a double allocation.
+  AppendRows(&cache, cfg, 4, rng);
+  EXPECT_EQ(cache.length(), 4);
+}
+
+TEST(KvCacheTest, MoveLeavesSourceInert) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  Rng rng(11);
+  KvCache cache(cfg, 32, ExecutionMode::kCompute);
+  AppendRows(&cache, cfg, 5, rng);
+  const Tensor before = cache.K(0);
+
+  KvCache moved = std::move(cache);
+  EXPECT_EQ(moved.length(), 5);
+  EXPECT_EQ(moved.held_blocks(), 1);
+  EXPECT_EQ(Tensor::MaxAbsDiff(moved.K(0), before), 0.0f);
+  // NOLINTNEXTLINE(bugprone-use-after-move): the inert-source contract.
+  EXPECT_EQ(cache.length(), 0);
+  EXPECT_EQ(cache.held_blocks(), 0);
+  // Both destructors run at scope exit; the moved-from shell must not
+  // release the block the target now owns.
+}
+
+TEST(KvCacheDeathTest, RollbackDuringOpenStepAborts) {
+  ModelConfig cfg = ModelConfig::Tiny();
+  KvCache cache(cfg, 16, ExecutionMode::kCompute);
+  cache.BeginStep(2);
+  EXPECT_DEATH(cache.RollbackTo(0), "uncommitted step");
 }
 
 }  // namespace

@@ -274,5 +274,106 @@ TEST(PooledComputeTest, PrefillFromCachedPrefixMatchesFullPrefill) {
   EXPECT_EQ(second.length(), 32);
 }
 
+// Appends `rows` random rows to every layer in one committed step.
+void AppendRows(KvCache* cache, const ModelConfig& cfg, int64_t rows,
+                Rng& rng) {
+  const Tensor k = Tensor::Random(Shape({rows, cfg.kv_dim()}), rng);
+  const Tensor v = Tensor::Random(Shape({rows, cfg.kv_dim()}), rng);
+  cache->AppendStep(
+      std::vector<Tensor>(static_cast<size_t>(cfg.num_layers), k),
+      std::vector<Tensor>(static_cast<size_t>(cfg.num_layers), v));
+}
+
+TEST(KvCacheRollbackTest, PooledRollbackReleasesWholeBlocks) {
+  const ModelConfig cfg = ModelConfig::Tiny();
+  KvBlockPool pool(cfg, /*block_tokens=*/4, /*num_blocks=*/8,
+                   ExecutionMode::kCompute);
+  Rng rng(31);
+  KvCache cache = pool.MakeCache(/*max_tokens=*/32);
+  AppendRows(&cache, cfg, 10, rng);  // 3 blocks: 4 + 4 + 2
+  ASSERT_EQ(cache.held_blocks(), 3);
+  ASSERT_EQ(pool.used_blocks(), 3);
+  const Tensor kept = cache.K(0).SliceRows(0, 5);
+
+  cache.RollbackTo(5);  // back into block 1: block 2 returns to the pool
+  EXPECT_EQ(cache.length(), 5);
+  EXPECT_EQ(cache.held_blocks(), 2);
+  EXPECT_EQ(pool.used_blocks(), 2);
+  EXPECT_EQ(Tensor::MaxAbsDiff(cache.K(0), kept), 0.0f);
+
+  cache.RollbackTo(4);  // exact boundary: one block spans 4 tokens
+  EXPECT_EQ(cache.held_blocks(), 1);
+
+  // The freed span is writable again and the survivors are intact.
+  AppendRows(&cache, cfg, 3, rng);
+  EXPECT_EQ(cache.length(), 7);
+  EXPECT_EQ(Tensor::MaxAbsDiff(cache.K(0).SliceRows(0, 4), kept.SliceRows(0, 4)),
+            0.0f);
+
+  cache.Reset();
+  EXPECT_EQ(pool.used_blocks(), 0);
+}
+
+// Regression (the admission/fork accounting seam): with a shared partial
+// tail and a single free block, the copy-on-write fork consumes the last
+// block and the fresh allocation fails — the reservation must unwind to
+// exactly the prior state instead of leaking the fork or aborting.
+TEST(KvCacheRollbackTest, TryReserveStepFailureIsAtomic) {
+  const ModelConfig cfg = ModelConfig::Tiny();
+  KvBlockPool pool(cfg, /*block_tokens=*/4, /*num_blocks=*/2,
+                   ExecutionMode::kCompute);
+  Rng rng(32);
+
+  KvCache a = pool.MakeCache(/*max_tokens=*/8);
+  AppendRows(&a, cfg, 2, rng);  // partial tail block
+  const int32_t shared = a.blocks()[0];
+  pool.AddRef(shared);
+  pool.AddRef(shared);
+  a.Reset();
+  ASSERT_EQ(pool.ref_count(shared), 2);  // prefix pin + adopter-to-be
+  ASSERT_EQ(pool.free_blocks(), 1);
+
+  KvCache b = pool.MakeCache(/*max_tokens=*/8);
+  b.AdoptPrefix({shared}, /*tokens=*/2);
+  // BlocksNeededFor prices the fork exactly as the reservation consumes it.
+  EXPECT_EQ(b.BlocksNeededFor(3), 2);  // CoW fork + one spill block
+
+  EXPECT_FALSE(b.TryReserveStep(3));
+  // Unwound: the fork went back, the shared block kept both refs, and the
+  // cache is byte-for-byte where it was.
+  EXPECT_EQ(pool.free_blocks(), 1);
+  EXPECT_EQ(pool.ref_count(shared), 2);
+  EXPECT_EQ(b.length(), 2);
+  EXPECT_EQ(b.blocks(), (std::vector<int32_t>{shared}));
+  EXPECT_FALSE(b.step_open());
+
+  // A smaller step that fits (fork only, rows stay in the tail block)
+  // still succeeds afterwards.
+  EXPECT_TRUE(b.TryReserveStep(2));
+  AppendRows(&b, cfg, 2, rng);
+  EXPECT_EQ(b.length(), 4);
+  EXPECT_NE(b.blocks()[0], shared);  // writes went to the private fork
+  // The fork released b's adoption ref; only the prefix pin remains.
+  EXPECT_EQ(pool.ref_count(shared), 1);
+  pool.ReleaseBlock(shared);
+}
+
+// BlocksNeededFor must agree with what appending actually takes from the
+// pool — the scheduler's admission and iteration reservations are priced
+// with it, so an off-by-one here livelocks or aborts serving.
+TEST(KvCacheRollbackTest, BlocksNeededForMatchesActualConsumption) {
+  const ModelConfig cfg = ModelConfig::Tiny();
+  KvBlockPool pool(cfg, /*block_tokens=*/4, /*num_blocks=*/16,
+                   ExecutionMode::kCompute);
+  Rng rng(33);
+  KvCache cache = pool.MakeCache(/*max_tokens=*/64);
+  for (const int64_t rows : {3, 1, 2, 6, 4}) {
+    const int64_t predicted = cache.BlocksNeededFor(rows);
+    const int64_t before = pool.used_blocks();
+    AppendRows(&cache, cfg, rows, rng);
+    EXPECT_EQ(pool.used_blocks() - before, predicted) << "rows=" << rows;
+  }
+}
+
 }  // namespace
 }  // namespace heterollm::serve
