@@ -18,7 +18,7 @@
 #include "src/model/kv_cache.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
-#include "src/serve/serving_engine.h"
+#include "src/serve/replica.h"
 #include "src/serve/serving_metrics.h"
 
 namespace heterollm {
@@ -26,7 +26,6 @@ namespace {
 
 using model::KvCache;
 using model::ModelConfig;
-using serve::IterationScheduler;
 using serve::RequestQueue;
 using serve::SchedulerOptions;
 using serve::ServingMetrics;
@@ -49,17 +48,18 @@ RequestQueue MakeTrace() {
 ServingMetrics ServeOnce(const model::ModelWeights& weights,
                          const RequestQueue& trace, bool enable_prefix) {
   const ModelConfig cfg = ModelConfig::InternLM1_8B();
-  core::Platform platform(core::PlatformOptionsFor(kEngine));
-  SchedulerOptions opts;
-  opts.max_decode_batch = kMaxBatch;
-  opts.enable_prefix_cache = enable_prefix;
+  serve::ReplicaOptions ropts;
+  ropts.platform = core::PlatformOptionsFor(kEngine);
+  ropts.engine = kEngine;
+  ropts.scheduler.max_decode_batch = kMaxBatch;
+  ropts.scheduler.enable_prefix_cache = enable_prefix;
   // Tight pool: ~2.5 whole conversations of headroom. Without sharing the
   // reservation math serializes admissions; with the shared head counted
   // once, most sessions only add their private suffix blocks.
-  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 1200);
-  auto engine = serve::BuildServingEngine(&platform, &weights, opts, kEngine);
-  HCHECK(engine.ok());
-  return IterationScheduler(engine->get(), opts).Run(trace);
+  ropts.scheduler.kv_budget_bytes = KvCache::BytesForTokens(cfg, 1200);
+  auto replica = serve::Replica::Create(ropts, &weights);
+  HCHECK(replica.ok());
+  return (*replica)->Serve(trace);
 }
 
 double MeanTtftUs(const ServingMetrics& m) {

@@ -15,15 +15,14 @@
 #include "src/common/strings.h"
 #include "src/common/table.h"
 #include "src/serve/iteration_scheduler.h"
+#include "src/serve/replica.h"
 #include "src/serve/request_queue.h"
-#include "src/serve/serving_engine.h"
 #include "src/serve/serving_metrics.h"
 
 namespace heterollm {
 namespace {
 
 using model::ModelConfig;
-using serve::IterationScheduler;
 using serve::RequestQueue;
 using serve::SchedulePolicy;
 using serve::SchedulerOptions;
@@ -42,13 +41,14 @@ RequestQueue MakeTrace(int sessions) {
 
 ServingMetrics ServeOnce(const model::ModelWeights& weights, int sessions,
                          SchedulePolicy policy) {
-  core::Platform platform(core::PlatformOptionsFor(kEngine));
-  SchedulerOptions opts;
-  opts.policy = policy;
-  opts.max_decode_batch = kMaxBatch;
-  auto engine = serve::BuildServingEngine(&platform, &weights, opts, kEngine);
-  HCHECK(engine.ok());
-  return IterationScheduler(engine->get(), opts).Run(MakeTrace(sessions));
+  serve::ReplicaOptions ropts;
+  ropts.platform = core::PlatformOptionsFor(kEngine);
+  ropts.engine = kEngine;
+  ropts.scheduler.policy = policy;
+  ropts.scheduler.max_decode_batch = kMaxBatch;
+  auto replica = serve::Replica::Create(ropts, &weights);
+  HCHECK(replica.ok());
+  return (*replica)->Serve(MakeTrace(sessions));
 }
 
 void PrintServingComparison(report::BenchReport& report) {

@@ -26,7 +26,7 @@
 #include "src/model/kv_cache.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
-#include "src/serve/serving_engine.h"
+#include "src/serve/replica.h"
 #include "src/serve/serving_metrics.h"
 #include "src/serve/speculative.h"
 
@@ -35,7 +35,6 @@ namespace {
 
 using model::KvCache;
 using model::ModelConfig;
-using serve::IterationScheduler;
 using serve::RequestQueue;
 using serve::SchedulerOptions;
 using serve::ServingMetrics;
@@ -123,14 +122,15 @@ RequestQueue MakeServingTrace() {
 ServingMetrics ServeOnce(const model::ModelWeights& weights,
                          const RequestQueue& trace, int window) {
   const ModelConfig cfg = ModelConfig::InternLM1_8B();
-  core::Platform platform(core::PlatformOptionsFor(kEngine));
-  SchedulerOptions opts;
-  opts.max_decode_batch = 4;
-  opts.speculative_window = window;
-  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 4096);
-  auto engine = serve::BuildServingEngine(&platform, &weights, opts, kEngine);
-  HCHECK(engine.ok());
-  return IterationScheduler(engine->get(), opts).Run(trace);
+  serve::ReplicaOptions ropts;
+  ropts.platform = core::PlatformOptionsFor(kEngine);
+  ropts.engine = kEngine;
+  ropts.scheduler.max_decode_batch = 4;
+  ropts.scheduler.speculative_window = window;
+  ropts.scheduler.kv_budget_bytes = KvCache::BytesForTokens(cfg, 4096);
+  auto replica = serve::Replica::Create(ropts, &weights);
+  HCHECK(replica.ok());
+  return (*replica)->Serve(trace);
 }
 
 void AddSingleSessionMetrics(report::BenchReport& report,

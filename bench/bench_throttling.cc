@@ -22,7 +22,7 @@
 #include "src/common/table.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
-#include "src/serve/serving_engine.h"
+#include "src/serve/replica.h"
 #include "src/serve/serving_metrics.h"
 #include "src/sim/thermal_model.h"
 
@@ -30,7 +30,6 @@ namespace heterollm {
 namespace {
 
 using model::ModelConfig;
-using serve::IterationScheduler;
 using serve::RequestQueue;
 using serve::SchedulerOptions;
 using serve::ServingMetrics;
@@ -90,23 +89,19 @@ struct ThrottledRun {
 };
 
 ThrottledRun ServeOnce(const model::ModelWeights& weights, bool reactive) {
-  core::PlatformOptions popts = core::PlatformOptionsFor(kEngine);
-  popts.thermal = sim::ThermalConfig::MobileSustained();
-  popts.conditions = ThrottleTrace();
-  core::Platform platform(popts);
-
-  core::EngineOptions eopts;
-  eopts.reactive_replanning = reactive;
-  SchedulerOptions sopts;
-  sopts.max_decode_batch = kMaxBatch;
-  auto built =
-      serve::BuildServingEngine(&platform, &weights, sopts, kEngine, eopts);
-  HCHECK(built.ok());
-  std::unique_ptr<core::EngineBase> engine = std::move(built).value();
+  serve::ReplicaOptions ropts;
+  ropts.platform = core::PlatformOptionsFor(kEngine);
+  ropts.platform.thermal = sim::ThermalConfig::MobileSustained();
+  ropts.platform.conditions = ThrottleTrace();
+  ropts.engine = kEngine;
+  ropts.engine_options.reactive_replanning = reactive;
+  ropts.scheduler.max_decode_batch = kMaxBatch;
+  auto replica = serve::Replica::Create(ropts, &weights);
+  HCHECK(replica.ok());
 
   ThrottledRun run;
-  run.metrics = IterationScheduler(engine.get(), sopts).Run(MakeTrace());
-  const sim::SocSimulator& soc = platform.soc();
+  run.metrics = (*replica)->Serve(MakeTrace());
+  const sim::SocSimulator& soc = (*replica)->platform().soc();
   for (int u = 0; u < soc.unit_count(); ++u) {
     run.unit_names.push_back(soc.unit_spec(u).name);
     run.frequency_factor.push_back(soc.UnitFrequencyFactor(u));

@@ -17,7 +17,7 @@
 #include "src/core/engine_registry.h"
 #include "src/serve/iteration_scheduler.h"
 #include "src/serve/request_queue.h"
-#include "src/serve/serving_engine.h"
+#include "src/serve/replica.h"
 #include "src/serve/serving_metrics.h"
 #include "src/sim/thermal_model.h"
 
@@ -50,18 +50,18 @@ int main(int argc, char** argv) {
       cap.frequency_cap = 0.5;
       popts.conditions = {cap};
     }
-    core::Platform platform(popts);
-    serve::SchedulerOptions opts;
-    opts.policy = policy;
-    opts.max_decode_batch = max_batch;
-    StatusOr<std::unique_ptr<core::EngineBase>> engine =
-        serve::BuildServingEngine(&platform, &weights, opts);
-    if (!engine.ok()) {
-      std::fprintf(stderr, "engine setup failed: %s\n",
-                   engine.status().ToString().c_str());
+    serve::ReplicaOptions ropts;
+    ropts.platform = popts;
+    ropts.scheduler.policy = policy;
+    ropts.scheduler.max_decode_batch = max_batch;
+    StatusOr<std::unique_ptr<serve::Replica>> replica =
+        serve::Replica::Create(ropts, &weights);
+    if (!replica.ok()) {
+      std::fprintf(stderr, "replica setup failed: %s\n",
+                   replica.status().ToString().c_str());
       std::exit(1);
     }
-    return serve::IterationScheduler(engine->get(), opts).Run(queue);
+    return (*replica)->Serve(queue);
   };
 
   std::printf("== serial FIFO replay (%d sessions, InternLM-1.8B) ==\n",

@@ -1,5 +1,7 @@
 #include "src/core/platform.h"
 
+#include "src/sim/soc_spec.h"
+
 namespace heterollm::core {
 
 PlatformOptions PlatformOptions::Snapdragon8Gen3() {
@@ -9,6 +11,21 @@ PlatformOptions PlatformOptions::Snapdragon8Gen3() {
   opts.memory.soc_bandwidth_bytes_per_us = 68e3;
   opts.memory.multi_stream_efficiency = 59.1 / 68.0;
   // Device defaults already encode the 8 Gen 3 calibration.
+  return opts;
+}
+
+PlatformOptions PlatformOptions::FromSocSpec(const sim::SocSpec& spec) {
+  const sim::SocSpec& ref = sim::FindSocSpec("8 Gen 3");
+  // Undisclosed NPU FP16 rates fall back to the paper's estimate of half
+  // the INT8 rate (soc_spec.h), so every catalog device keeps a usable
+  // FP16 path for prefill.
+  const auto npu_fp16 = [](const sim::SocSpec& s) {
+    return s.npu_fp16_tflops > 0 ? s.npu_fp16_tflops : s.npu_int8_tops / 2.0;
+  };
+  PlatformOptions opts = Snapdragon8Gen3();
+  opts.gpu.effective_fp16_tflops *= spec.gpu_fp16_tflops / ref.gpu_fp16_tflops;
+  opts.npu.effective_fp16_tflops *= npu_fp16(spec) / npu_fp16(ref);
+  opts.npu.effective_int8_tops *= spec.npu_int8_tops / ref.npu_int8_tops;
   return opts;
 }
 

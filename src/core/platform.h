@@ -17,6 +17,10 @@
 #include "src/hal/unified_memory.h"
 #include "src/sim/soc_simulator.h"
 
+namespace heterollm::sim {
+struct SocSpec;
+}  // namespace heterollm::sim
+
 namespace heterollm::core {
 
 struct PlatformOptions {
@@ -34,6 +38,16 @@ struct PlatformOptions {
 
   // Defaults calibrated to the Qualcomm Snapdragon 8 Gen 3 (DESIGN.md §5).
   static PlatformOptions Snapdragon8Gen3();
+
+  // Any Table 1 device (src/sim/soc_spec.h), derived from the 8 Gen 3
+  // calibration by scaling each unit's *effective* rate by the ratio of
+  // theoretical peaks — i.e. the achieved/theoretical derating measured on
+  // the 8 Gen 3 is assumed to carry over. NPUs whose FP16 rate the vendor
+  // does not disclose (Orin, FSD) get the paper's estimate of half the
+  // INT8 rate. Memory-system, latency and power calibrations stay at the
+  // 8 Gen 3 reference values — Table 1 does not characterize them, so
+  // cross-SoC results isolate the compute-throughput axis.
+  static PlatformOptions FromSocSpec(const sim::SocSpec& spec);
 };
 
 class Platform {

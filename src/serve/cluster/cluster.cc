@@ -1,0 +1,88 @@
+#include "src/serve/cluster/cluster.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace heterollm::serve {
+
+Cluster::Cluster(std::vector<std::unique_ptr<Replica>> replicas,
+                 const ClusterOptions& options)
+    : replicas_(std::move(replicas)), options_(options) {
+  HCHECK_MSG(!replicas_.empty(), "cluster needs at least one replica");
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    HCHECK(r != nullptr);
+  }
+}
+
+ClusterMetrics Cluster::Serve(const RequestQueue& queue) {
+  const std::vector<Request>& requests = queue.requests();
+  for (size_t i = 1; i < requests.size(); ++i) {
+    HCHECK_MSG(requests[i].arrival >= requests[i - 1].arrival,
+               "cluster trace must be sorted by arrival");
+  }
+
+  std::vector<Replica*> raw;
+  raw.reserve(replicas_.size());
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    r->BeginWindow();
+    raw.push_back(r.get());
+  }
+  ClusterRouter router(raw, options_.router);
+
+  constexpr MicroSeconds kNever = std::numeric_limits<MicroSeconds>::max();
+  size_t next_arrival = 0;
+  const auto arrival_time = [&]() -> MicroSeconds {
+    return next_arrival < requests.size() ? requests[next_arrival].arrival
+                                          : kNever;
+  };
+  // The replica furthest behind in virtual time among those with work:
+  // stepping it is the earliest replica-side event.
+  const auto earliest_replica = [&]() -> Replica* {
+    Replica* pick = nullptr;
+    for (const std::unique_ptr<Replica>& r : replicas_) {
+      if (r->has_work() && (pick == nullptr || r->now() < pick->now())) {
+        pick = r.get();
+      }
+    }
+    return pick;
+  };
+
+  while (next_arrival < requests.size() || router.pending() > 0 ||
+         earliest_replica() != nullptr) {
+    Replica* behind = earliest_replica();
+    if (behind != nullptr && behind->now() <= arrival_time()) {
+      behind->StepRound();
+    } else if (next_arrival < requests.size()) {
+      router.Offer(requests[next_arrival++]);
+    } else {
+      // Pending requests, idle replicas, no arrivals left: the only way
+      // forward is a dispatch, and one must land — idle replicas have load
+      // 0 and max_replica_queue >= 1, so the head always has a taker.
+      const int dispatched = router.DispatchReady();
+      HCHECK_MSG(dispatched > 0,
+                 "cluster stalled: pending requests but no dispatch");
+      continue;
+    }
+    // Refresh routing after every event so dispatch decisions read replica
+    // load and prefix estimates at the current virtual time.
+    router.DispatchReady();
+  }
+
+  ClusterMetrics out;
+  out.slo = options_.slo;
+  out.offered = router.offered();
+  out.rejected = router.rejected();
+  out.replicas.reserve(replicas_.size());
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    ClusterMetrics::ReplicaRow row;
+    row.name = r->name();
+    row.device = r->device();
+    row.metrics = r->EndWindow();
+    out.replicas.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace heterollm::serve

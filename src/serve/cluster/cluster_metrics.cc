@@ -1,0 +1,194 @@
+#include "src/serve/cluster/cluster_metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace heterollm::serve {
+
+namespace {
+
+// Spans of one kind pooled across every replica's request rows.
+std::vector<MicroSeconds> PoolSpans(
+    const std::vector<ClusterMetrics::ReplicaRow>& replicas,
+    MicroSeconds (RequestMetrics::*span)() const) {
+  std::vector<MicroSeconds> all;
+  for (const ClusterMetrics::ReplicaRow& row : replicas) {
+    std::vector<MicroSeconds> one = CollectSpans(row.metrics.requests, span);
+    all.insert(all.end(), one.begin(), one.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+int64_t ClusterMetrics::completed() const {
+  int64_t n = 0;
+  for (const ReplicaRow& row : replicas) {
+    for (const RequestMetrics& r : row.metrics.requests) {
+      if (r.completion > 0) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+int64_t ClusterMetrics::slo_attained() const {
+  int64_t n = 0;
+  for (const ReplicaRow& row : replicas) {
+    for (const RequestMetrics& r : row.metrics.requests) {
+      if (slo.Attained(r)) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+MicroSeconds ClusterMetrics::makespan() const {
+  if (replicas.empty()) {
+    return 0;
+  }
+  MicroSeconds start = replicas.front().metrics.window_start;
+  MicroSeconds end = replicas.front().metrics.window_end;
+  for (const ReplicaRow& row : replicas) {
+    start = std::min(start, row.metrics.window_start);
+    end = std::max(end, row.metrics.window_end);
+  }
+  return end > start ? end - start : 0;
+}
+
+double ClusterMetrics::goodput_rps() const {
+  const MicroSeconds span = makespan();
+  return span > 0 ? slo_attained() / ToSeconds(span) : 0;
+}
+
+double ClusterMetrics::slo_attainment() const {
+  return offered > 0
+             ? static_cast<double>(slo_attained()) / static_cast<double>(offered)
+             : 0;
+}
+
+double ClusterMetrics::aggregate_tokens_per_s() const {
+  const MicroSeconds span = makespan();
+  if (span <= 0) {
+    return 0;
+  }
+  int64_t tokens = 0;
+  for (const ReplicaRow& row : replicas) {
+    tokens += row.metrics.total_tokens();
+  }
+  return tokens / ToSeconds(span);
+}
+
+TailStats ClusterMetrics::ttft_tail() const {
+  return TailOf(PoolSpans(replicas, &RequestMetrics::ttft));
+}
+
+TailStats ClusterMetrics::tpot_tail() const {
+  return TailOf(PoolSpans(replicas, &RequestMetrics::tpot));
+}
+
+TailStats ClusterMetrics::latency_tail() const {
+  return TailOf(PoolSpans(replicas, &RequestMetrics::e2e_latency));
+}
+
+double ClusterMetrics::prefix_hit_rate() const {
+  int64_t hit = 0;
+  int64_t prefilled = 0;
+  for (const ReplicaRow& row : replicas) {
+    hit += row.metrics.prefix_hit_tokens;
+    prefilled += row.metrics.prefilled_tokens;
+  }
+  return prefilled > 0
+             ? static_cast<double>(hit) / static_cast<double>(prefilled)
+             : 0;
+}
+
+std::string ClusterMetrics::Render() const {
+  std::string out;
+  TextTable table({"replica", "device", "reqs", "tok/s", "ttft p99 (ms)",
+                   "tpot p99 (ms)", "prefix hit", "busy gpu/npu"});
+  for (const ReplicaRow& row : replicas) {
+    const ServingMetrics& m = row.metrics;
+    double gpu_util = 0;
+    double npu_util = 0;
+    for (const core::ExecutionReport::UnitRow& u : m.report.units) {
+      if (u.unit == "gpu") {
+        gpu_util = u.utilization;
+      } else if (u.unit == "npu") {
+        npu_util = u.utilization;
+      }
+    }
+    table.AddRow({row.name, row.device, StrFormat("%zu", m.requests.size()),
+                  StrFormat("%.1f", m.aggregate_tokens_per_s()),
+                  StrFormat("%.1f", ToMillis(m.ttft_tail().p99)),
+                  StrFormat("%.2f", ToMillis(m.tpot_tail().p99)),
+                  StrFormat("%.1f%%", 100.0 * m.prefix_hit_rate()),
+                  StrFormat("%.0f%%/%.0f%%", 100.0 * gpu_util,
+                            100.0 * npu_util)});
+  }
+  out += table.Render();
+  const TailStats ttft = ttft_tail();
+  const TailStats tpot = tpot_tail();
+  const TailStats latency = latency_tail();
+  out += StrFormat(
+      "\noffered=%lld rejected=%lld completed=%lld  "
+      "slo attained=%lld (%.1f%%)  goodput=%.2f req/s  makespan=%.1f ms\n"
+      "cluster tok/s=%.1f  TTFT p50/p99=%.1f/%.1f ms  "
+      "TPOT p50/p99=%.2f/%.2f ms  latency p99=%.1f ms  prefix hit=%.1f%%\n",
+      static_cast<long long>(offered), static_cast<long long>(rejected),
+      static_cast<long long>(completed()),
+      static_cast<long long>(slo_attained()), 100.0 * slo_attainment(),
+      goodput_rps(), ToMillis(makespan()), aggregate_tokens_per_s(),
+      ToMillis(ttft.p50), ToMillis(ttft.p99), ToMillis(tpot.p50),
+      ToMillis(tpot.p99), ToMillis(latency.p99), 100.0 * prefix_hit_rate());
+  return out;
+}
+
+report::JsonValue ClusterMetrics::ToJsonValue() const {
+  report::JsonValue doc = report::JsonValue::Object();
+  doc.Set("replica_count", static_cast<int64_t>(replicas.size()));
+  doc.Set("offered", offered);
+  doc.Set("rejected", rejected);
+  doc.Set("completed", completed());
+  doc.Set("slo_ttft_us", slo.ttft_us);
+  doc.Set("slo_tpot_us", slo.tpot_us);
+  doc.Set("slo_attained", slo_attained());
+  doc.Set("slo_attainment", slo_attainment());
+  doc.Set("goodput_rps", goodput_rps());
+  doc.Set("makespan_us", makespan());
+  doc.Set("tokens_per_s", aggregate_tokens_per_s());
+  const TailStats ttft = ttft_tail();
+  const TailStats tpot = tpot_tail();
+  const TailStats latency = latency_tail();
+  doc.Set("ttft_p50_us", ttft.p50);
+  doc.Set("ttft_p99_us", ttft.p99);
+  doc.Set("tpot_p50_us", tpot.p50);
+  doc.Set("tpot_p99_us", tpot.p99);
+  doc.Set("latency_p50_us", latency.p50);
+  doc.Set("latency_p99_us", latency.p99);
+  doc.Set("prefix_hit_rate", prefix_hit_rate());
+  report::JsonValue rows = report::JsonValue::Array();
+  for (const ReplicaRow& row : replicas) {
+    report::JsonValue r = report::JsonValue::Object();
+    r.Set("name", row.name);
+    r.Set("device", row.device);
+    report::JsonValue util = report::JsonValue::Object();
+    for (const core::ExecutionReport::UnitRow& u : row.metrics.report.units) {
+      util.Set(u.unit, u.utilization);
+    }
+    r.Set("utilization", std::move(util));
+    r.Set("serving", row.metrics.ToJsonValue());
+    rows.Append(std::move(r));
+  }
+  doc.Set("replicas", std::move(rows));
+  return doc;
+}
+
+std::string ClusterMetrics::ToJson() const { return ToJsonValue().Dump(); }
+
+}  // namespace heterollm::serve

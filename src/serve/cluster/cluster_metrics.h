@@ -1,0 +1,89 @@
+// Cluster-level SLO metrics: the fleet view over N replica serving windows.
+//
+// Each replica finishes its window with an ordinary `ServingMetrics`; this
+// layer pools them — cluster-wide TTFT/TPOT/latency tails are taken over
+// the *union* of per-request spans (via the same `CollectSpans`/`TailOf`
+// helpers the single-SoC renderers use, so a one-replica cluster reports
+// exactly what that replica would alone), goodput counts completed requests
+// that met the SLO against the cluster makespan, and the router's admission
+// counters (offered/rejected) sit alongside. Per-replica rows keep their
+// full ServingMetrics, so per-device utilization and prefix hit rates stay
+// inspectable per SoC.
+
+#ifndef SRC_SERVE_CLUSTER_CLUSTER_METRICS_H_
+#define SRC_SERVE_CLUSTER_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/report/json.h"
+#include "src/serve/serving_metrics.h"
+
+namespace heterollm::serve {
+
+// Per-request service-level objective. A request attains the SLO when it
+// completed and every *set* bound holds (0 = unconstrained axis).
+struct SloSpec {
+  MicroSeconds ttft_us = 0;
+  MicroSeconds tpot_us = 0;
+
+  bool Attained(const RequestMetrics& r) const {
+    if (r.completion <= 0) {
+      return false;
+    }
+    if (ttft_us > 0 && r.ttft() > ttft_us) {
+      return false;
+    }
+    if (tpot_us > 0 && r.tpot() > tpot_us) {
+      return false;
+    }
+    return true;
+  }
+};
+
+struct ClusterMetrics {
+  struct ReplicaRow {
+    std::string name;
+    std::string device;  // free-form SoC descriptor (ReplicaOptions::device)
+    ServingMetrics metrics;
+  };
+
+  std::vector<ReplicaRow> replicas;
+  SloSpec slo;
+  // Router admission counters: requests offered to the front-end, and
+  // offers bounced off the full pending queue (never served).
+  int64_t offered = 0;
+  int64_t rejected = 0;
+
+  // Requests served to completion across all replicas.
+  int64_t completed() const;
+  // Completed requests that attained the SLO.
+  int64_t slo_attained() const;
+  // Wall span of the whole run: latest replica window end minus earliest
+  // window start (replicas co-simulate from a common virtual t = 0).
+  MicroSeconds makespan() const;
+  // SLO-attaining completions per second of cluster makespan — the paper's
+  // serving-quality headline, not raw throughput.
+  double goodput_rps() const;
+  double slo_attainment() const;  // attained / offered
+  // Token throughput summed over replicas against the cluster makespan.
+  double aggregate_tokens_per_s() const;
+  // Cluster-wide tails over the pooled per-request spans.
+  TailStats ttft_tail() const;
+  TailStats tpot_tail() const;
+  TailStats latency_tail() const;
+  // Prefix hit rate over all replicas (pooled numerators/denominators).
+  double prefix_hit_rate() const;
+
+  // Human-readable fleet summary: one row per replica + aggregate line.
+  std::string Render() const;
+  // One JSON object (aggregates + per-replica ServingMetrics + per-unit
+  // utilization), composed with the report::Json writer.
+  report::JsonValue ToJsonValue() const;
+  std::string ToJson() const;
+};
+
+}  // namespace heterollm::serve
+
+#endif  // SRC_SERVE_CLUSTER_CLUSTER_METRICS_H_

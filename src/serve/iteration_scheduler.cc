@@ -43,104 +43,56 @@ StatusOr<SchedulerOptions> SchedulerOptions::Validated(
   return options;
 }
 
-IterationScheduler::IterationScheduler(core::EngineBase* engine,
-                                       const SchedulerOptions& options)
-    : engine_(engine), options_(options) {
-  HCHECK(engine != nullptr);
-  const Status valid = options.Validate();
-  HCHECK_MSG(valid.ok(), valid.message().c_str());
-}
-
 namespace {
 
 Tensor MakePrompt(int prompt_len, int64_t hidden) {
   return Tensor::Deferred(Shape({prompt_len, hidden}), tensor::DType::kFp16);
 }
 
+int64_t CheckedTotalBlocks(const model::ModelConfig& cfg, Bytes budget,
+                           int64_t block_tokens) {
+  const int64_t total = KvBlockPool::BlocksForBudget(cfg, budget, block_tokens);
+  HCHECK_MSG(total >= 1, "kv_budget_bytes smaller than one KV block");
+  return total;
+}
+
 }  // namespace
 
-ServingMetrics IterationScheduler::Run(const RequestQueue& queue) {
-  const std::vector<Request>& requests = queue.requests();
-  ServingMetrics metrics;
-  metrics.requests.resize(requests.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    metrics.requests[i].id = requests[i].id;
-    metrics.requests[i].arrival = requests[i].arrival;
-    metrics.requests[i].prompt_tokens = requests[i].prompt_len;
-  }
-  // Quiesce the device queues so the power snapshot marks a clean window
-  // boundary (a no-op when the platform is already idle).
-  sim::SocSimulator& soc = engine_->platform()->soc();
-  soc.DrainAll();
-  engine_->AdvanceHostTo(soc.now());
-  metrics.window_start = engine_->host_now();
-  const sim::PowerSnapshot power_start = soc.power().Snapshot();
-  const int replan_start = engine_->replan_events();
+// One continuous-batching window. This is the serving state that used to be
+// local to `RunContinuous`, lifted into a struct so an incremental driver
+// can hold it open across `Submit`/`StepRound` calls; the method bodies are
+// the former lambdas, unchanged, so `Run` (which loops `StepRound` to
+// completion) is step-for-step identical to the old single-pass loop.
+struct IterationScheduler::Continuous {
+  Continuous(core::EngineBase* engine, const SchedulerOptions& options,
+             ServingMetrics* m)
+      : engine(engine),
+        options(options),
+        m(m),
+        cfg(engine->model_config()),
+        soc(engine->platform()->soc()),
+        bt(options.kv_block_tokens),
+        spec_window(options.speculative_window),
+        spec_rng(options.speculative_seed),
+        total_blocks(
+            CheckedTotalBlocks(cfg, options.kv_budget_bytes, bt)),
+        pool(cfg, bt, total_blocks, model::ExecutionMode::kSimulate),
+        prefix(&pool),
+        use_prefix(options.enable_prefix_cache) {}
 
-  if (options_.policy == SchedulePolicy::kSerial) {
-    RunSerial(requests, &metrics);
-  } else {
-    RunContinuous(requests, &metrics);
-  }
-
-  // Let straggling device queues drain so utilization covers real work only.
-  soc.DrainAll();
-  engine_->AdvanceHostTo(soc.now());
-  metrics.window_end = engine_->host_now();
-  metrics.replan_events = engine_->replan_events() - replan_start;
-  metrics.energy = soc.power().TotalEnergySince(power_start, metrics.makespan());
-  metrics.avg_power_watts =
-      soc.power().AveragePowerWattsSince(power_start, metrics.makespan());
-  metrics.report = core::ExecutionReport::Build(
-      *engine_->platform(), metrics.window_start, metrics.window_end);
-  for (const RequestMetrics& r : metrics.requests) {
-    metrics.evictions += r.evictions;
-  }
-  return metrics;
-}
-
-void IterationScheduler::RunSerial(const std::vector<Request>& requests,
-                                   ServingMetrics* m) {
-  const model::ModelConfig& cfg = engine_->model_config();
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const Request& r = requests[i];
-    RequestMetrics& rm = m->requests[i];
-    engine_->AdvanceHostTo(r.arrival);
-    rm.admitted = engine_->host_now();
-    const Bytes need =
-        KvCache::BytesForTokens(cfg, r.prompt_len + r.decode_len);
-    HCHECK_MSG(need <= options_.kv_budget_bytes,
-               "request KV footprint exceeds the budget");
-    KvCache cache(cfg, r.prompt_len + std::max(r.decode_len, 1),
-                  model::ExecutionMode::kSimulate);
-    engine_->PrefillInto(&cache, MakePrompt(r.prompt_len, cfg.hidden));
-    rm.first_token = engine_->host_now();
-    std::vector<KvCache*> one = {&cache};
-    for (int t = 0; t < r.decode_len; ++t) {
-      engine_->BatchedDecodeStep(one);
-      ++rm.decoded_tokens;
-      ++m->decode_iterations;
-      m->avg_decode_batch += 1.0;
-    }
-    rm.completion = engine_->host_now();
-  }
-  if (m->decode_iterations > 0) {
-    m->avg_decode_batch /= m->decode_iterations;
-  }
-}
-
-void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
-                                       ServingMetrics* m) {
-  const model::ModelConfig& cfg = engine_->model_config();
-  sim::SocSimulator& soc = engine_->platform()->soc();
-  const int64_t bt = options_.kv_block_tokens;
+  core::EngineBase* engine;
+  const SchedulerOptions& options;
+  ServingMetrics* m;
+  const model::ModelConfig& cfg;
+  sim::SocSimulator& soc;
+  const int64_t bt;
   // Speculative decoding: every decode iteration advances each selected
   // session by up to W+1 tokens through one batched verify pass; rejected
   // drafts roll back. Acceptance is drawn per draft from a seeded stream
   // (simulate-mode engines have no logits to compare), so runs stay
   // deterministic.
-  const int spec_window = options_.speculative_window;
-  Rng spec_rng(options_.speculative_seed);
+  const int spec_window;
+  Rng spec_rng;
 
   // The KV budget carved into blocks. Blocks are allocated as tokens are
   // appended, but admission still reserves each session's whole remaining
@@ -149,37 +101,10 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
   // exhaustion and eviction churn that discards decoded progress. The
   // block-granular win is that shared prefix blocks are counted once
   // across sessions.
-  const int64_t total_blocks =
-      KvBlockPool::BlocksForBudget(cfg, options_.kv_budget_bytes, bt);
-  HCHECK_MSG(total_blocks >= 1,
-             "kv_budget_bytes smaller than one KV block");
-  KvBlockPool pool(cfg, bt, total_blocks, model::ExecutionMode::kSimulate);
-  PrefixCache prefix(&pool);
-  const bool use_prefix = options_.enable_prefix_cache;
-
-  // Dynamic-conditions degradation. Both knobs are exactly neutral while no
-  // condition has engaged (scale 1.0, factors 1.0), so the default serving
-  // path is untouched.
-  //
-  // A scripted `kv_budget_scale` shrinks the pool's usable-block soft cap;
-  // new allocations are deferred (active sessions keep their blocks — we
-  // degrade, not abort).
-  auto apply_kv_squeeze = [&] {
-    pool.set_usable_blocks(static_cast<int64_t>(
-        std::floor(total_blocks * soc.kv_budget_scale() + 1e-9)));
-  };
-  // Effective decode batch: throttled units decode slower, so cap the batch
-  // by the slowest unit's frequency factor (and the KV squeeze) to keep
-  // per-iteration latency — and thus admission responsiveness — bounded.
-  auto effective_decode_batch = [&]() -> int {
-    double scale = soc.kv_budget_scale();
-    for (int u = 0; u < soc.unit_count(); ++u) {
-      scale = std::min(scale, soc.UnitFrequencyFactor(u));
-    }
-    const int batch = static_cast<int>(
-        std::floor(options_.max_decode_batch * scale + 1e-9));
-    return std::max(1, batch);
-  };
+  const int64_t total_blocks;
+  KvBlockPool pool;
+  PrefixCache prefix;
+  const bool use_prefix;
 
   struct Slot {
     size_t idx = 0;  // index into requests/metrics
@@ -189,23 +114,63 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     int64_t last_iter = -1;  // round-robin fairness key
   };
 
+  // Grows as requests are handed in: all up front under `Run`, one at a
+  // time under `Submit`. Indices are stable, so they key slots and metrics.
+  std::vector<Request> requests;
   std::vector<Slot> active;
   std::deque<size_t> waiting;  // arrived, not (currently) admitted
-  std::vector<bool> was_admitted(requests.size(), false);
+  std::vector<bool> was_admitted;
   size_t next_arrival = 0;
   size_t completed = 0;
   int64_t iter = 0;
   double batch_accum = 0;
 
-  auto admit_arrivals = [&] {
-    const MicroSeconds now = engine_->host_now();
+  bool HasWork() const { return completed < requests.size(); }
+
+  void Add(const Request& r) {
+    requests.push_back(r);
+    RequestMetrics rm;
+    rm.id = r.id;
+    rm.arrival = r.arrival;
+    rm.prompt_tokens = r.prompt_len;
+    m->requests.push_back(rm);
+    was_admitted.push_back(false);
+  }
+
+  // Dynamic-conditions degradation. Both knobs are exactly neutral while no
+  // condition has engaged (scale 1.0, factors 1.0), so the default serving
+  // path is untouched.
+  //
+  // A scripted `kv_budget_scale` shrinks the pool's usable-block soft cap;
+  // new allocations are deferred (active sessions keep their blocks — we
+  // degrade, not abort).
+  void ApplyKvSqueeze() {
+    pool.set_usable_blocks(static_cast<int64_t>(
+        std::floor(total_blocks * soc.kv_budget_scale() + 1e-9)));
+  }
+
+  // Effective decode batch: throttled units decode slower, so cap the batch
+  // by the slowest unit's frequency factor (and the KV squeeze) to keep
+  // per-iteration latency — and thus admission responsiveness — bounded.
+  int EffectiveDecodeBatch() const {
+    double scale = soc.kv_budget_scale();
+    for (int u = 0; u < soc.unit_count(); ++u) {
+      scale = std::min(scale, soc.UnitFrequencyFactor(u));
+    }
+    const int batch = static_cast<int>(
+        std::floor(options.max_decode_batch * scale + 1e-9));
+    return std::max(1, batch);
+  }
+
+  void AdmitArrivals() {
+    const MicroSeconds now = engine->host_now();
     while (next_arrival < requests.size() &&
            requests[next_arrival].arrival <= now) {
       waiting.push_back(next_arrival++);
     }
-  };
+  }
 
-  auto evict = [&](size_t slot_pos) {
+  void Evict(size_t slot_pos) {
     Slot& victim = active[slot_pos];
     RequestMetrics& vm = m->requests[victim.idx];
     ++vm.evictions;
@@ -214,12 +179,12 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     // Destroying the cache releases its blocks; blocks also pinned by the
     // prefix cache stay resident (and become evictable LRU entries).
     active.erase(active.begin() + static_cast<ptrdiff_t>(slot_pos));
-  };
+  }
 
   // The active session with the most remaining decode work (least sunk
   // progress relative to what it still needs); ties fall to the most
   // recent admission.
-  auto pick_victim = [&]() -> size_t {
+  size_t PickVictim() const {
     size_t victim = 0;
     int victim_remaining = -1;
     for (size_t s = 0; s < active.size(); ++s) {
@@ -231,35 +196,36 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
       }
     }
     return victim;
-  };
+  }
 
   // Blocks already promised to active sessions but not yet allocated.
   // Free blocks behind this line are spoken for: decode growth must never
   // fail (outside a scripted KV squeeze), so admission only spends
   // `available - headroom`.
-  auto headroom = [&]() -> int64_t {
+  int64_t Headroom() const {
     int64_t reserved = 0;
     for (const Slot& slot : active) {
       reserved += slot.footprint - slot.cache->held_blocks();
     }
     return reserved;
-  };
+  }
+
   // Whole reservations of every active session (held + headroom). Shared
   // prefix blocks adopted by several sessions are counted once per holder,
   // which makes the single-eviction feasibility check below conservative —
   // never optimistic.
-  auto reserved_blocks = [&]() -> int64_t {
+  int64_t ReservedBlocks() const {
     int64_t reserved = 0;
     for (const Slot& slot : active) {
       reserved += slot.footprint;
     }
     return reserved;
-  };
+  }
 
   // Admits (and prefills) the head waiting request if the pool can cover
   // its whole remaining footprint, evicting cached prefixes and preempting
   // at most active sessions when permitted. Returns true on admission.
-  auto try_admit = [&]() -> bool {
+  bool TryAdmit() {
     if (waiting.empty()) {
       return false;
     }
@@ -300,26 +266,26 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
       }
     };
     bool preempted = false;
-    while (pool.available_blocks() - headroom() < need) {
+    while (pool.available_blocks() - Headroom() < need) {
       // Cheapest memory first: drop LRU unpinned cached prefixes.
-      if (prefix.EvictUntilFree(need + headroom()) > 0) {
+      if (prefix.EvictUntilFree(need + Headroom()) > 0) {
         continue;
       }
       // Then preempt at most one session, and only for a newcomer (a
       // request that has already held a slot queues instead — prevents
       // eviction ping-pong).
-      if (preempted || !options_.allow_eviction || was_admitted[idx] ||
+      if (preempted || !options.allow_eviction || was_admitted[idx] ||
           active.empty()) {
         release_hit();
         return false;
       }
-      const size_t victim = pick_victim();
-      if (reserved_blocks() - active[victim].footprint + footprint >
+      const size_t victim = PickVictim();
+      if (ReservedBlocks() - active[victim].footprint + footprint >
           pool.usable_blocks()) {
         release_hit();
         return false;  // one eviction would not make room
       }
-      evict(victim);
+      Evict(victim);
       preempted = true;
     }
 
@@ -334,12 +300,12 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     }
     was_admitted[idx] = true;
     RequestMetrics& rm = m->requests[idx];
-    rm.admitted = engine_->host_now();
+    rm.admitted = engine->host_now();
     m->prefilled_tokens += r.prompt_len;
     m->prefix_hit_tokens += hit.tokens;
-    engine_->PrefillFrom(slot.cache.get(), MakePrompt(r.prompt_len, cfg.hidden),
-                         hit.tokens);
-    rm.first_token = engine_->host_now();
+    engine->PrefillFrom(slot.cache.get(), MakePrompt(r.prompt_len, cfg.hidden),
+                        hit.tokens);
+    rm.first_token = engine->host_now();
     if (use_prefix && !r.prompt_tokens.empty()) {
       // The committed prompt blocks are now reusable by any later request
       // with the same prompt head.
@@ -355,11 +321,11 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
           m->peak_active_sessions, static_cast<int>(active.size()));
     }
     return true;
-  };
+  }
 
   // Round-robin fair selection: the max_decode_batch least recently
   // decoded sessions run this iteration (stable by arrival for ties).
-  auto select_order = [&]() -> std::vector<size_t> {
+  std::vector<size_t> SelectOrder() const {
     std::vector<size_t> order(active.size());
     for (size_t s = 0; s < order.size(); ++s) {
       order[s] = s;
@@ -367,20 +333,20 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return active[a].last_iter < active[b].last_iter;
     });
-    const size_t batch_cap = static_cast<size_t>(effective_decode_batch());
+    const size_t batch_cap = static_cast<size_t>(EffectiveDecodeBatch());
     if (order.size() > batch_cap) {
       order.resize(batch_cap);
     }
     return order;
-  };
+  }
 
   // One batched decode (or speculative verify) iteration. Returns false —
   // with nothing decoded — only when the pool cannot supply the next
   // block(s) and no recovery move is left; the caller then waits for the
   // next condition event (only a scripted KV squeeze can pin the pool under
   // the admission-time reservations) instead of the old hard abort.
-  auto decode_iteration = [&]() -> bool {
-    std::vector<size_t> order = select_order();
+  bool DecodeIteration() {
+    std::vector<size_t> order = SelectOrder();
     // Rows each session appends this iteration: 1, or draft window + 1
     // under speculation. Under pool pressure the window is shed first —
     // degrading to plain decode is cheaper than evicting a session.
@@ -406,9 +372,9 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
         rows = 1;
         continue;
       }
-      if (options_.allow_eviction && active.size() > 1) {
-        evict(pick_victim());
-        order = select_order();
+      if (options.allow_eviction && active.size() > 1) {
+        Evict(PickVictim());
+        order = SelectOrder();
         continue;
       }
       return false;
@@ -433,14 +399,14 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
       return false;
     }
     if (rows > 1) {
-      engine_->BatchedVerifyStep(caches, rows);
+      engine->BatchedVerifyStep(caches, rows);
     } else {
-      engine_->BatchedDecodeStep(caches);
+      engine->BatchedDecodeStep(caches);
     }
     ++iter;
     ++m->decode_iterations;
     batch_accum += static_cast<double>(ready.size());
-    const MicroSeconds now = engine_->host_now();
+    const MicroSeconds now = engine->host_now();
     const int k = static_cast<int>(rows) - 1;  // drafts verified per session
     std::vector<size_t> done;
     for (size_t s : ready) {
@@ -457,7 +423,7 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
         const int64_t len_before = slot.cache->length() - rows;
         int accepted = 0;
         while (accepted < k &&
-               spec_rng.NextUnit() < options_.speculative_acceptance) {
+               spec_rng.NextUnit() < options.speculative_acceptance) {
           ++accepted;
         }
         const int remaining = requests[slot.idx].decode_len - slot.decoded;
@@ -479,20 +445,25 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
       active.erase(active.begin() + static_cast<ptrdiff_t>(*it));
     }
     return true;
-  };
+  }
 
-  while (completed < requests.size()) {
-    apply_kv_squeeze();
-    admit_arrivals();
-    if (options_.iteration == IterationPolicy::kPrefillFirst) {
-      while (try_admit()) {
-        admit_arrivals();
+  // One scheduling round — one body of the old serving loop. Returns false
+  // (touching nothing) once every request has completed.
+  bool StepRound() {
+    if (!HasWork()) {
+      return false;
+    }
+    ApplyKvSqueeze();
+    AdmitArrivals();
+    if (options.iteration == IterationPolicy::kPrefillFirst) {
+      while (TryAdmit()) {
+        AdmitArrivals();
       }
     } else {
-      try_admit();
+      TryAdmit();
     }
     if (!active.empty()) {
-      if (!decode_iteration()) {
+      if (!DecodeIteration()) {
         // The pool is pinned under this batch's next block with no
         // recovery move left — only a scripted KV squeeze can do that
         // (admission reserved every session's whole footprint). Wait for
@@ -503,24 +474,24 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
                    "KV pool exhausted mid-decode with nothing to evict and "
                    "no further condition events");
         soc.AdvanceIdleTo(next_event);
-        engine_->AdvanceHostTo(soc.now());
+        engine->AdvanceHostTo(soc.now());
       }
     } else if (!waiting.empty()) {
-      // Nothing is running, so (modulo cached prefixes, which try_admit
+      // Nothing is running, so (modulo cached prefixes, which TryAdmit
       // evicts on demand) the whole pool is free and the head request must
       // be admissible — its footprint was HCHECKed against the budget;
       // admit rather than stall. The exception: a scripted KV squeeze can
       // make even an empty platform inadmissible — then wait for the next
       // condition event (the squeeze may lift) instead of aborting.
-      const bool admitted = try_admit();
+      const bool admitted = TryAdmit();
       if (!admitted && soc.kv_budget_scale() < 1.0) {
         const MicroSeconds next_event = soc.NextConditionEventTime();
         HCHECK_MSG(std::isfinite(next_event),
                    "serving stalled: KV budget squeezed below the head "
                    "request with no further condition events");
         soc.AdvanceIdleTo(next_event);
-        engine_->AdvanceHostTo(soc.now());
-        continue;
+        engine->AdvanceHostTo(soc.now());
+        return true;
       }
       HCHECK_MSG(admitted,
                  "serving stalled: waiting requests but nothing admissible");
@@ -531,14 +502,190 @@ void IterationScheduler::RunContinuous(const std::vector<Request>& requests,
         // events falling inside the gap are applied on time.
         soc.AdvanceIdleTo(arrival);
       }
-      engine_->AdvanceHostTo(arrival);
+      engine->AdvanceHostTo(arrival);
     }
+    return true;
+  }
+
+  // Window-level derived stats, once no rounds remain.
+  void Finish() {
+    if (m->decode_iterations > 0) {
+      m->avg_decode_batch = batch_accum / m->decode_iterations;
+    }
+    m->blocks_evicted = prefix.evicted_blocks();
+    m->kv_blocks_peak = pool.peak_used_blocks();
+  }
+};
+
+IterationScheduler::IterationScheduler(core::EngineBase* engine,
+                                       const SchedulerOptions& options)
+    : engine_(engine), options_(options) {
+  HCHECK(engine != nullptr);
+  const Status valid = options.Validate();
+  HCHECK_MSG(valid.ok(), valid.message().c_str());
+}
+
+IterationScheduler::~IterationScheduler() = default;
+
+void IterationScheduler::StartWindow(ServingMetrics* m) {
+  // Quiesce the device queues so the power snapshot marks a clean window
+  // boundary (a no-op when the platform is already idle).
+  sim::SocSimulator& soc = engine_->platform()->soc();
+  soc.DrainAll();
+  engine_->AdvanceHostTo(soc.now());
+  m->window_start = engine_->host_now();
+  power_start_ = soc.power().Snapshot();
+  replan_start_ = engine_->replan_events();
+}
+
+void IterationScheduler::FinishWindow(ServingMetrics* m) {
+  // Let straggling device queues drain so utilization covers real work only.
+  sim::SocSimulator& soc = engine_->platform()->soc();
+  soc.DrainAll();
+  engine_->AdvanceHostTo(soc.now());
+  m->window_end = engine_->host_now();
+  m->replan_events = engine_->replan_events() - replan_start_;
+  m->energy = soc.power().TotalEnergySince(power_start_, m->makespan());
+  m->avg_power_watts =
+      soc.power().AveragePowerWattsSince(power_start_, m->makespan());
+  m->report = core::ExecutionReport::Build(
+      *engine_->platform(), m->window_start, m->window_end);
+  for (const RequestMetrics& r : m->requests) {
+    m->evictions += r.evictions;
+  }
+}
+
+ServingMetrics IterationScheduler::Run(const RequestQueue& queue) {
+  HCHECK_MSG(cont_ == nullptr,
+             "Run() called while an incremental window is open");
+  const std::vector<Request>& requests = queue.requests();
+  ServingMetrics metrics;
+  StartWindow(&metrics);
+  if (options_.policy == SchedulePolicy::kSerial) {
+    metrics.requests.resize(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      metrics.requests[i].id = requests[i].id;
+      metrics.requests[i].arrival = requests[i].arrival;
+      metrics.requests[i].prompt_tokens = requests[i].prompt_len;
+    }
+    RunSerial(requests, &metrics);
+  } else {
+    // Scoped so the pool/prefix cache release their blocks before the
+    // closing drain, matching the old single-pass function's lifetime.
+    Continuous cont(engine_, options_, &metrics);
+    for (const Request& r : requests) {
+      cont.Add(r);
+    }
+    while (cont.StepRound()) {
+    }
+    cont.Finish();
+  }
+  FinishWindow(&metrics);
+  return metrics;
+}
+
+void IterationScheduler::BeginWindow() {
+  HCHECK_MSG(cont_ == nullptr, "BeginWindow() with a window already open");
+  HCHECK_MSG(options_.policy == SchedulePolicy::kContinuousBatching,
+             "incremental serving requires continuous batching");
+  window_metrics_ = ServingMetrics();
+  StartWindow(&window_metrics_);
+  cont_ = std::make_unique<Continuous>(engine_, options_, &window_metrics_);
+}
+
+void IterationScheduler::Submit(const Request& request) {
+  HCHECK_MSG(cont_ != nullptr, "Submit() without an open window");
+  HCHECK_MSG(cont_->requests.empty() ||
+                 request.arrival >= cont_->requests.back().arrival,
+             "Submit() requires non-decreasing arrival times");
+  cont_->Add(request);
+}
+
+bool IterationScheduler::StepRound() {
+  HCHECK_MSG(cont_ != nullptr, "StepRound() without an open window");
+  return cont_->StepRound();
+}
+
+ServingMetrics IterationScheduler::EndWindow() {
+  HCHECK_MSG(cont_ != nullptr, "EndWindow() without an open window");
+  HCHECK_MSG(!cont_->HasWork(),
+             "EndWindow() with unfinished requests — step the window dry "
+             "first");
+  cont_->Finish();
+  cont_.reset();  // pool + prefix cache release their blocks pre-drain
+  FinishWindow(&window_metrics_);
+  ServingMetrics out = std::move(window_metrics_);
+  window_metrics_ = ServingMetrics();
+  return out;
+}
+
+bool IterationScheduler::has_work() const {
+  return cont_ != nullptr && cont_->HasWork();
+}
+
+int IterationScheduler::active_sessions() const {
+  return cont_ == nullptr ? 0 : static_cast<int>(cont_->active.size());
+}
+
+int IterationScheduler::waiting_requests() const {
+  if (cont_ == nullptr) {
+    return 0;
+  }
+  return static_cast<int>(cont_->requests.size() - cont_->completed -
+                          cont_->active.size());
+}
+
+int64_t IterationScheduler::ProbePrefixTokens(
+    const std::vector<int32_t>& prompt) const {
+  if (cont_ == nullptr || !cont_->use_prefix) {
+    return 0;
+  }
+  return cont_->prefix.ProbeTokens(prompt);
+}
+
+MicroSeconds IterationScheduler::now() const { return engine_->host_now(); }
+
+void IterationScheduler::AdvanceIdleTo(MicroSeconds t) {
+  if (t <= engine_->host_now()) {
+    return;
+  }
+  sim::SocSimulator& soc = engine_->platform()->soc();
+  if (soc.dynamic_conditions()) {
+    // Idle gap: advance the simulator too, so units cool and scripted
+    // events falling inside the gap are applied on time.
+    soc.AdvanceIdleTo(t);
+  }
+  engine_->AdvanceHostTo(t);
+}
+
+void IterationScheduler::RunSerial(const std::vector<Request>& requests,
+                                   ServingMetrics* m) {
+  const model::ModelConfig& cfg = engine_->model_config();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    RequestMetrics& rm = m->requests[i];
+    engine_->AdvanceHostTo(r.arrival);
+    rm.admitted = engine_->host_now();
+    const Bytes need =
+        KvCache::BytesForTokens(cfg, r.prompt_len + r.decode_len);
+    HCHECK_MSG(need <= options_.kv_budget_bytes,
+               "request KV footprint exceeds the budget");
+    KvCache cache(cfg, r.prompt_len + std::max(r.decode_len, 1),
+                  model::ExecutionMode::kSimulate);
+    engine_->PrefillInto(&cache, MakePrompt(r.prompt_len, cfg.hidden));
+    rm.first_token = engine_->host_now();
+    std::vector<KvCache*> one = {&cache};
+    for (int t = 0; t < r.decode_len; ++t) {
+      engine_->BatchedDecodeStep(one);
+      ++rm.decoded_tokens;
+      ++m->decode_iterations;
+      m->avg_decode_batch += 1.0;
+    }
+    rm.completion = engine_->host_now();
   }
   if (m->decode_iterations > 0) {
-    m->avg_decode_batch = batch_accum / m->decode_iterations;
+    m->avg_decode_batch /= m->decode_iterations;
   }
-  m->blocks_evicted = prefix.evicted_blocks();
-  m->kv_blocks_peak = pool.peak_used_blocks();
 }
 
 }  // namespace heterollm::serve

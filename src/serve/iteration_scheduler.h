@@ -19,12 +19,28 @@
 // active session; an evicted session drops its cache and restarts from
 // prefill when re-admitted.
 //
+// Two driving modes share one window machinery (the KV pool, prefix cache
+// and active/waiting session state live *in the scheduler*, not in `Run`):
+//
+//   * Batch: `Run(queue)` serves a whole arrival trace to completion — the
+//     single-SoC path every bench and test drives.
+//   * Incremental: `BeginWindow` / `Submit` / `StepRound` / `EndWindow` let
+//     an outer driver (the cluster front-end, src/serve/cluster/) feed
+//     requests as they are routed and advance the replica one scheduling
+//     round at a time on its own simulated clock. `Run` is implemented on
+//     top of the same rounds, so the two modes are step-for-step identical
+//     on the same request sequence.
+//
 // The scheduler drives `ExecutionMode::kSimulate` engines only — batched
 // decoding shares one forward pass across sessions with different cache
 // contents, so only the timing path is meaningful.
 
 #ifndef SRC_SERVE_ITERATION_SCHEDULER_H_
 #define SRC_SERVE_ITERATION_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/core/engine_base.h"
@@ -56,8 +72,8 @@ struct SchedulerOptions {
   IterationPolicy iteration = IterationPolicy::kPrefillFirst;
   // Max sessions per batched decode iteration. The engine must have static
   // NPU decode graphs for every batch size up to this value — build it with
-  // `BuildServingEngine` (src/serve/serving_engine.h), which wires the
-  // decode widths for you.
+  // `BuildServingEngine` (src/serve/serving_engine.h) or `Replica::Create`
+  // (src/serve/replica.h), which wire the decode widths for you.
   int max_decode_batch = 8;
   // KV-cache memory budget across all admitted sessions. Continuous
   // batching carves it into `kv_block_tokens`-sized blocks; whatever the
@@ -99,19 +115,75 @@ class IterationScheduler {
   // HCHECKs `options.Validate()`; use `SchedulerOptions::Validated` first
   // when the options come from user input.
   IterationScheduler(core::EngineBase* engine, const SchedulerOptions& options);
+  ~IterationScheduler();
+
+  IterationScheduler(const IterationScheduler&) = delete;
+  IterationScheduler& operator=(const IterationScheduler&) = delete;
 
   // Serves every request in `queue`; returns when all have completed.
-  // Simulated time continues from the engine's current clock.
+  // Simulated time continues from the engine's current clock. Must not be
+  // called while an incremental window is open.
   ServingMetrics Run(const RequestQueue& queue);
 
+  // --- incremental serving (cluster mode) ----------------------------------
+  // The cluster driver owns the arrival trace and the routing decision; the
+  // scheduler owns everything downstream: admission, KV blocks, prefix
+  // cache, batched iterations. A window brackets one serving run for
+  // power/utilization accounting, exactly like one `Run` call.
+
+  // Opens an incremental window (continuous batching only). Quiesces the
+  // platform and snapshots the power meter so `EndWindow`'s energy and
+  // utilization cover this window alone.
+  void BeginWindow();
+
+  // Hands the scheduler one routed request. Requests must arrive in
+  // non-decreasing `arrival` order (the router dispatches in arrival
+  // order); the request queues until the replica clock reaches `arrival`.
+  void Submit(const Request& request);
+
+  // One scheduling round: pump arrivals, admit (policy-dependent), then one
+  // batched decode/verify iteration — or an idle/stall advance when nothing
+  // is runnable. Returns false (and does nothing) when every submitted
+  // request has completed.
+  bool StepRound();
+
+  // Drains the platform and closes the window, returning its metrics.
+  ServingMetrics EndWindow();
+
+  bool window_open() const { return cont_ != nullptr; }
+  // True while some submitted request has not completed.
+  bool has_work() const;
+  // Sessions currently admitted (holding KV blocks).
+  int active_sessions() const;
+  // Submitted requests not currently admitted (arrived or not).
+  int waiting_requests() const;
+  // Tokens of `prompt` the window's prefix cache would serve right now
+  // (0 with no open window or a disabled cache). Non-mutating — the
+  // router's per-replica affinity estimate.
+  int64_t ProbePrefixTokens(const std::vector<int32_t>& prompt) const;
+  // The replica-local simulated clock (engine host time).
+  MicroSeconds now() const;
+  // Idle-advances the replica to `t` (device cooling and scripted condition
+  // events inside the gap are applied on time). No-op if `t` has passed.
+  void AdvanceIdleTo(MicroSeconds t);
+
   const SchedulerOptions& options() const { return options_; }
+  core::EngineBase* engine() const { return engine_; }
 
  private:
+  struct Continuous;  // one continuous-batching window's state
+
+  // Window prologue/epilogue shared by Run and Begin/EndWindow.
+  void StartWindow(ServingMetrics* m);
+  void FinishWindow(ServingMetrics* m);
   void RunSerial(const std::vector<Request>& requests, ServingMetrics* m);
-  void RunContinuous(const std::vector<Request>& requests, ServingMetrics* m);
 
   core::EngineBase* engine_;
   SchedulerOptions options_;
+  std::unique_ptr<Continuous> cont_;  // open incremental window, if any
+  ServingMetrics window_metrics_;     // metrics of the open window
+  sim::PowerSnapshot power_start_;
+  int replan_start_ = 0;
 };
 
 }  // namespace heterollm::serve

@@ -36,6 +36,23 @@ PrefixCache::Match PrefixCache::Acquire(const std::vector<int32_t>& prompt) {
   return match;
 }
 
+int64_t PrefixCache::ProbeTokens(const std::vector<int32_t>& prompt) const {
+  const int64_t bt = pool_->block_tokens();
+  const int64_t max_chunks = (static_cast<int64_t>(prompt.size()) - 1) / bt;
+  const Node* node = &root_;
+  int64_t chunks = 0;
+  for (; chunks < max_chunks; ++chunks) {
+    const auto begin = prompt.begin() + chunks * bt;
+    const std::vector<int32_t> key(begin, begin + bt);
+    const auto it = node->children.find(key);
+    if (it == node->children.end()) {
+      break;
+    }
+    node = it->second.get();
+  }
+  return chunks * bt;
+}
+
 void PrefixCache::Insert(const std::vector<int32_t>& prompt,
                          const std::vector<int32_t>& blocks, int64_t tokens) {
   const int64_t bt = pool_->block_tokens();

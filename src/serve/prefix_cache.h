@@ -47,6 +47,13 @@ class PrefixCache {
   // a session with `KvCache::AdoptPrefix`, or release them on failure.
   Match Acquire(const std::vector<int32_t>& prompt);
 
+  // Read-only variant of `Acquire`: the tokens a lookup *would* hit right
+  // now, with the same one-token residual cap. Pins nothing and leaves
+  // recency untouched, so probing is free of side effects — the cluster
+  // router uses it as a per-replica hit estimate over the shared trie
+  // key-space when scoring prefix affinity.
+  int64_t ProbeTokens(const std::vector<int32_t>& prompt) const;
+
   // Records a prefilled prompt: the first floor(tokens / block_tokens)
   // blocks of `blocks` (a session's block table covering `prompt`) become
   // cached entries. New entries pin their block; chunks already cached are

@@ -1,0 +1,40 @@
+#include "src/serve/replica.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/serve/serving_engine.h"
+
+namespace heterollm::serve {
+
+StatusOr<std::unique_ptr<Replica>> Replica::Create(
+    const ReplicaOptions& options, const model::ModelWeights* weights) {
+  if (weights == nullptr) {
+    return InvalidArgumentError("Replica::Create: weights must not be null");
+  }
+  if (options.name.empty()) {
+    return InvalidArgumentError("Replica::Create: name must not be empty");
+  }
+  auto platform = std::make_unique<core::Platform>(options.platform);
+  StatusOr<std::unique_ptr<core::EngineBase>> engine =
+      BuildServingEngine(platform.get(), weights, options.scheduler,
+                         options.engine, options.engine_options);
+  if (!engine.ok()) {
+    return engine.status();
+  }
+  return std::unique_ptr<Replica>(new Replica(
+      options, std::move(platform), std::move(engine).value(), weights));
+}
+
+Replica::Replica(ReplicaOptions options,
+                 std::unique_ptr<core::Platform> platform,
+                 std::unique_ptr<core::EngineBase> engine,
+                 const model::ModelWeights* weights)
+    : options_(std::move(options)),
+      platform_(std::move(platform)),
+      engine_(std::move(engine)),
+      scheduler_(std::make_unique<IterationScheduler>(engine_.get(),
+                                                      options_.scheduler)),
+      weights_(weights) {}
+
+}  // namespace heterollm::serve

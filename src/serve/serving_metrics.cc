@@ -10,32 +10,45 @@
 
 namespace heterollm::serve {
 
-MicroSeconds PercentileUs(std::vector<MicroSeconds> values, double p) {
-  if (values.empty()) {
+namespace {
+
+// Nearest-rank lookup over an already-sorted sample set — the one
+// percentile definition every caller (single percentile, tail summary,
+// cluster aggregation) shares.
+MicroSeconds PercentileSorted(const std::vector<MicroSeconds>& sorted,
+                              double p) {
+  if (sorted.empty()) {
     return 0;
   }
   HCHECK(p >= 0 && p <= 100);
-  std::sort(values.begin(), values.end());
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
   const size_t idx = static_cast<size_t>(
-      std::clamp<double>(rank - 1, 0, static_cast<double>(values.size() - 1)));
-  return values[idx];
-}
-
-namespace {
-
-std::vector<MicroSeconds> Collect(
-    const std::vector<RequestMetrics>& requests,
-    MicroSeconds (RequestMetrics::*getter)() const) {
-  std::vector<MicroSeconds> out;
-  out.reserve(requests.size());
-  for (const RequestMetrics& r : requests) {
-    out.push_back((r.*getter)());
-  }
-  return out;
+      std::clamp<double>(rank - 1, 0, static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
 }
 
 }  // namespace
+
+MicroSeconds PercentileUs(std::vector<MicroSeconds> values, double p) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+TailStats TailOf(std::vector<MicroSeconds> values) {
+  std::sort(values.begin(), values.end());
+  return {PercentileSorted(values, 50), PercentileSorted(values, 99)};
+}
+
+std::vector<MicroSeconds> CollectSpans(
+    const std::vector<RequestMetrics>& requests,
+    MicroSeconds (RequestMetrics::*span)() const) {
+  std::vector<MicroSeconds> out;
+  out.reserve(requests.size());
+  for (const RequestMetrics& r : requests) {
+    out.push_back((r.*span)());
+  }
+  return out;
+}
 
 int64_t ServingMetrics::total_decoded_tokens() const {
   int64_t total = 0;
@@ -86,20 +99,16 @@ double ServingMetrics::aggregate_tokens_per_s() const {
   return window > 0 ? total_tokens() / ToSeconds(window) : 0;
 }
 
-MicroSeconds ServingMetrics::ttft_p50() const {
-  return PercentileUs(Collect(requests, &RequestMetrics::ttft), 50);
+TailStats ServingMetrics::ttft_tail() const {
+  return TailOf(CollectSpans(requests, &RequestMetrics::ttft));
 }
 
-MicroSeconds ServingMetrics::ttft_p99() const {
-  return PercentileUs(Collect(requests, &RequestMetrics::ttft), 99);
+TailStats ServingMetrics::latency_tail() const {
+  return TailOf(CollectSpans(requests, &RequestMetrics::e2e_latency));
 }
 
-MicroSeconds ServingMetrics::latency_p50() const {
-  return PercentileUs(Collect(requests, &RequestMetrics::e2e_latency), 50);
-}
-
-MicroSeconds ServingMetrics::latency_p99() const {
-  return PercentileUs(Collect(requests, &RequestMetrics::e2e_latency), 99);
+TailStats ServingMetrics::tpot_tail() const {
+  return TailOf(CollectSpans(requests, &RequestMetrics::tpot));
 }
 
 std::string ServingMetrics::Render() const {
@@ -115,14 +124,16 @@ std::string ServingMetrics::Render() const {
                   StrFormat("%d", r.evictions)});
   }
   out += table.Render();
+  const TailStats ttft = ttft_tail();
+  const TailStats latency = latency_tail();
   out += StrFormat(
       "\nrequests=%zu makespan=%.1f ms  tokens/s=%.1f (decode %.1f)  "
       "TTFT p50/p99=%.1f/%.1f ms  latency p50/p99=%.1f/%.1f ms  "
       "decode iters=%d (avg batch %.2f)  evictions=%d  replans=%d  "
       "energy=%.1f mJ (%.2f W)\n",
       requests.size(), ToMillis(makespan()), aggregate_tokens_per_s(),
-      decode_tokens_per_s(), ToMillis(ttft_p50()), ToMillis(ttft_p99()),
-      ToMillis(latency_p50()), ToMillis(latency_p99()), decode_iterations,
+      decode_tokens_per_s(), ToMillis(ttft.p50), ToMillis(ttft.p99),
+      ToMillis(latency.p50), ToMillis(latency.p99), decode_iterations,
       avg_decode_batch, evictions, replan_events, energy / 1e3,
       avg_power_watts);
   if (total_draft_tokens() > 0) {
@@ -155,10 +166,12 @@ report::JsonValue ServingMetrics::ToJsonValue() const {
   doc.Set("makespan_us", makespan());
   doc.Set("tokens_per_s", aggregate_tokens_per_s());
   doc.Set("decode_tokens_per_s", decode_tokens_per_s());
-  doc.Set("ttft_p50_us", ttft_p50());
-  doc.Set("ttft_p99_us", ttft_p99());
-  doc.Set("latency_p50_us", latency_p50());
-  doc.Set("latency_p99_us", latency_p99());
+  const TailStats ttft = ttft_tail();
+  const TailStats latency = latency_tail();
+  doc.Set("ttft_p50_us", ttft.p50);
+  doc.Set("ttft_p99_us", ttft.p99);
+  doc.Set("latency_p50_us", latency.p50);
+  doc.Set("latency_p99_us", latency.p99);
   doc.Set("decode_iterations", decode_iterations);
   doc.Set("avg_decode_batch", avg_decode_batch);
   doc.Set("evictions", evictions);

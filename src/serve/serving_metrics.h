@@ -56,6 +56,23 @@ struct RequestMetrics {
 // Nearest-rank percentile (p in [0, 100]); 0 for an empty set.
 MicroSeconds PercentileUs(std::vector<MicroSeconds> values, double p);
 
+// The p50/p99 tail summary every output path reports. One sort serves both
+// ranks — the text and JSON renderers used to re-collect and re-sort the
+// same samples once per percentile.
+struct TailStats {
+  MicroSeconds p50 = 0;
+  MicroSeconds p99 = 0;
+};
+TailStats TailOf(std::vector<MicroSeconds> values);
+
+// Pools one span (ttft / tpot / e2e_latency) across requests, e.g.
+// `CollectSpans(requests, &RequestMetrics::ttft)`. Shared with the cluster
+// aggregation (src/serve/cluster/), which pools spans across replicas
+// before taking cluster-wide tails.
+std::vector<MicroSeconds> CollectSpans(
+    const std::vector<RequestMetrics>& requests,
+    MicroSeconds (RequestMetrics::*span)() const);
+
 struct ServingMetrics {
   std::vector<RequestMetrics> requests;  // arrival order
   MicroSeconds window_start = 0;
@@ -98,10 +115,13 @@ struct ServingMetrics {
   double decode_tokens_per_s() const;
   double aggregate_tokens_per_s() const;
 
-  MicroSeconds ttft_p50() const;
-  MicroSeconds ttft_p99() const;
-  MicroSeconds latency_p50() const;
-  MicroSeconds latency_p99() const;
+  TailStats ttft_tail() const;
+  TailStats latency_tail() const;
+  TailStats tpot_tail() const;
+  MicroSeconds ttft_p50() const { return ttft_tail().p50; }
+  MicroSeconds ttft_p99() const { return ttft_tail().p99; }
+  MicroSeconds latency_p50() const { return latency_tail().p50; }
+  MicroSeconds latency_p99() const { return latency_tail().p99; }
 
   // Human-readable summary (request table + aggregates + unit utilization).
   std::string Render() const;
