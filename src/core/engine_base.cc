@@ -8,6 +8,7 @@
 #include "src/core/schedule_executor.h"
 #include "src/graph/builder.h"
 #include "src/graph/passes.h"
+#include "src/tensor/kernel_config.h"
 
 namespace heterollm::core {
 
@@ -281,10 +282,14 @@ Tensor EngineBase::MatmulNumeric(
         pieces.push_back(lo == offset && hi == offset + cols
                              ? full
                              : full.SliceCols(lo - offset, hi - offset));
+      } else if (lo == offset && hi == offset + cols) {
+        pieces.push_back(tensor::ops::Matmul(a, w->DequantizedCached()));
       } else {
-        // Dequantize only the output-feature slice this backend computes.
-        Tensor w_slice = w->Dequantize().SliceCols(lo - offset, hi - offset);
-        pieces.push_back(tensor::ops::Matmul(a, w_slice));
+        // Compute only the output-feature slice this backend owns, against
+        // the weight's cached FP32 image (dequantized once per process, not
+        // once per call).
+        pieces.push_back(tensor::ops::MatmulCols(a, w->DequantizedCached(),
+                                                 lo - offset, hi - offset));
       }
     }
     offset += cols;
@@ -652,6 +657,10 @@ EngineBase::Value EngineBase::RunLayer(int layer, Value hidden, Phase phase) {
 }
 
 PhaseStats EngineBase::RunStack(const Tensor& input, Phase phase) {
+  // Pin the compute-kernel thread count for everything this step runs
+  // (matmuls, norms, attention). Numerics are bit-exact across settings;
+  // only host wall-clock changes.
+  tensor::KernelThreadScope kernel_scope(options_.kernel_threads);
   RefreshDeviceState();
   // One transactional KV step per session slot: every layer must append its
   // rows before the commit below, or the cache aborts — the per-layer

@@ -119,6 +119,12 @@ struct EngineOptions {
   // frequencies, dropping caches; the re-solve/re-compile itself is charged
   // where it happens).
   MicroSeconds replan_cost_us = 150.0;
+  // Worker threads for compute-mode kernels (tensor::KernelOptions
+  // semantics): 0 = hardware concurrency, 1 = the reference scalar kernels,
+  // N > 1 = blocked kernels on N threads. Purely a host-side wall-clock
+  // knob — simulated timing and numerics are identical at every setting
+  // (the kernels are bit-exact across thread counts).
+  int kernel_threads = 0;
 };
 
 class InferenceEngine {

@@ -30,25 +30,25 @@ Tensor GraphInterpreter::WeightTensor(int64_t ref) {
   Tensor t;
   switch (WeightRefSite(ref)) {
     case WeightSite::kWq:
-      t = weights_->layer(layer).wq.Dequantize();
+      t = weights_->layer(layer).wq.DequantizedCached();
       break;
     case WeightSite::kWk:
-      t = weights_->layer(layer).wk.Dequantize();
+      t = weights_->layer(layer).wk.DequantizedCached();
       break;
     case WeightSite::kWv:
-      t = weights_->layer(layer).wv.Dequantize();
+      t = weights_->layer(layer).wv.DequantizedCached();
       break;
     case WeightSite::kWo:
-      t = weights_->layer(layer).wo.Dequantize();
+      t = weights_->layer(layer).wo.DequantizedCached();
       break;
     case WeightSite::kWGate:
-      t = weights_->layer(layer).w_gate.Dequantize();
+      t = weights_->layer(layer).w_gate.DequantizedCached();
       break;
     case WeightSite::kWUp:
-      t = weights_->layer(layer).w_up.Dequantize();
+      t = weights_->layer(layer).w_up.DequantizedCached();
       break;
     case WeightSite::kWDown:
-      t = weights_->layer(layer).w_down.Dequantize();
+      t = weights_->layer(layer).w_down.DequantizedCached();
       break;
     case WeightSite::kAttnNorm:
       t = weights_->layer(layer).attn_norm;
@@ -60,7 +60,7 @@ Tensor GraphInterpreter::WeightTensor(int64_t ref) {
       t = weights_->final_norm();
       break;
     case WeightSite::kLmHead:
-      t = weights_->lm_head().Dequantize();
+      t = weights_->lm_head().DequantizedCached();
       break;
   }
   dequant_cache_.emplace_back(ref, t);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/tensor/kernel_config.h"
+
 namespace heterollm::model {
 
 namespace {
@@ -37,7 +39,11 @@ Tensor MakeNorm(int64_t width, ExecutionMode mode, Rng& rng) {
 }  // namespace
 
 ModelWeights ModelWeights::Create(const ModelConfig& config,
-                                  ExecutionMode mode, uint64_t seed) {
+                                  ExecutionMode mode, uint64_t seed,
+                                  int kernel_threads) {
+  // Random weight generation consumes the RNG sequentially (determinism),
+  // but quantization parallelizes per column group under this scope.
+  tensor::KernelThreadScope kernel_scope(kernel_threads);
   if (mode == ExecutionMode::kCompute) {
     HCHECK_MSG(config.param_count() < 5e7,
                "compute-mode weights are for test-sized configs only");

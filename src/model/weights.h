@@ -33,9 +33,12 @@ class ModelWeights {
  public:
   // Builds weights for `config`. In kCompute mode weights are materialized
   // from `seed` (keep the config tiny); in kSimulate mode they are
-  // shape-only.
+  // shape-only. `kernel_threads` pins the quantization kernels' thread
+  // count for the build (tensor::KernelOptions semantics: 0 = hardware
+  // concurrency, 1 = reference scalar path); the resulting codes and scales
+  // are bit-identical at every setting.
   static ModelWeights Create(const ModelConfig& config, ExecutionMode mode,
-                             uint64_t seed = 1);
+                             uint64_t seed = 1, int kernel_threads = 0);
 
   const ModelConfig& config() const { return config_; }
   ExecutionMode mode() const { return mode_; }

@@ -4,32 +4,21 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/tensor/kernel_config.h"
 
 namespace heterollm::tensor {
 
-Tensor GqaAttention(const Tensor& q, const Tensor& k_cache,
-                    const Tensor& v_cache, const AttentionParams& params) {
-  HCHECK(params.num_heads > 0 && params.num_kv_heads > 0 &&
-         params.head_dim > 0);
-  HCHECK(params.num_heads % params.num_kv_heads == 0);
-  HCHECK(q.shape().rank() == 2);
-  HCHECK(q.shape().cols() ==
-         static_cast<int64_t>(params.num_heads) * params.head_dim);
-  HCHECK(k_cache.shape().cols() ==
-         static_cast<int64_t>(params.num_kv_heads) * params.head_dim);
-  HCHECK(k_cache.shape() == v_cache.shape());
+namespace {
 
+// Reference scalar path: the seed repo's loops, kept verbatim as the
+// equivalence oracle (see kernel_config.h).
+void GqaAttentionScalar(const Tensor& q, const Tensor& k_cache,
+                        const Tensor& v_cache, const AttentionParams& params,
+                        Tensor& out) {
   const int64_t m = q.shape().rows();
-  if (!q.has_data() || !k_cache.has_data() || !v_cache.has_data()) {
-    return Tensor::Deferred(q.shape(), q.dtype());
-  }
-  HCHECK_MSG(k_cache.shape().rows() >= params.q_pos_offset + m,
-             "KV cache shorter than attended span");
-
   const int hd = params.head_dim;
   const int group = params.num_heads / params.num_kv_heads;
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
-  Tensor out = Tensor::Zeros(q.shape(), q.dtype());
   std::vector<double> scores;
 
   for (int64_t i = 0; i < m; ++i) {
@@ -64,6 +53,102 @@ Tensor GqaAttention(const Tensor& q, const Tensor& k_cache,
         out.Set(i, q_col0 + d, static_cast<float>(acc / denom));
       }
     }
+  }
+}
+
+// Blocked path: flat (row, head) work items fanned out over the pool; each
+// item owns the disjoint output slice [i, h*hd .. (h+1)*hd) and repeats the
+// scalar path's per-element FP order (score dots ascend over d, softmax and
+// the value reduction ascend over t), so results are bit-exact at any
+// thread count. Raw-pointer accesses replace the bounds-checked At()/Set()
+// calls, and the value pass runs t-outer so V rows stream contiguously.
+void GqaAttentionBlocked(const Tensor& q, const Tensor& k_cache,
+                         const Tensor& v_cache, const AttentionParams& params,
+                         Tensor& out) {
+  const int64_t m = q.shape().rows();
+  const int hd = params.head_dim;
+  const int num_heads = params.num_heads;
+  const int group = num_heads / params.num_kv_heads;
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
+  const int64_t q_cols = q.shape().cols();
+  const int64_t kv_cols = k_cache.shape().cols();
+  const float* qv = q.data().data();
+  const float* kv = k_cache.data().data();
+  const float* vv = v_cache.data().data();
+  float* ov = out.mutable_data().data();
+
+  KernelParallelFor(
+      m * num_heads, /*grain=*/1, [&](int64_t w0, int64_t w1) {
+        std::vector<double> scores;
+        std::vector<double> acc(static_cast<size_t>(hd));
+        for (int64_t w = w0; w < w1; ++w) {
+          const int64_t i = w / num_heads;
+          const int h = static_cast<int>(w % num_heads);
+          const int64_t span = params.q_pos_offset + i + 1;  // causal window
+          const int kv_h = h / group;
+          const float* qrow = qv + i * q_cols + static_cast<int64_t>(h) * hd;
+          const int64_t kv_col0 = static_cast<int64_t>(kv_h) * hd;
+
+          scores.assign(static_cast<size_t>(span), 0.0);
+          double max_score = -1e30;
+          for (int64_t t = 0; t < span; ++t) {
+            const float* krow = kv + t * kv_cols + kv_col0;
+            double dot = 0;
+            for (int d = 0; d < hd; ++d) {
+              dot += static_cast<double>(qrow[d]) * krow[d];
+            }
+            scores[static_cast<size_t>(t)] = dot * inv_sqrt_d;
+            max_score = std::max(max_score, scores[static_cast<size_t>(t)]);
+          }
+          double denom = 0;
+          for (int64_t t = 0; t < span; ++t) {
+            scores[static_cast<size_t>(t)] =
+                std::exp(scores[static_cast<size_t>(t)] - max_score);
+            denom += scores[static_cast<size_t>(t)];
+          }
+          std::fill(acc.begin(), acc.end(), 0.0);
+          for (int64_t t = 0; t < span; ++t) {
+            const float* vrow = vv + t * kv_cols + kv_col0;
+            const double s = scores[static_cast<size_t>(t)];
+            for (int d = 0; d < hd; ++d) {
+              acc[static_cast<size_t>(d)] += s * vrow[d];
+            }
+          }
+          float* orow = ov + i * q_cols + static_cast<int64_t>(h) * hd;
+          for (int d = 0; d < hd; ++d) {
+            orow[d] =
+                static_cast<float>(acc[static_cast<size_t>(d)] / denom);
+          }
+        }
+      });
+}
+
+}  // namespace
+
+Tensor GqaAttention(const Tensor& q, const Tensor& k_cache,
+                    const Tensor& v_cache, const AttentionParams& params) {
+  HCHECK(params.num_heads > 0 && params.num_kv_heads > 0 &&
+         params.head_dim > 0);
+  HCHECK(params.num_heads % params.num_kv_heads == 0);
+  HCHECK(q.shape().rank() == 2);
+  HCHECK(q.shape().cols() ==
+         static_cast<int64_t>(params.num_heads) * params.head_dim);
+  HCHECK(k_cache.shape().cols() ==
+         static_cast<int64_t>(params.num_kv_heads) * params.head_dim);
+  HCHECK(k_cache.shape() == v_cache.shape());
+
+  const int64_t m = q.shape().rows();
+  if (!q.has_data() || !k_cache.has_data() || !v_cache.has_data()) {
+    return Tensor::Deferred(q.shape(), q.dtype());
+  }
+  HCHECK_MSG(k_cache.shape().rows() >= params.q_pos_offset + m,
+             "KV cache shorter than attended span");
+
+  Tensor out = Tensor::Zeros(q.shape(), q.dtype());
+  if (ResolveKernelConfig().reference) {
+    GqaAttentionScalar(q, k_cache, v_cache, params, out);
+  } else {
+    GqaAttentionBlocked(q, k_cache, v_cache, params, out);
   }
   return out;
 }

@@ -1,0 +1,81 @@
+#include "src/tensor/kernel_config.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+
+namespace heterollm::tensor {
+
+namespace {
+
+std::atomic<int> g_num_threads{0};
+
+// Per-thread override: 0 = none (use the process default).
+thread_local int tl_num_threads = 0;
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+void SetKernelOptions(const KernelOptions& options) {
+  HCHECK(options.num_threads >= 0);
+  g_num_threads.store(options.num_threads, std::memory_order_relaxed);
+}
+
+KernelOptions GetKernelOptions() {
+  KernelOptions o;
+  o.num_threads = g_num_threads.load(std::memory_order_relaxed);
+  return o;
+}
+
+KernelThreadScope::KernelThreadScope(int num_threads)
+    : saved_(tl_num_threads), engaged_(num_threads != 0) {
+  HCHECK(num_threads >= 0);
+  if (engaged_) {
+    tl_num_threads = num_threads;
+  }
+}
+
+KernelThreadScope::~KernelThreadScope() {
+  if (engaged_) {
+    tl_num_threads = saved_;
+  }
+}
+
+ResolvedKernelConfig ResolveKernelConfig() {
+  int n = tl_num_threads != 0
+              ? tl_num_threads
+              : g_num_threads.load(std::memory_order_relaxed);
+  ResolvedKernelConfig cfg;
+  if (n == 1) {
+    cfg.reference = true;
+    cfg.threads = 1;
+    return cfg;
+  }
+  if (n == 0) {
+    n = HardwareThreads();
+  }
+  cfg.reference = false;
+  cfg.threads = std::max(1, n);
+  return cfg;
+}
+
+void KernelParallelFor(int64_t count, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& body) {
+  const ResolvedKernelConfig cfg = ResolveKernelConfig();
+  if (cfg.threads <= 1) {
+    if (count > 0) {
+      body(0, count);
+    }
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(count, cfg.threads, grain, body);
+}
+
+}  // namespace heterollm::tensor

@@ -1,4 +1,8 @@
-// Reference CPU implementations of the operators used by LLaMA-family models.
+// CPU operator kernels for LLaMA-family models.
+//
+// Every op has a blocked, thread-parallel fast path and a reference scalar
+// path selected by KernelOptions{num_threads} (see kernel_config.h); the
+// two are bit-exact against each other at any thread count.
 //
 // Every op propagates deferred-ness: if any input lacks a payload the result
 // is a shape-only tensor. This lets the engines run the exact same code path
@@ -16,8 +20,16 @@ namespace heterollm::tensor::ops {
 // Dense matmul: a [M, N] x b [N, K] -> [M, K]. FP32 accumulation.
 Tensor Matmul(const Tensor& a, const Tensor& b);
 
-// Matmul against a W4A16 weight: dequantizes each weight element on read,
-// accumulates in FP32 (the "A16" activations are modelled as FP32 host math).
+// Dense matmul restricted to output columns [col_begin, col_end) of b:
+// returns [M, col_end - col_begin], bit-identical to
+// Matmul(a, b).SliceCols(col_begin, col_end) without materializing the
+// slice (partitioned matmul sites compute only the feature range they own).
+Tensor MatmulCols(const Tensor& a, const Tensor& b, int64_t col_begin,
+                  int64_t col_end);
+
+// Matmul against a W4A16 weight: uses the weight's cached FP32 dequantized
+// image (built on first use), accumulates in FP32 (the "A16" activations
+// are modelled as FP32 host math).
 Tensor MatmulQuant(const Tensor& a, const QuantizedTensor& w);
 
 // The INT pipeline: activations quantized to per-row INT8, weights kept as

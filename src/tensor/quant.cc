@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/math_util.h"
+#include "src/tensor/kernel_config.h"
 
 namespace heterollm::tensor {
 
@@ -22,26 +23,34 @@ QuantizedTensor QuantizedTensor::Quantize(const Tensor& weight,
   q.codes_.resize(static_cast<size_t>(rows * cols));
   q.scales_.resize(static_cast<size_t>(q.num_groups_ * cols));
 
-  for (int64_t g = 0; g < q.num_groups_; ++g) {
-    const int64_t r0 = g * group_size;
-    const int64_t r1 = std::min(rows, r0 + group_size);
-    for (int64_t c = 0; c < cols; ++c) {
-      float max_abs = 0.0f;
-      for (int64_t r = r0; r < r1; ++r) {
-        max_abs = std::max(max_abs, std::fabs(weight.At(r, c)));
-      }
-      // Symmetric 4-bit range [-8, 7]; use 7 so +max is representable.
-      float scale = max_abs > 0 ? max_abs / 7.0f : 1.0f;
-      q.scales_[static_cast<size_t>(g * cols + c)] = scale;
-      for (int64_t r = r0; r < r1; ++r) {
-        float v = weight.At(r, c) / scale;
-        int code = static_cast<int>(std::lround(v));
-        code = static_cast<int>(Clamp<int64_t>(code, -8, 7));
-        q.codes_[static_cast<size_t>(r * cols + c)] =
-            static_cast<int8_t>(code);
+  const float* wv = weight.data().data();
+  int8_t* codes = q.codes_.data();
+  float* scales = q.scales_.data();
+  const int64_t num_groups = q.num_groups_;
+  // Columns are the parallel axis: every (group, column) cell is
+  // independent and keeps the same per-cell order, so the partition does
+  // not change a single code or scale.
+  KernelParallelFor(cols, /*grain=*/8, [&](int64_t c0, int64_t c1) {
+    for (int64_t g = 0; g < num_groups; ++g) {
+      const int64_t r0 = g * group_size;
+      const int64_t r1 = std::min(rows, r0 + group_size);
+      for (int64_t c = c0; c < c1; ++c) {
+        float max_abs = 0.0f;
+        for (int64_t r = r0; r < r1; ++r) {
+          max_abs = std::max(max_abs, std::fabs(wv[r * cols + c]));
+        }
+        // Symmetric 4-bit range [-8, 7]; use 7 so +max is representable.
+        float scale = max_abs > 0 ? max_abs / 7.0f : 1.0f;
+        scales[g * cols + c] = scale;
+        for (int64_t r = r0; r < r1; ++r) {
+          float v = wv[r * cols + c] / scale;
+          int code = static_cast<int>(std::lround(v));
+          code = static_cast<int>(Clamp<int64_t>(code, -8, 7));
+          codes[r * cols + c] = static_cast<int8_t>(code);
+        }
       }
     }
-  }
+  });
   return q;
 }
 
@@ -73,15 +82,42 @@ float QuantizedTensor::group_scale(int64_t r, int64_t c) const {
   return scales_[static_cast<size_t>(g * cols + c)];
 }
 
+const int8_t* QuantizedTensor::codes_data() const {
+  HCHECK_MSG(has_data(), "code access on deferred weight");
+  return codes_.data();
+}
+
+const float* QuantizedTensor::scales_data() const {
+  HCHECK_MSG(has_data(), "scale access on deferred weight");
+  return scales_.data();
+}
+
 Tensor QuantizedTensor::Dequantize() const {
   HCHECK_MSG(has_data(), "dequantize of deferred weight");
+  const int64_t rows = shape_.rows();
+  const int64_t cols = shape_.cols();
   Tensor out = Tensor::Zeros(shape_, DType::kFp32);
-  for (int64_t r = 0; r < shape_.rows(); ++r) {
-    for (int64_t c = 0; c < shape_.cols(); ++c) {
-      out.Set(r, c, DequantizedAt(r, c));
+  const int8_t* codes = codes_.data();
+  const float* scales = scales_.data();
+  const int group = group_size_;
+  float* ov = out.mutable_data().data();
+  KernelParallelFor(rows, /*grain=*/8, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* gscales = scales + (r / group) * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        ov[r * cols + c] =
+            static_cast<float>(codes[r * cols + c]) * gscales[c];
+      }
     }
-  }
+  });
   return out;
+}
+
+const Tensor& QuantizedTensor::DequantizedCached() const {
+  HCHECK_MSG(has_data(), "dequantize of deferred weight");
+  std::call_once(dequant_cache_->once,
+                 [&] { dequant_cache_->tensor = Dequantize(); });
+  return dequant_cache_->tensor;
 }
 
 QuantizedActivation QuantizedActivation::Quantize(const Tensor& x) {
@@ -93,19 +129,25 @@ QuantizedActivation QuantizedActivation::Quantize(const Tensor& x) {
   const int64_t cols = x.shape().cols();
   q.codes_.resize(static_cast<size_t>(rows * cols));
   q.scales_.resize(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    float max_abs = 0;
-    for (int64_t c = 0; c < cols; ++c) {
-      max_abs = std::max(max_abs, std::fabs(x.At(r, c)));
+  const float* xv = x.data().data();
+  int8_t* codes = q.codes_.data();
+  float* scales = q.scales_.data();
+  KernelParallelFor(rows, /*grain=*/1, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* row = xv + r * cols;
+      float max_abs = 0;
+      for (int64_t c = 0; c < cols; ++c) {
+        max_abs = std::max(max_abs, std::fabs(row[c]));
+      }
+      const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+      scales[r] = scale;
+      for (int64_t c = 0; c < cols; ++c) {
+        int v = static_cast<int>(std::lround(row[c] / scale));
+        codes[r * cols + c] =
+            static_cast<int8_t>(Clamp<int64_t>(v, -127, 127));
+      }
     }
-    const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
-    q.scales_[static_cast<size_t>(r)] = scale;
-    for (int64_t c = 0; c < cols; ++c) {
-      int v = static_cast<int>(std::lround(x.At(r, c) / scale));
-      q.codes_[static_cast<size_t>(r * cols + c)] =
-          static_cast<int8_t>(Clamp<int64_t>(v, -127, 127));
-    }
-  }
+  });
   return q;
 }
 
@@ -128,9 +170,23 @@ int8_t QuantizedActivation::code(int64_t r, int64_t c) const {
 }
 
 Bytes QuantizedTensor::byte_size() const {
-  // 0.5 bytes per 4-bit code plus one FP16 scale per (group, column).
-  return 0.5 * static_cast<double>(shape_.numel()) +
-         2.0 * static_cast<double>(num_groups_ * shape_.cols());
+  // Packed 4-bit codes, two per byte. Packing runs down the rows of one
+  // column group (the GPTQ/AWQ layout), so a group with an odd number of
+  // rows — the ragged final group when rows % group_size != 0 — still
+  // occupies whole bytes per column: ceil(rows_in_group / 2). The seed
+  // charged a flat 0.5 B/element, which reported fractional bytes for odd
+  // element counts.
+  const int64_t rows = shape_.rows();
+  const int64_t cols = shape_.cols();
+  int64_t packed_bytes_per_col = 0;
+  for (int64_t g = 0; g < num_groups_; ++g) {
+    const int64_t rows_in_group =
+        std::min<int64_t>(group_size_, rows - g * group_size_);
+    packed_bytes_per_col += DivCeil(rows_in_group, 2);
+  }
+  // One FP16 scale per (group, column).
+  return static_cast<double>(packed_bytes_per_col * cols) +
+         2.0 * static_cast<double>(num_groups_ * cols);
 }
 
 }  // namespace heterollm::tensor

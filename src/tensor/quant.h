@@ -9,6 +9,8 @@
 #define SRC_TENSOR_QUANT_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/status.h"
@@ -31,6 +33,12 @@ class QuantizedTensor {
   // Reconstructs the FP32 weight (HCHECKs on deferred tensors).
   Tensor Dequantize() const;
 
+  // The FP32 image of the weight, dequantized once on first use and cached;
+  // copies of this QuantizedTensor share the cache. Weights are immutable
+  // after Quantize(), so the cache never invalidates. This is what keeps
+  // MatmulQuant from re-dequantizing the full weight on every call.
+  const Tensor& DequantizedCached() const;
+
   // Dequantizes a single element (row r, col c).
   float DequantizedAt(int64_t r, int64_t c) const;
 
@@ -38,23 +46,38 @@ class QuantizedTensor {
   int8_t code_at(int64_t r, int64_t c) const;
   float group_scale(int64_t r, int64_t c) const;
 
+  // Raw payloads for kernels: codes row-major [rows, cols], scales
+  // row-major [num_groups, cols] (HCHECKs on deferred tensors).
+  const int8_t* codes_data() const;
+  const float* scales_data() const;
+
   const Shape& shape() const { return shape_; }
   int group_size() const { return group_size_; }
   bool has_data() const { return !codes_.empty(); }
 
-  // Simulated storage: 4-bit codes plus FP16 scales per group.
+  // Simulated storage: packed 4-bit codes (two per byte, rounded up per
+  // column group — a ragged final group still occupies whole bytes) plus
+  // FP16 scales per group.
   Bytes byte_size() const;
 
  private:
   Shape shape_;
   int group_size_ = 32;
   // 4-bit signed codes in [-8, 7], one int8 per element (packing is a
-  // storage-accounting concern only; byte_size() charges 0.5 B/elem).
+  // storage-accounting concern only; byte_size() models the packed form).
   std::vector<int8_t> codes_;
   // Scales indexed by [group][col], row-major; one group covers
   // `group_size` consecutive rows.
   std::vector<float> scales_;
   int64_t num_groups_ = 0;
+  // Lazily built FP32 image (DequantizedCached); shared across copies so a
+  // weight is dequantized at most once per process.
+  struct DequantCache {
+    std::once_flag once;
+    Tensor tensor;
+  };
+  std::shared_ptr<DequantCache> dequant_cache_ =
+      std::make_shared<DequantCache>();
 };
 
 // Per-row symmetric INT8 activation quantization ("A8") — the datapath the
@@ -71,6 +94,10 @@ class QuantizedActivation {
   int8_t code(int64_t r, int64_t c) const;
   float scale(int64_t r) const { return scales_[static_cast<size_t>(r)]; }
   const Shape& shape() const { return shape_; }
+
+  // Raw payloads for kernels: codes row-major [rows, cols], one scale/row.
+  const int8_t* codes_data() const { return codes_.data(); }
+  const float* scales_data() const { return scales_.data(); }
 
  private:
   Shape shape_;
