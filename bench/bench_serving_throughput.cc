@@ -23,6 +23,7 @@ namespace heterollm {
 namespace {
 
 using model::ModelConfig;
+using serve::IterationPolicy;
 using serve::RequestQueue;
 using serve::SchedulePolicy;
 using serve::SchedulerOptions;
@@ -90,6 +91,51 @@ void PrintServingComparison(report::BenchReport& report) {
     }
   }
   benchx::EmitTable(report, "serving_throughput", table);
+
+  // Mixed long-prompt/short-decode traffic: the scenario where the
+  // iteration policy, not the batching itself, decides the decode tail.
+  // Document ingestions (768-1024 token prompts) land between short chat
+  // turns; prefill-first stalls the whole decode batch for each document
+  // pass while hybrid-chunked interleaves one budgeted chunk per round.
+  // bench_chunked_prefill gates the full sweep; this section keeps the
+  // policy face-off visible next to the serial-vs-continuous table.
+  TextTable mixed_table({"policy", "tpot p99 (ms)", "ttft mean (ms)",
+                         "agg tok/s", "chunks"});
+  const RequestQueue mixed_trace = [&] {
+    Rng rng(4048);
+    return RequestQueue::SyntheticMixed(
+        rng, /*count=*/16, kMeanInterarrivalUs, /*long_fraction=*/0.25,
+        /*min_long_prompt=*/768, /*max_long_prompt=*/1024,
+        /*long_decode=*/8, /*min_prompt=*/32, /*max_prompt=*/96,
+        /*min_decode=*/24, /*max_decode=*/48);
+  }();
+  for (const IterationPolicy policy :
+       {IterationPolicy::kPrefillFirst, IterationPolicy::kHybridChunked}) {
+    serve::ReplicaOptions ropts;
+    ropts.platform = core::PlatformOptionsFor(kEngine);
+    ropts.engine = kEngine;
+    ropts.scheduler.iteration = policy;
+    ropts.scheduler.max_decode_batch = kMaxBatch;
+    ropts.scheduler.prefill_chunk_tokens = 128;
+    ropts.scheduler.kv_budget_bytes = 512 * kMiB;
+    auto replica = serve::Replica::Create(ropts, &weights);
+    HCHECK(replica.ok());
+    const ServingMetrics m = (*replica)->Serve(mixed_trace);
+    const char* name = policy == IterationPolicy::kPrefillFirst
+                           ? "prefill_first"
+                           : "hybrid_chunked";
+    mixed_table.AddRow({name, StrFormat("%.1f", m.tpot_tail().p99 / 1e3),
+                        StrFormat("%.1f", m.ttft_mean() / 1e3),
+                        StrFormat("%.1f", m.aggregate_tokens_per_s()),
+                        StrFormat("%d", m.prefill_chunks)});
+    const std::string prefix = StrFormat("serving.mixed16.%s", name);
+    benchx::AddServingMetrics(report, prefix, m);
+    report.AddMetric(prefix + ".tpot_p99_ms", m.tpot_tail().p99 / 1e3,
+                     benchx::LowerIsBetter("ms"));
+    report.AddMetric(prefix + ".ttft_mean_ms", m.ttft_mean() / 1e3,
+                     benchx::LowerIsBetter("ms"));
+  }
+  benchx::EmitTable(report, "serving_throughput_mixed", mixed_table);
 }
 
 void BM_Serve(benchmark::State& state) {

@@ -76,15 +76,22 @@ PhaseStats EngineBase::PrefillInto(model::KvCache* cache,
 
 PhaseStats EngineBase::PrefillFrom(model::KvCache* cache,
                                    const Tensor& prompt, int64_t start_pos) {
-  HCHECK(cache != nullptr);
   HCHECK(start_pos >= 0 && start_pos < prompt.shape().rows());
-  HCHECK_MSG(cache->length() == start_pos,
-             "cache length must equal the prefill start offset");
-  if (start_pos == 0) {
+  return PrefillChunk(cache, prompt, start_pos,
+                      prompt.shape().rows() - start_pos);
+}
+
+PhaseStats EngineBase::PrefillChunk(model::KvCache* cache,
+                                    const Tensor& prompt, int64_t offset,
+                                    int64_t len) {
+  HCHECK(cache != nullptr);
+  HCHECK(offset >= 0 && len >= 1 && offset + len <= prompt.shape().rows());
+  HCHECK_MSG(cache->length() == offset,
+             "cache length must equal the chunk start offset");
+  if (offset == 0 && len == prompt.shape().rows()) {
     return PrefillInto(cache, prompt);
   }
-  return PrefillInto(cache,
-                     prompt.SliceRows(start_pos, prompt.shape().rows()));
+  return PrefillInto(cache, prompt.SliceRows(offset, offset + len));
 }
 
 PhaseStats EngineBase::DecodeInto(model::KvCache* cache, const Tensor& token) {

@@ -176,6 +176,17 @@ class EngineBase : public InferenceEngine, public graph::PlacementPolicy {
   PhaseStats PrefillFrom(model::KvCache* cache, const tensor::Tensor& prompt,
                          int64_t start_pos);
 
+  // One transactional prefill chunk: runs — and prices — only rows
+  // [offset, offset + len) of `prompt` against `cache`, which must hold
+  // exactly `offset` committed positions (the preceding chunks, or an
+  // adopted prefix-cache hit). RoPE offsets and attention spans come from
+  // the cache length, so chunking is numerically transparent: committing a
+  // prompt chunk-by-chunk yields a cache (and final-chunk logits)
+  // bit-identical to one-shot prefill. `PrefillFrom` is the
+  // run-to-the-end special case.
+  PhaseStats PrefillChunk(model::KvCache* cache, const tensor::Tensor& prompt,
+                          int64_t offset, int64_t len);
+
   // One single-session decode step against `cache` (any ExecutionMode —
   // unlike BatchedDecodeStep there is one forward pass over one cache, so
   // compute-mode numerics are meaningful).

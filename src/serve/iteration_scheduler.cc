@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -33,6 +34,12 @@ Status SchedulerOptions::Validate() const {
   }
   if (speculative_acceptance < 0 || speculative_acceptance > 1.0) {
     return InvalidArgumentError("speculative_acceptance must be in [0, 1]");
+  }
+  if (prefill_chunk_tokens < 1) {
+    return InvalidArgumentError("prefill_chunk_tokens must be >= 1");
+  }
+  if (iteration_token_budget < 0) {
+    return InvalidArgumentError("iteration_token_budget must be >= 0");
   }
   return Status::Ok();
 }
@@ -78,7 +85,8 @@ struct IterationScheduler::Continuous {
             CheckedTotalBlocks(cfg, options.kv_budget_bytes, bt)),
         pool(cfg, bt, total_blocks, model::ExecutionMode::kSimulate),
         prefix(&pool),
-        use_prefix(options.enable_prefix_cache) {}
+        use_prefix(options.enable_prefix_cache),
+        hybrid(options.iteration == IterationPolicy::kHybridChunked) {}
 
   core::EngineBase* engine;
   const SchedulerOptions& options;
@@ -105,6 +113,10 @@ struct IterationScheduler::Continuous {
   KvBlockPool pool;
   PrefixCache prefix;
   const bool use_prefix;
+  // Chunked-prefill mode (IterationPolicy::kHybridChunked): admission only
+  // reserves the slot; the prompt then prefills chunk-by-chunk inside the
+  // hybrid iterations, interleaved with the batched decode.
+  const bool hybrid;
 
   struct Slot {
     size_t idx = 0;  // index into requests/metrics
@@ -113,6 +125,19 @@ struct IterationScheduler::Continuous {
     int decoded = 0;
     int64_t last_iter = -1;  // round-robin fairness key
   };
+
+  // Preempted hybrid sessions park their cache here instead of dropping it:
+  // decode progress is rolled back to the prompt boundary (the emitted
+  // stream restarts anyway) but committed prompt chunks survive, so
+  // re-admission resumes at the next chunk. Keyed by request index; `stamp`
+  // orders drops (least recently parked first) when admission pressure has
+  // to reclaim parked blocks too.
+  struct ParkedPrompt {
+    std::unique_ptr<KvCache> cache;
+    int64_t stamp = 0;
+  };
+  std::map<size_t, ParkedPrompt> parked;
+  int64_t parked_stamp = 0;
 
   // Grows as requests are handed in: all up front under `Run`, one at a
   // time under `Submit`. Indices are stable, so they key slots and metrics.
@@ -170,15 +195,55 @@ struct IterationScheduler::Continuous {
     }
   }
 
+  // True while the session is still inside its prompt — only hybrid slots
+  // ever are (the other policies prefill in full at admission).
+  bool Prefilling(const Slot& slot) const {
+    return slot.cache->length() <
+           static_cast<int64_t>(requests[slot.idx].prompt_len);
+  }
+
   void Evict(size_t slot_pos) {
     Slot& victim = active[slot_pos];
     RequestMetrics& vm = m->requests[victim.idx];
     ++vm.evictions;
     vm.decoded_tokens = 0;  // progress is discarded with the cache
+    if (hybrid) {
+      // Chunk state persists across preemption: decode progress rolls back
+      // to the prompt boundary and the committed prompt blocks park, so
+      // re-admission resumes at the next chunk instead of re-prefilling.
+      const int64_t keep = std::min<int64_t>(
+          victim.cache->length(), requests[victim.idx].prompt_len);
+      if (keep > 0) {
+        victim.cache->RollbackTo(keep);
+        parked[victim.idx] = ParkedPrompt{std::move(victim.cache),
+                                          parked_stamp++};
+      }
+    }
     waiting.push_back(victim.idx);
     // Destroying the cache releases its blocks; blocks also pinned by the
     // prefix cache stay resident (and become evictable LRU entries).
     active.erase(active.begin() + static_cast<ptrdiff_t>(slot_pos));
+  }
+
+  // Drops the least recently parked prompt state — its blocks return to the
+  // pool and the owner re-prefills from scratch when re-admitted. `keep` is
+  // the request currently being admitted: its parked cache is about to be
+  // resumed, never sacrificed. Returns false with nothing else parked.
+  bool DropOneParked(size_t keep) {
+    auto oldest = parked.end();
+    for (auto it = parked.begin(); it != parked.end(); ++it) {
+      if (it->first == keep) {
+        continue;
+      }
+      if (oldest == parked.end() || it->second.stamp < oldest->second.stamp) {
+        oldest = it;
+      }
+    }
+    if (oldest == parked.end()) {
+      return false;
+    }
+    parked.erase(oldest);  // cache destructs: blocks return to the pool
+    return true;
   }
 
   // The active session with the most remaining decode work (least sunk
@@ -244,10 +309,16 @@ struct IterationScheduler::Continuous {
                                  bt) <= total_blocks,
         "request KV footprint exceeds the whole budget");
 
+    // A parked mid-prompt cache (hybrid preemption) is resumed, not
+    // rebuilt: its committed blocks discount the footprint exactly like
+    // adopted prefix blocks do, and the prefix lookup is skipped — the
+    // parked cache already holds any cached head it once adopted.
+    const auto parked_it = parked.find(idx);
+    const bool resuming = parked_it != parked.end();
     // Prefix lookup pins matched blocks (refs held by us until adopted or
     // released below).
     PrefixCache::Match hit;
-    if (use_prefix && !r.prompt_tokens.empty()) {
+    if (!resuming && use_prefix && !r.prompt_tokens.empty()) {
       hit = prefix.Acquire(r.prompt_tokens);
     }
     // Blocks this session will allocate over its whole life: residual
@@ -257,8 +328,10 @@ struct IterationScheduler::Continuous {
     // whole-footprint reservation per session would.
     const int64_t footprint = KvCache::BlocksForTokens(
         r.prompt_len + r.decode_len + spec_slack, bt);
-    const int64_t need =
-        footprint - static_cast<int64_t>(hit.blocks.size());
+    const int64_t held = resuming
+                             ? parked_it->second.cache->held_blocks()
+                             : static_cast<int64_t>(hit.blocks.size());
+    const int64_t need = footprint - held;
 
     auto release_hit = [&] {
       for (int32_t b : hit.blocks) {
@@ -267,8 +340,21 @@ struct IterationScheduler::Continuous {
     };
     bool preempted = false;
     while (pool.available_blocks() - Headroom() < need) {
+      // The usable-block cap, re-checked on every pass: eviction frees
+      // physical blocks but never raises the cap, so once need + Headroom()
+      // exceeds usable_blocks() (a KV squeeze shrank the cap under the
+      // reservations) no amount of prefix eviction can admit this request —
+      // only preemption, which shrinks the headroom itself, still can.
+      // Without the re-check the loop churned the prefix cache, and could
+      // preempt a victim, in service of an admission the cap had already
+      // ruled out.
+      const bool cap_feasible = need + Headroom() <= pool.usable_blocks();
       // Cheapest memory first: drop LRU unpinned cached prefixes.
-      if (prefix.EvictUntilFree(need + Headroom()) > 0) {
+      if (cap_feasible && prefix.EvictUntilFree(need + Headroom()) > 0) {
+        continue;
+      }
+      // Then other requests' parked mid-prompt state (they re-prefill).
+      if (cap_feasible && DropOneParked(idx)) {
         continue;
       }
       // Then preempt at most one session, and only for a newcomer (a
@@ -293,14 +379,35 @@ struct IterationScheduler::Continuous {
     Slot slot;
     slot.idx = idx;
     slot.footprint = footprint;
-    slot.cache = std::make_unique<KvCache>(
-        pool.MakeCache(r.prompt_len + std::max(r.decode_len, 1) + spec_slack));
-    if (!hit.blocks.empty()) {
-      slot.cache->AdoptPrefix(hit.blocks, hit.tokens);  // refs transferred
+    if (resuming) {
+      slot.cache = std::move(parked_it->second.cache);
+      parked.erase(parked_it);
+    } else {
+      slot.cache = std::make_unique<KvCache>(pool.MakeCache(
+          r.prompt_len + std::max(r.decode_len, 1) + spec_slack));
+      if (!hit.blocks.empty()) {
+        slot.cache->AdoptPrefix(hit.blocks, hit.tokens);  // refs transferred
+      }
     }
     was_admitted[idx] = true;
     RequestMetrics& rm = m->requests[idx];
     rm.admitted = engine->host_now();
+    if (hybrid) {
+      // Chunked admission is just the slot setup: the prompt prefills as
+      // budgeted chunks inside the following hybrid iterations
+      // (ChunkIteration stamps first_token when the last chunk commits).
+      const int64_t committed = slot.cache->length();
+      m->prefilled_tokens += r.prompt_len - (resuming ? committed : 0);
+      if (resuming) {
+        m->chunk_resumed_tokens += committed;
+      } else {
+        m->prefix_hit_tokens += hit.tokens;
+      }
+      active.push_back(std::move(slot));
+      m->peak_active_sessions = std::max(m->peak_active_sessions,
+                                         static_cast<int>(active.size()));
+      return true;
+    }
     m->prefilled_tokens += r.prompt_len;
     m->prefix_hit_tokens += hit.tokens;
     engine->PrefillFrom(slot.cache.get(), MakePrompt(r.prompt_len, cfg.hidden),
@@ -325,10 +432,15 @@ struct IterationScheduler::Continuous {
 
   // Round-robin fair selection: the max_decode_batch least recently
   // decoded sessions run this iteration (stable by arrival for ties).
+  // Hybrid slots still inside their prompt cannot decode yet and are
+  // skipped — their tokens flow through ChunkIteration instead.
   std::vector<size_t> SelectOrder() const {
-    std::vector<size_t> order(active.size());
-    for (size_t s = 0; s < order.size(); ++s) {
-      order[s] = s;
+    std::vector<size_t> order;
+    order.reserve(active.size());
+    for (size_t s = 0; s < active.size(); ++s) {
+      if (!Prefilling(active[s])) {
+        order.push_back(s);
+      }
     }
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return active[a].last_iter < active[b].last_iter;
@@ -447,6 +559,114 @@ struct IterationScheduler::Continuous {
     return true;
   }
 
+  // Runs the next prefill chunk — at most `max_tokens` prompt tokens of one
+  // prefilling session — as a single transactional engine pass. Picks the
+  // session with the fewest prompt tokens left (shortest-remaining-prefill:
+  // short prompts are not pinned behind a long document, which is what
+  // keeps the TTFT mean competitive with kPrefillFirst); ties fall to the
+  // earlier arrival, so the pick is deterministic. Returns false when no
+  // session is prefilling or the pool cannot supply the chunk's blocks
+  // (only a scripted KV squeeze can — admission reserved the footprint).
+  bool ChunkIteration(int64_t max_tokens) {
+    size_t pick = active.size();
+    int64_t pick_left = 0;
+    for (size_t s = 0; s < active.size(); ++s) {
+      if (!Prefilling(active[s])) {
+        continue;
+      }
+      const int64_t left =
+          requests[active[s].idx].prompt_len - active[s].cache->length();
+      if (pick == active.size() || left < pick_left ||
+          (left == pick_left && active[s].idx < active[pick].idx)) {
+        pick = s;
+        pick_left = left;
+      }
+    }
+    if (pick == active.size()) {
+      return false;
+    }
+    Slot& slot = active[pick];
+    const Request& r = requests[slot.idx];
+    const int64_t offset = slot.cache->length();
+    const int64_t len = std::min<int64_t>(std::max<int64_t>(max_tokens, 1),
+                                          r.prompt_len - offset);
+    // Block pressure mirrors DecodeIteration: make room before the engine
+    // opens the transactional step, shedding cached prefixes and parked
+    // prompt state; TryReserveStep then either takes every block or none.
+    while (slot.cache->BlocksNeededFor(len) > pool.available_blocks()) {
+      if (prefix.EvictUntilFree(slot.cache->BlocksNeededFor(len)) > 0) {
+        continue;
+      }
+      if (DropOneParked(slot.idx)) {
+        continue;
+      }
+      return false;  // squeezed: wait for the next condition event
+    }
+    if (!slot.cache->TryReserveStep(len)) {
+      return false;
+    }
+    engine->PrefillChunk(slot.cache.get(), MakePrompt(r.prompt_len, cfg.hidden),
+                         offset, len);
+    ++m->prefill_chunks;
+    m->chunked_prefill_tokens += len;
+    if (slot.cache->length() >= r.prompt_len) {
+      // Last chunk committed — the same epilogue the one-shot prefill path
+      // runs at admission: TTFT stamps here, the committed prompt becomes
+      // prefix-cache currency, and decode-less requests complete.
+      RequestMetrics& rm = m->requests[slot.idx];
+      rm.first_token = engine->host_now();
+      if (use_prefix && !r.prompt_tokens.empty()) {
+        prefix.Insert(r.prompt_tokens, slot.cache->blocks(),
+                      slot.cache->length());
+      }
+      if (r.decode_len == 0) {
+        rm.completion = rm.first_token;
+        ++completed;  // slot.cache destructs: blocks return to the pool
+        active.erase(active.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    }
+    return true;
+  }
+
+  // One stage-aware hybrid iteration: the batched decode runs first (decode
+  // cadence is what chunking protects), then the remainder of the round's
+  // token budget funds one prefill chunk on the same clock — so a decode
+  // round waits behind at most one chunk of any prefill, never the whole
+  // prompt. Returns false only when neither half could progress (the pool
+  // is pinned by a scripted squeeze); the caller waits for the next event.
+  bool HybridIteration() {
+    const int64_t rows = spec_window > 0 ? spec_window + 1 : 1;
+    const int64_t budget =
+        options.iteration_token_budget > 0
+            ? options.iteration_token_budget
+            : options.prefill_chunk_tokens +
+                  static_cast<int64_t>(options.max_decode_batch) * rows;
+    int64_t decode_ready = 0;
+    for (const Slot& slot : active) {
+      if (!Prefilling(slot)) {
+        ++decode_ready;
+      }
+    }
+    bool decoded = false;
+    int64_t decode_tokens = 0;
+    if (decode_ready > 0) {
+      decode_tokens =
+          std::min<int64_t>(decode_ready, EffectiveDecodeBatch()) * rows;
+      decoded = DecodeIteration();
+    }
+    // The chunk gets whatever the decode rows left of the budget, capped at
+    // the chunk size and floored at one token — a saturated decode batch
+    // slows prefill down but can never starve it outright.
+    const int64_t chunk_budget =
+        std::min<int64_t>(options.prefill_chunk_tokens,
+                          std::max<int64_t>(1, budget - decode_tokens));
+    const bool chunked = ChunkIteration(chunk_budget);
+    if (decoded && chunked) {
+      ++m->hybrid_iterations;
+    }
+    return decoded || chunked;
+  }
+
   // One scheduling round — one body of the old serving loop. Returns false
   // (touching nothing) once every request has completed.
   bool StepRound() {
@@ -455,15 +675,18 @@ struct IterationScheduler::Continuous {
     }
     ApplyKvSqueeze();
     AdmitArrivals();
-    if (options.iteration == IterationPolicy::kPrefillFirst) {
+    if (options.iteration == IterationPolicy::kDecodeFair) {
+      TryAdmit();
+    } else {
+      // kPrefillFirst admits (and fully prefills) everything admissible
+      // before the decode iteration; kHybridChunked admissions are cheap
+      // slot setups, so it too drains the admissible head of the queue.
       while (TryAdmit()) {
         AdmitArrivals();
       }
-    } else {
-      TryAdmit();
     }
     if (!active.empty()) {
-      if (!DecodeIteration()) {
+      if (!(hybrid ? HybridIteration() : DecodeIteration())) {
         // The pool is pinned under this batch's next block with no
         // recovery move left — only a scripted KV squeeze can do that
         // (admission reserved every session's whole footprint). Wait for

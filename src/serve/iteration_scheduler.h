@@ -17,7 +17,9 @@
 // those blocks and prefills only the residual tokens. Under pressure the
 // scheduler first evicts unpinned cached prefixes (LRU), then preempts an
 // active session; an evicted session drops its cache and restarts from
-// prefill when re-admitted.
+// prefill when re-admitted — except under `IterationPolicy::kHybridChunked`,
+// which parks the committed prompt blocks so re-admission resumes at the
+// next prefill chunk.
 //
 // Two driving modes share one window machinery (the KV pool, prefix cache
 // and active/waiting session state live *in the scheduler*, not in `Run`):
@@ -65,6 +67,17 @@ enum class IterationPolicy {
   // At most one admission between decode iterations — active sessions keep
   // a steady TPOT while arrivals trickle in.
   kDecodeFair,
+  // Chunked prefill with stage-aware hybrid iterations: prompts prefill in
+  // `prefill_chunk_tokens`-sized transactional chunks, and every scheduling
+  // round runs the batched decode iteration plus at most one chunk, the two
+  // sharing `iteration_token_budget` tokens — so no decode round ever waits
+  // behind a full long prefill (the paper's §5.5 starvation scenario).
+  // Chunk state persists on the session: preemption parks the committed
+  // prompt blocks and re-admission resumes at the next chunk instead of
+  // re-prefilling. TTFT keeps its meaning (the last chunk's commit time);
+  // prefix-cache hits skip whole chunks; speculative decoding runs
+  // unchanged in the decode half.
+  kHybridChunked,
 };
 
 struct SchedulerOptions {
@@ -99,10 +112,23 @@ struct SchedulerOptions {
   double speculative_acceptance = 0.75;
   // Seeds the acceptance draws — runs are deterministic per seed.
   uint64_t speculative_seed = 17;
+  // Chunked prefill (iteration == kHybridChunked; ignored otherwise): max
+  // prompt tokens one prefill chunk runs per hybrid iteration. Long prompts
+  // split into ceil(prompt / chunk) transactional chunks; `BuildServingEngine`
+  // pre-compiles the chunk-width schedule alongside the standard prefill
+  // sizes (ragged last chunks decompose/pad like any non-standard length).
+  int64_t prefill_chunk_tokens = 256;
+  // Per-iteration token budget shared between the decode rows and the
+  // prefill chunk of one hybrid iteration. Decode rows are priced first and
+  // the chunk gets the remainder, floored at one token so a saturated
+  // decode batch can never starve prefill into livelock. 0 derives
+  // prefill_chunk_tokens + max_decode_batch * (speculative rows).
+  int64_t iteration_token_budget = 0;
 
   // Field-level validity: max_decode_batch >= 1, kv_budget_bytes > 0,
   // kv_block_tokens >= 1, speculative_window >= 0, speculative_acceptance
-  // in [0, 1], and the budget affords at least one block's worth
+  // in [0, 1], prefill_chunk_tokens >= 1, iteration_token_budget >= 0, and
+  // the budget affords at least one block's worth
   // of bytes is checked downstream (it needs the model config).
   Status Validate() const;
   // The SolverConfig pattern: a Status-returning factory so callers handle

@@ -56,6 +56,12 @@ struct ReplicaOptions {
   // knobs (decode widths, KV capacity) from `scheduler`.
   std::string engine = "Hetero-tensor";
   core::EngineOptions engine_options;
+  // Scheduler knobs, including the iteration policy. Selecting
+  // `IterationPolicy::kHybridChunked` turns on chunked prefill end-to-end:
+  // `BuildServingEngine` pre-compiles the `prefill_chunk_tokens`-width
+  // schedule and the replica's `ServingMetrics` report the chunk counters
+  // (prefill_chunks / chunked_prefill_tokens / chunk_resumed_tokens /
+  // hybrid_iterations).
   SchedulerOptions scheduler;
 };
 

@@ -94,6 +94,45 @@ RequestQueue RequestQueue::SyntheticSharedPrefix(
   return RequestQueue(std::move(requests));
 }
 
+RequestQueue RequestQueue::SyntheticMixed(
+    Rng& rng, int count, MicroSeconds mean_interarrival_us,
+    double long_fraction, int min_long_prompt, int max_long_prompt,
+    int long_decode, int min_prompt, int max_prompt, int min_decode,
+    int max_decode) {
+  HCHECK(count > 0);
+  HCHECK(mean_interarrival_us > 0);
+  HCHECK(long_fraction >= 0 && long_fraction <= 1);
+  HCHECK(min_long_prompt >= 1 && max_long_prompt >= min_long_prompt);
+  HCHECK(long_decode >= 0);
+  HCHECK(min_prompt >= 1 && max_prompt >= min_prompt);
+  HCHECK(min_decode >= 0 && max_decode >= min_decode);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(count));
+  MicroSeconds arrival = 0;
+  for (int i = 0; i < count; ++i) {
+    arrival += -mean_interarrival_us * std::log(1.0 - rng.NextUnit());
+    Request r;
+    r.id = i;
+    r.arrival = arrival;
+    if (rng.NextUnit() < long_fraction) {
+      r.prompt_len =
+          min_long_prompt +
+          static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+              max_long_prompt - min_long_prompt + 1)));
+      r.decode_len = long_decode;
+    } else {
+      r.prompt_len =
+          min_prompt + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+                           max_prompt - min_prompt + 1)));
+      r.decode_len =
+          min_decode + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+                           max_decode - min_decode + 1)));
+    }
+    requests.push_back(std::move(r));
+  }
+  return RequestQueue(std::move(requests));
+}
+
 int64_t RequestQueue::total_tokens() const {
   int64_t total = 0;
   for (const Request& r : requests_) {

@@ -55,6 +55,19 @@ class RequestQueue {
       double shared_fraction, int shared_prefix_len, int min_suffix,
       int max_suffix, int min_decode, int max_decode);
 
+  // Mixed long-prompt/short-decode trace (the chunked-prefill stressor,
+  // paper §5.5): a `long_fraction` of requests are document ingestions —
+  // prompts uniform in [min_long_prompt, max_long_prompt] with
+  // `long_decode` output tokens — the rest short chat turns drawn from the
+  // [min_prompt, max_prompt] x [min_decode, max_decode] distributions.
+  // Poisson arrivals; lengths only (no prompt token ids).
+  static RequestQueue SyntheticMixed(Rng& rng, int count,
+                                     MicroSeconds mean_interarrival_us,
+                                     double long_fraction, int min_long_prompt,
+                                     int max_long_prompt, int long_decode,
+                                     int min_prompt, int max_prompt,
+                                     int min_decode, int max_decode);
+
   const std::vector<Request>& requests() const { return requests_; }
   size_t size() const { return requests_.size(); }
   bool empty() const { return requests_.empty(); }

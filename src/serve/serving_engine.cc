@@ -45,6 +45,18 @@ StatusOr<std::unique_ptr<core::EngineBase>> BuildServingEngine(
   base.decode_widths.erase(
       std::unique(base.decode_widths.begin(), base.decode_widths.end()),
       base.decode_widths.end());
+  if (options.iteration == IterationPolicy::kHybridChunked) {
+    // Hybrid iterations prefill at the chunk width every round: promote it
+    // to a standard sequence size so its schedule (and static NPU graph) is
+    // pre-compiled like any common prefill length. Ragged last chunks
+    // decompose/pad through the usual non-standard-length path.
+    base.standard_seq_sizes.push_back(options.prefill_chunk_tokens);
+    std::sort(base.standard_seq_sizes.begin(), base.standard_seq_sizes.end());
+    base.standard_seq_sizes.erase(
+        std::unique(base.standard_seq_sizes.begin(),
+                    base.standard_seq_sizes.end()),
+        base.standard_seq_sizes.end());
+  }
   return core::CreateEngine(engine_name, platform, weights, base);
 }
 

@@ -111,6 +111,17 @@ TailStats ServingMetrics::tpot_tail() const {
   return TailOf(CollectSpans(requests, &RequestMetrics::tpot));
 }
 
+MicroSeconds ServingMetrics::ttft_mean() const {
+  if (requests.empty()) {
+    return 0;
+  }
+  MicroSeconds total = 0;
+  for (const RequestMetrics& r : requests) {
+    total += r.ttft();
+  }
+  return total / static_cast<MicroSeconds>(requests.size());
+}
+
 std::string ServingMetrics::Render() const {
   std::string out;
   TextTable table({"req", "arrival (ms)", "TTFT (ms)", "TPOT (ms)",
@@ -147,6 +158,15 @@ std::string ServingMetrics::Render() const {
             ? static_cast<double>(total_decoded_tokens()) / decode_iterations
             : 0.0);
   }
+  if (prefill_chunks > 0) {
+    const TailStats tpot = tpot_tail();
+    out += StrFormat(
+        "chunked prefill: %d chunks / %lld tokens  hybrid iters=%d  "
+        "resumed=%lld tokens  TPOT p50/p99=%.2f/%.2f ms\n",
+        prefill_chunks, static_cast<long long>(chunked_prefill_tokens),
+        hybrid_iterations, static_cast<long long>(chunk_resumed_tokens),
+        ToMillis(tpot.p50), ToMillis(tpot.p99));
+  }
   if (prefilled_tokens > 0) {
     out += StrFormat(
         "prefix cache: hit %lld/%lld prompt tokens (%.1f%%)  "
@@ -168,8 +188,12 @@ report::JsonValue ServingMetrics::ToJsonValue() const {
   doc.Set("decode_tokens_per_s", decode_tokens_per_s());
   const TailStats ttft = ttft_tail();
   const TailStats latency = latency_tail();
+  const TailStats tpot = tpot_tail();
   doc.Set("ttft_p50_us", ttft.p50);
   doc.Set("ttft_p99_us", ttft.p99);
+  doc.Set("ttft_mean_us", ttft_mean());
+  doc.Set("tpot_p50_us", tpot.p50);
+  doc.Set("tpot_p99_us", tpot.p99);
   doc.Set("latency_p50_us", latency.p50);
   doc.Set("latency_p99_us", latency.p99);
   doc.Set("decode_iterations", decode_iterations);
@@ -183,6 +207,10 @@ report::JsonValue ServingMetrics::ToJsonValue() const {
   doc.Set("blocks_evicted", blocks_evicted);
   doc.Set("kv_blocks_peak", kv_blocks_peak);
   doc.Set("peak_active_sessions", peak_active_sessions);
+  doc.Set("prefill_chunks", prefill_chunks);
+  doc.Set("hybrid_iterations", hybrid_iterations);
+  doc.Set("chunked_prefill_tokens", chunked_prefill_tokens);
+  doc.Set("chunk_resumed_tokens", chunk_resumed_tokens);
   doc.Set("draft_tokens", total_draft_tokens());
   doc.Set("accepted_tokens", total_accepted_tokens());
   doc.Set("acceptance_rate", speculative_acceptance_rate());

@@ -91,6 +91,12 @@ struct ServingMetrics {
   int64_t blocks_evicted = 0;       // prefix-cache blocks dropped under pressure
   int64_t kv_blocks_peak = 0;       // pool high-water mark (blocks)
   int peak_active_sessions = 0;     // max concurrently admitted sessions
+  // Chunked prefill (IterationPolicy::kHybridChunked; all zero otherwise).
+  int prefill_chunks = 0;      // transactional prefill chunk passes issued
+  int hybrid_iterations = 0;   // rounds that ran a chunk AND a decode batch
+  int64_t chunked_prefill_tokens = 0;  // prompt tokens prefilled via chunks
+  int64_t chunk_resumed_tokens = 0;    // committed prompt tokens carried
+                                       // across a preemption (not re-run)
   core::ExecutionReport report;  // per-unit utilization over the window
 
   // Fraction of prompt tokens served from the prefix cache.
@@ -118,6 +124,9 @@ struct ServingMetrics {
   TailStats ttft_tail() const;
   TailStats latency_tail() const;
   TailStats tpot_tail() const;
+  // Mean TTFT across requests (0 with none) — the "no TTFT regression"
+  // guard the chunked-prefill benches gate alongside the TPOT p99 win.
+  MicroSeconds ttft_mean() const;
   MicroSeconds ttft_p50() const { return ttft_tail().p50; }
   MicroSeconds ttft_p99() const { return ttft_tail().p99; }
   MicroSeconds latency_p50() const { return latency_tail().p50; }

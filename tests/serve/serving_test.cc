@@ -551,5 +551,55 @@ TEST(ServingTest, SharedPrefixRaisesPeakSessions) {
   }
 }
 
+// Regression: when a KV squeeze leaves the usable-block cap below what the
+// admission needs (need + headroom > usable), the pressure loop must bail
+// out *before* churning the prefix cache — evicting cached blocks cannot
+// possibly create feasibility the cap has already ruled out. The old loop
+// only discovered infeasibility after EvictUntilFree had already dropped
+// every unpinned prefix block.
+TEST(ServingTest, AdmissionRechecksUsableCapBeforeEvictingPrefixBlocks) {
+  const ModelConfig cfg = ModelConfig::InternLM1_8B();
+  ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
+
+  std::vector<int32_t> tokens;
+  for (int t = 0; t < 32; ++t) {
+    tokens.push_back(3000 + t);
+  }
+  std::vector<Request> reqs;
+  Request seeder;  // populates the prefix cache, then completes
+  seeder.id = 0;
+  seeder.arrival = 0;
+  seeder.prompt_len = 32;
+  seeder.decode_len = 0;
+  seeder.prompt_tokens = tokens;
+  reqs.push_back(seeder);
+  Request big;  // 8-block footprint: infeasible at half scale (5 blocks)
+  big.id = 1;
+  big.arrival = 0;
+  big.prompt_len = 112;
+  big.decode_len = 16;
+  reqs.push_back(big);
+
+  sim::ConditionEvent squeeze;
+  squeeze.time = 0;
+  squeeze.kv_budget_scale = 0.5;
+  sim::ConditionEvent lift;
+  lift.time = 1e5;
+  lift.kv_budget_scale = 1.0;
+
+  SchedulerOptions opts;
+  opts.max_decode_batch = 2;
+  opts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 160);  // 10 blocks
+  Harness h = MakeEngine(weights, opts, {squeeze, lift});
+  ServingMetrics m =
+      IterationScheduler(h.engine.get(), opts).Run(RequestQueue(reqs));
+
+  // The big request had to wait for the lift, and the seeder's cached
+  // prefix survived the infeasible admission attempts untouched.
+  EXPECT_GE(m.requests[1].admitted, 1e5);
+  EXPECT_EQ(m.requests[1].decoded_tokens, 16);
+  EXPECT_EQ(m.blocks_evicted, 0);
+}
+
 }  // namespace
 }  // namespace heterollm::serve

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Perfgate baseline-coverage gate. Every bench binary (bench/bench_*.cc)
+# must ship a checked-in baseline (bench/baselines/<id>.json, where <id> is
+# the bench name minus the bench_ prefix) or the perf gate silently treats
+# its metrics as "new" and never fails on them; conversely every baseline
+# must belong to a bench that still exists, or the gate fails on a missing
+# report. This script fails CI on either kind of drift.
+#
+# Usage: tools/check_baselines.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Every bench needs a baseline. bench_common.cc is the shared harness
+# library, not a binary.
+for src in bench/bench_*.cc; do
+  base="$(basename "$src" .cc)"
+  if [[ "$base" == "bench_common" ]]; then
+    continue
+  fi
+  id="${base#bench_}"
+  if [[ ! -f "bench/baselines/$id.json" ]]; then
+    echo "check_baselines: $src has no baseline bench/baselines/$id.json" \
+         "(run the bench with --report_json and check the report in)" >&2
+    fail=1
+  fi
+done
+
+# Every baseline needs a bench: an orphaned baseline means the perf gate
+# would fail on a report that nothing generates anymore.
+for json in bench/baselines/*.json; do
+  id="$(basename "$json" .json)"
+  if [[ ! -f "bench/bench_$id.cc" ]]; then
+    echo "check_baselines: $json is orphaned — bench/bench_$id.cc does not" \
+         "exist (delete the baseline or restore the bench)" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_baselines: benches and baselines are in sync"
