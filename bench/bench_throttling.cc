@@ -71,12 +71,9 @@ RequestQueue MakeTrace() {
   std::vector<serve::Request> reqs;
   constexpr int kPromptBuckets[] = {256, 512, 128, 384};
   for (int i = 0; i < kSessions; ++i) {
-    serve::Request r;
-    r.id = i;
-    r.arrival = i * kMeanInterarrivalUs;
-    r.prompt_len = kPromptBuckets[i % 4];
-    r.decode_len = 8 + (i * 5) % 17;
-    reqs.push_back(r);
+    reqs.push_back(serve::Request::Chat(i, i * kMeanInterarrivalUs,
+                                        kPromptBuckets[i % 4],
+                                        8 + (i * 5) % 17));
   }
   return RequestQueue(reqs);
 }

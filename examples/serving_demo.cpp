@@ -4,7 +4,10 @@
 // over the Hetero-tensor engine — serial FIFO replay, continuous batching,
 // and continuous batching on a throttled platform (sustained-thermal model
 // plus a scripted NPU clock cap) — and prints the per-request table plus
-// aggregate throughput/latency metrics for each.
+// aggregate throughput/latency metrics for each. A final section serves an
+// agentic task-DAG trace (multi-turn embed→rerank→generate→resume chains)
+// through the TaskGraph release loop with stage-aware priority admission
+// and the prefix cache, printing the per-task rollup.
 //
 //   ./serving_demo [sessions] [seed]
 //
@@ -19,7 +22,9 @@
 #include "src/serve/request_queue.h"
 #include "src/serve/replica.h"
 #include "src/serve/serving_metrics.h"
+#include "src/serve/task_graph.h"
 #include "src/sim/thermal_model.h"
+#include "src/workload/task_trace.h"
 
 using namespace heterollm;  // NOLINT
 
@@ -88,5 +93,28 @@ int main(int argc, char** argv) {
       "throttling cost: %.2fx slower aggregate tokens/s, %d re-plan(s)\n",
       cb.aggregate_tokens_per_s() / hot.aggregate_tokens_per_s(),
       hot.replan_events);
+
+  std::printf(
+      "\n== agentic task DAGs (stage-aware admission + prefix cache) ==\n");
+  {
+    Rng task_rng(seed + 1);
+    workload::AgenticTraceOptions topts;
+    topts.tasks = std::max(2, sessions / 2);
+    serve::TaskGraph graph(workload::SyntheticAgenticTrace(task_rng, topts));
+    serve::ReplicaOptions ropts;
+    ropts.platform = core::PlatformOptionsFor("Hetero-tensor");
+    ropts.scheduler.max_decode_batch = max_batch;
+    ropts.scheduler.admission = serve::AdmissionPolicy::kPriority;
+    ropts.scheduler.enable_prefix_cache = true;
+    StatusOr<std::unique_ptr<serve::Replica>> replica =
+        serve::Replica::Create(ropts, &weights);
+    if (!replica.ok()) {
+      std::fprintf(stderr, "replica setup failed: %s\n",
+                   replica.status().ToString().c_str());
+      return 1;
+    }
+    const serve::ServingMetrics tasks = serve::ServeTasks(**replica, graph);
+    std::printf("%s\n", tasks.Render().c_str());
+  }
   return 0;
 }

@@ -85,4 +85,82 @@ ClusterMetrics Cluster::Serve(const RequestQueue& queue) {
   return out;
 }
 
+ClusterMetrics Cluster::ServeTasks(TaskGraph& graph) {
+  HCHECK_MSG(graph.released_stages() == 0,
+             "ServeTasks needs a fresh TaskGraph (nothing released yet)");
+
+  std::vector<Replica*> raw;
+  raw.reserve(replicas_.size());
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    r->BeginWindow();
+    raw.push_back(r.get());
+  }
+  ClusterRouter router(raw, options_.router);
+
+  constexpr MicroSeconds kNever = std::numeric_limits<MicroSeconds>::max();
+  const auto earliest_replica = [&]() -> Replica* {
+    Replica* pick = nullptr;
+    for (const std::unique_ptr<Replica>& r : replicas_) {
+      if (r->has_work() && (pick == nullptr || r->now() < pick->now())) {
+        pick = r.get();
+      }
+    }
+    return pick;
+  };
+
+  // Same earliest-event interleaving as Serve, with the arrival trace
+  // replaced by the graph's release frontier: a replica round runs only
+  // while the furthest-behind replica's clock has not passed the next
+  // release, so no replica consumes simulated time that should have seen a
+  // stage released (and routed) first. Each round's completions feed the
+  // graph before the next event, which may pull the frontier earlier.
+  while (!graph.AllDone()) {
+    Replica* behind = earliest_replica();
+    const MicroSeconds release = graph.NextReleaseTime();
+    if (behind != nullptr && behind->now() <= release) {
+      behind->StepRound();
+      for (const CompletionEvent& done : behind->DrainCompletions()) {
+        graph.OnCompleted(done.id, done.time);
+      }
+    } else if (release < kNever) {
+      for (const Request& r : graph.TakeReady(release)) {
+        HCHECK_MSG(router.Offer(r),
+                   "task stage rejected by admission control — a dropped "
+                   "stage deadlocks its task; raise max_pending");
+      }
+    } else if (router.pending() > 0) {
+      // Pending stages, idle replicas, nothing releasable: the only way
+      // forward is a dispatch, and one must land — idle replicas have load
+      // 0 and max_replica_queue >= 1, so the head always has a taker.
+      const int dispatched = router.DispatchReady();
+      HCHECK_MSG(dispatched > 0,
+                 "cluster stalled: pending stages but no dispatch");
+      continue;
+    } else {
+      HCHECK_MSG(false,
+                 "task graph deadlocked: no replica has work, no stage is "
+                 "releasable, nothing pending");
+    }
+    router.DispatchReady();
+  }
+
+  ClusterMetrics out;
+  out.slo = options_.slo;
+  out.offered = router.offered();
+  out.rejected = router.rejected();
+  out.replicas.reserve(replicas_.size());
+  std::vector<RequestMetrics> all_requests;
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    ClusterMetrics::ReplicaRow row;
+    row.name = r->name();
+    row.device = r->device();
+    row.metrics = r->EndWindow();
+    all_requests.insert(all_requests.end(), row.metrics.requests.begin(),
+                        row.metrics.requests.end());
+    out.replicas.push_back(std::move(row));
+  }
+  out.tasks = graph.BuildTaskMetrics(all_requests);
+  return out;
+}
+
 }  // namespace heterollm::serve

@@ -38,6 +38,7 @@
 #include "src/serve/cluster/cluster_router.h"
 #include "src/serve/replica.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/task_graph.h"
 
 namespace heterollm::serve {
 
@@ -59,6 +60,17 @@ class Cluster {
   // order) to completion across the fleet and returns the cluster metrics.
   // Rejected offers (bounded pending queue) are counted, not served.
   ClusterMetrics Serve(const RequestQueue& queue);
+
+  // Serves a task DAG to completion across the fleet. Stages release
+  // through `graph` as their parents complete — completions drain from
+  // whichever replica ran them — and the router places each released
+  // stage; under kPrefixAffinity a session's later stages follow the
+  // replica holding its KV (session-sticky + live probes). The graph must
+  // be fresh (nothing released). Unlike `Serve`, admission must not drop
+  // work — a dropped stage would deadlock its task — so an offer bouncing
+  // off a full pending queue aborts; size `max_pending` for the trace.
+  // The fleet-wide task rollup lands in `ClusterMetrics::tasks`.
+  ClusterMetrics ServeTasks(TaskGraph& graph);
 
   const std::vector<std::unique_ptr<Replica>>& replicas() const {
     return replicas_;

@@ -96,6 +96,14 @@ TailStats ClusterMetrics::latency_tail() const {
   return TailOf(PoolSpans(replicas, &RequestMetrics::e2e_latency));
 }
 
+TailStats ClusterMetrics::task_latency_tail() const {
+  return TaskLatencyTailOf(tasks);
+}
+
+TailStats ClusterMetrics::stage_queue_tail() const {
+  return StageQueueTailOf(tasks);
+}
+
 double ClusterMetrics::prefix_hit_rate() const {
   int64_t hit = 0;
   int64_t prefilled = 0;
@@ -146,6 +154,15 @@ std::string ClusterMetrics::Render() const {
       goodput_rps(), ToMillis(makespan()), aggregate_tokens_per_s(),
       ToMillis(ttft.p50), ToMillis(ttft.p99), ToMillis(tpot.p50),
       ToMillis(tpot.p99), ToMillis(latency.p99), 100.0 * prefix_hit_rate());
+  if (!tasks.empty()) {
+    const TailStats task_latency = task_latency_tail();
+    const TailStats stage_queue = stage_queue_tail();
+    out += StrFormat(
+        "tasks=%zu  task latency p50/p99=%.1f/%.1f ms  "
+        "stage queue p50/p99=%.1f/%.1f ms\n",
+        tasks.size(), ToMillis(task_latency.p50), ToMillis(task_latency.p99),
+        ToMillis(stage_queue.p50), ToMillis(stage_queue.p99));
+  }
   return out;
 }
 
@@ -172,6 +189,14 @@ report::JsonValue ClusterMetrics::ToJsonValue() const {
   doc.Set("latency_p50_us", latency.p50);
   doc.Set("latency_p99_us", latency.p99);
   doc.Set("prefix_hit_rate", prefix_hit_rate());
+  doc.Set("task_count", static_cast<int64_t>(tasks.size()));
+  const TailStats task_latency = task_latency_tail();
+  const TailStats stage_queue = stage_queue_tail();
+  doc.Set("task_latency_p50_us", task_latency.p50);
+  doc.Set("task_latency_p99_us", task_latency.p99);
+  doc.Set("stage_queue_p50_us", stage_queue.p50);
+  doc.Set("stage_queue_p99_us", stage_queue.p99);
+  doc.Set("per_task", TasksToJson(tasks));
   report::JsonValue rows = report::JsonValue::Array();
   for (const ReplicaRow& row : replicas) {
     report::JsonValue r = report::JsonValue::Object();

@@ -55,6 +55,11 @@ struct ClusterMetrics {
   // offers bounced off the full pending queue (never served).
   int64_t offered = 0;
   int64_t rejected = 0;
+  // Fleet-wide task-DAG rollup (empty unless driven by Cluster::ServeTasks).
+  // Built once over the union of replica request rows — a task's stages may
+  // land on different replicas, so per-replica `ServingMetrics::tasks`
+  // shards would double-count or split tasks.
+  std::vector<TaskMetrics> tasks;
 
   // Requests served to completion across all replicas.
   int64_t completed() const;
@@ -75,6 +80,9 @@ struct ClusterMetrics {
   TailStats latency_tail() const;
   // Prefix hit rate over all replicas (pooled numerators/denominators).
   double prefix_hit_rate() const;
+  // Task-level tails over `tasks` (both zero for flat-trace runs).
+  TailStats task_latency_tail() const;
+  TailStats stage_queue_tail() const;
 
   // Human-readable fleet summary: one row per replica + aggregate line.
   std::string Render() const;

@@ -102,9 +102,18 @@ int ClusterRouter::PickPrefixAffinity(const Request& request) const {
     // Degrade to least-loaded.
     return PickLeastLoaded();
   }
-  // Sticky tie-break: among live hits, prefer the replica this prompt
-  // family was last routed to. Only consulted when its own live estimate
-  // is positive — a confirmed hit, never a stale hint.
+  // Sticky tie-breaks: among live hits, prefer the replica this session
+  // (then this prompt family) was last dispatched to. Either hint is only
+  // consulted when its replica's own live estimate is positive — a
+  // confirmed hit, never a stale hint.
+  int session_pick = -1;
+  if (request.session_id >= 0) {
+    const auto it = session_sticky_.find(request.session_id);
+    if (it != session_sticky_.end() && HasSlack(it->second) &&
+        estimate[it->second] > 0) {
+      session_pick = static_cast<int>(it->second);
+    }
+  }
   int sticky_pick = -1;
   const std::vector<int32_t> key = StickyKey(request);
   if (!key.empty()) {
@@ -114,8 +123,8 @@ int ClusterRouter::PickPrefixAffinity(const Request& request) const {
       sticky_pick = static_cast<int>(it->second);
     }
   }
-  // Lexicographic preference: longest estimate, then sticky, then least
-  // loaded, then lowest index (the loop order).
+  // Lexicographic preference: longest estimate, then session-sticky, then
+  // chunk-sticky, then least loaded, then lowest index (the loop order).
   int best = -1;
   for (size_t i = 0; i < replicas_.size(); ++i) {
     if (!HasSlack(i) || estimate[i] == 0) {
@@ -127,6 +136,14 @@ int ClusterRouter::PickPrefixAffinity(const Request& request) const {
     }
     if (estimate[i] != estimate[best]) {
       if (estimate[i] > estimate[best]) {
+        best = static_cast<int>(i);
+      }
+      continue;
+    }
+    const bool i_session = static_cast<int>(i) == session_pick;
+    const bool best_session = best == session_pick;
+    if (i_session != best_session) {
+      if (i_session) {
         best = static_cast<int>(i);
       }
       continue;
@@ -180,6 +197,9 @@ int ClusterRouter::DispatchReady() {
     const std::vector<int32_t> key = StickyKey(head);
     if (!key.empty()) {
       sticky_[key] = static_cast<size_t>(pick);
+    }
+    if (head.session_id >= 0) {
+      session_sticky_[head.session_id] = static_cast<size_t>(pick);
     }
     if (options_.policy == RoutingPolicy::kRoundRobin) {
       ++rr_next_;

@@ -17,10 +17,13 @@
 //   * kPrefixAffinity — score each replica by the prompt tokens its prefix
 //     cache would serve *right now* (`Replica::ProbePrefixTokens`, a
 //     read-only walk of the replica's trie over the shared block-chunk
-//     key-space). A router-side sticky index (first prompt chunk → last
-//     replica routed there) breaks ties toward the replica already serving
-//     that prompt family, but a sticky hint is only trusted when the live
-//     probe confirms the replica still holds at least one block — after a
+//     key-space). Two router-side sticky indices break ties toward the
+//     replica already serving the request's context: a session index
+//     (`Request::session_id` → last replica dispatched to — task-DAG
+//     stages of one session ride their KV this way) consulted first, then
+//     a prompt-family index (first prompt chunk → last replica routed
+//     there). Either sticky hint is only trusted when the live probe
+//     confirms the replica still holds at least one block — after a
 //     replica-local LRU eviction the hint is stale, every estimate reads
 //     zero, and the policy degrades to least-loaded instead of pinning
 //     traffic to a replica that would re-prefill from scratch.
@@ -105,6 +108,10 @@ class ClusterRouter {
   // std::map (not unordered) keeps iteration deterministic, mirroring the
   // replicas' own tries.
   std::map<std::vector<int32_t>, size_t> sticky_;
+  // session_id -> replica last dispatched to. Stronger hint than the
+  // prompt-chunk index for multi-stage tasks: a session's later prompts
+  // share its grown prefix, whose KV lives where earlier stages ran.
+  std::map<int64_t, size_t> session_sticky_;
   size_t rr_next_ = 0;  // advanced only when a dispatch lands
   int64_t offered_ = 0;
   int64_t rejected_ = 0;

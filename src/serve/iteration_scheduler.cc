@@ -149,6 +149,9 @@ struct IterationScheduler::Continuous {
   size_t completed = 0;
   int64_t iter = 0;
   double batch_accum = 0;
+  // Completions since the last DrainCompletions(), in completion order —
+  // the signal the task-DAG drivers turn into dependent-stage releases.
+  std::vector<CompletionEvent> completions;
 
   bool HasWork() const { return completed < requests.size(); }
 
@@ -287,14 +290,32 @@ struct IterationScheduler::Continuous {
     return reserved;
   }
 
-  // Admits (and prefills) the head waiting request if the pool can cover
-  // its whole remaining footprint, evicting cached prefixes and preempting
-  // at most active sessions when permitted. Returns true on admission.
+  // Position in `waiting` the admission policy considers next: the front
+  // under kFifo (submission order); the highest-priority entry, FIFO among
+  // equals, under kPriority.
+  size_t PickWaiting() const {
+    if (options.admission == AdmissionPolicy::kFifo) {
+      return 0;
+    }
+    size_t best = 0;
+    for (size_t w = 1; w < waiting.size(); ++w) {
+      if (requests[waiting[w]].priority > requests[waiting[best]].priority) {
+        best = w;
+      }
+    }
+    return best;
+  }
+
+  // Admits (and prefills) the policy-chosen waiting request if the pool can
+  // cover its whole remaining footprint, evicting cached prefixes and
+  // preempting at most one active session when permitted. Returns true on
+  // admission.
   bool TryAdmit() {
     if (waiting.empty()) {
       return false;
     }
-    const size_t idx = waiting.front();
+    const size_t wpos = PickWaiting();
+    const size_t idx = waiting[wpos];
     const Request& r = requests[idx];
     // Decoding sessions carry the speculative draft window on top of their
     // conversation: a verify step transiently appends window+1 rows before
@@ -375,7 +396,7 @@ struct IterationScheduler::Continuous {
       preempted = true;
     }
 
-    waiting.pop_front();
+    waiting.erase(waiting.begin() + static_cast<ptrdiff_t>(wpos));
     Slot slot;
     slot.idx = idx;
     slot.footprint = footprint;
@@ -422,6 +443,7 @@ struct IterationScheduler::Continuous {
     if (r.decode_len == 0) {
       rm.completion = rm.first_token;
       ++completed;  // slot.cache destructs: blocks return to the pool
+      completions.push_back({r.id, rm.completion});
     } else {
       active.push_back(std::move(slot));
       m->peak_active_sessions = std::max(
@@ -549,6 +571,7 @@ struct IterationScheduler::Continuous {
       if (slot.decoded >= requests[slot.idx].decode_len) {
         rm.completion = now;
         ++completed;
+        completions.push_back({requests[slot.idx].id, now});
         done.push_back(s);
       }
     }
@@ -622,6 +645,7 @@ struct IterationScheduler::Continuous {
       if (r.decode_len == 0) {
         rm.completion = rm.first_token;
         ++completed;  // slot.cache destructs: blocks return to the pool
+        completions.push_back({r.id, rm.completion});
         active.erase(active.begin() + static_cast<ptrdiff_t>(pick));
       }
     }
@@ -820,7 +844,9 @@ void IterationScheduler::Submit(const Request& request) {
   HCHECK_MSG(cont_ != nullptr, "Submit() without an open window");
   HCHECK_MSG(cont_->requests.empty() ||
                  request.arrival >= cont_->requests.back().arrival,
-             "Submit() requires non-decreasing arrival times");
+             "Submit() requires non-decreasing arrivals (a stage's arrival "
+             "is its release time; route DAG stages through "
+             "TaskGraph::TakeReady, which emits a monotone stream)");
   cont_->Add(request);
 }
 
@@ -839,6 +865,15 @@ ServingMetrics IterationScheduler::EndWindow() {
   FinishWindow(&window_metrics_);
   ServingMetrics out = std::move(window_metrics_);
   window_metrics_ = ServingMetrics();
+  return out;
+}
+
+std::vector<CompletionEvent> IterationScheduler::DrainCompletions() {
+  if (cont_ == nullptr) {
+    return {};
+  }
+  std::vector<CompletionEvent> out = std::move(cont_->completions);
+  cont_->completions.clear();
   return out;
 }
 

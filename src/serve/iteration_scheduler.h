@@ -80,9 +80,24 @@ enum class IterationPolicy {
   kHybridChunked,
 };
 
+enum class AdmissionPolicy {
+  // Admit waiting requests in submission (arrival) order.
+  kFifo,
+  // Admit the highest-priority waiting request first (`Request::priority`,
+  // FIFO among equals). The task layer (src/serve/task_graph.h) sets a
+  // stage's priority to the number of completed stages in its task, so
+  // critical-path stages of in-flight tasks admit ahead of fresh roots —
+  // fewer half-finished tasks hold KV across the window, and task-level
+  // tail latency drops under contention.
+  kPriority,
+};
+
 struct SchedulerOptions {
   SchedulePolicy policy = SchedulePolicy::kContinuousBatching;
   IterationPolicy iteration = IterationPolicy::kPrefillFirst;
+  // Order in which waiting (arrived, unadmitted) requests are considered
+  // for admission. kFifo preserves the pre-task-layer behavior exactly.
+  AdmissionPolicy admission = AdmissionPolicy::kFifo;
   // Max sessions per batched decode iteration. The engine must have static
   // NPU decode graphs for every batch size up to this value — build it with
   // `BuildServingEngine` (src/serve/serving_engine.h) or `Replica::Create`
@@ -136,6 +151,14 @@ struct SchedulerOptions {
   static StatusOr<SchedulerOptions> Validated(SchedulerOptions options);
 };
 
+// One request finishing inside an incremental window, surfaced through
+// `DrainCompletions` so an outer driver (the task-DAG release loop) can
+// react — release dependent stages — without scraping the window metrics.
+struct CompletionEvent {
+  int id = 0;            // Request::id
+  MicroSeconds time = 0;  // completion instant on the replica clock
+};
+
 class IterationScheduler {
  public:
   // HCHECKs `options.Validate()`; use `SchedulerOptions::Validated` first
@@ -163,8 +186,10 @@ class IterationScheduler {
   void BeginWindow();
 
   // Hands the scheduler one routed request. Requests must arrive in
-  // non-decreasing `arrival` order (the router dispatches in arrival
-  // order); the request queues until the replica clock reaches `arrival`.
+  // non-decreasing `arrival` order — the router dispatches in arrival
+  // order, and `TaskGraph::TakeReady` emits stage releases as a monotone
+  // stream; the request queues until the replica clock reaches `arrival`
+  // (a stage's `arrival` is its release time, see request_queue.h).
   void Submit(const Request& request);
 
   // One scheduling round: pump arrivals, admit (policy-dependent), then one
@@ -175,6 +200,11 @@ class IterationScheduler {
 
   // Drains the platform and closes the window, returning its metrics.
   ServingMetrics EndWindow();
+
+  // Requests that completed since the last drain (empty with no open
+  // window), in completion order. The task-DAG drivers poll this after
+  // every round to release dependent stages.
+  std::vector<CompletionEvent> DrainCompletions();
 
   bool window_open() const { return cont_ != nullptr; }
   // True while some submitted request has not completed.

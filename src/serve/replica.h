@@ -11,14 +11,27 @@
 // share one copy), and its `IterationScheduler` — and therefore,
 // transitively, the per-replica KV block pool and prefix-cache trie.
 //
-// Two ways to drive it:
-//   * `Serve(queue)` — the classic single-SoC batch path, unchanged in
-//     behavior from the hand-wired stack (same engine, same scheduler, same
-//     call sequence), so existing benches migrate without moving a number.
-//   * `BeginWindow` / `Submit` / `StepRound` / `EndWindow` — the
-//     incremental surface the cluster driver (src/serve/cluster/) uses to
-//     interleave N replicas on one virtual clock. `ProbePrefixTokens` and
-//     `load` are the read-only signals the router's policies consume.
+// The primary surface is the incremental window:
+//
+//   replica->BeginWindow();
+//   replica->Submit(request);        // any time, non-decreasing arrivals
+//   while (replica->StepRound()) {   // one scheduling round per call
+//     for (const CompletionEvent& done : replica->DrainCompletions()) ...
+//   }
+//   ServingMetrics m = replica->EndWindow();
+//
+// Every outer driver speaks it: the cluster front-end (src/serve/cluster/)
+// interleaves N replicas on one virtual clock through it, and the task-DAG
+// release loop (src/serve/task_graph.h) turns `DrainCompletions` into
+// dependent-stage submissions. `ProbePrefixTokens` and `load` are the
+// read-only signals the router's policies consume between rounds.
+//
+// `Serve(queue)` is the batch convenience wrapper over the same rounds —
+// open a window, submit the whole trace, step dry, close — kept because
+// most benches and tests serve a fixed arrival trace to completion on one
+// SoC; it is step-for-step identical to driving the window by hand (see
+// IterationScheduler::Run), so there is no third submission path to keep
+// in sync.
 //
 // Each replica has its own simulated clock (its Platform's event
 // simulator); nothing is shared across replicas except the weights view.
@@ -77,17 +90,24 @@ class Replica {
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
 
-  // Batch mode: serve a whole trace to completion on this replica alone.
-  ServingMetrics Serve(const RequestQueue& queue) {
-    return scheduler_->Run(queue);
-  }
-
-  // Incremental mode (cluster driver) — see IterationScheduler for the
-  // exact contracts; these forward one-to-one.
+  // The primary incremental surface — see IterationScheduler for the exact
+  // contracts; these forward one-to-one.
   void BeginWindow() { scheduler_->BeginWindow(); }
   void Submit(const Request& request) { scheduler_->Submit(request); }
   bool StepRound() { return scheduler_->StepRound(); }
   ServingMetrics EndWindow() { return scheduler_->EndWindow(); }
+  // Requests completed since the last drain — the task-DAG drivers poll
+  // this after every round to release dependent stages.
+  std::vector<CompletionEvent> DrainCompletions() {
+    return scheduler_->DrainCompletions();
+  }
+
+  // Batch convenience wrapper: serve a whole fixed trace to completion on
+  // this replica alone (one window, every request submitted up front,
+  // stepped dry) — step-for-step identical to driving the window by hand.
+  ServingMetrics Serve(const RequestQueue& queue) {
+    return scheduler_->Run(queue);
+  }
 
   bool has_work() const { return scheduler_->has_work(); }
   int active_sessions() const { return scheduler_->active_sessions(); }

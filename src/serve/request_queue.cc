@@ -2,21 +2,75 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/workload/prompt_workload.h"
 
 namespace heterollm::serve {
 
+namespace {
+
+// The one well-formedness definition: the factories run it at creation and
+// RequestQueue re-runs it on whatever it is handed (request_queue internals
+// are the only place allowed to build `Request` values field by field).
+void CheckWellFormed(const Request& r) {
+  HCHECK_MSG(r.prompt_len >= 1, "request needs at least one prompt token");
+  HCHECK(r.decode_len >= 0);
+  HCHECK(r.arrival >= 0);
+  HCHECK_MSG(r.prompt_tokens.empty() ||
+                 r.prompt_tokens.size() == static_cast<size_t>(r.prompt_len),
+             "prompt_tokens must be empty or match prompt_len");
+  HCHECK(r.priority >= 0);
+  if (r.task_id < 0) {
+    HCHECK_MSG(r.depends_on.empty(),
+               "depends_on requires a task_id (flat requests have no stages)");
+  } else {
+    HCHECK(r.stage_id >= 0);
+    for (const int parent : r.depends_on) {
+      HCHECK_MSG(parent >= 0 && parent < r.stage_id,
+                 "stage dependencies must point at earlier stage ids");
+    }
+  }
+}
+
+}  // namespace
+
+Request Request::Chat(int id, MicroSeconds arrival, int prompt_len,
+                      int decode_len, std::vector<int32_t> prompt_tokens) {
+  Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.prompt_len = prompt_len;
+  r.decode_len = decode_len;
+  r.prompt_tokens = std::move(prompt_tokens);
+  CheckWellFormed(r);
+  return r;
+}
+
+Request Request::Stage(int id, MicroSeconds arrival, int prompt_len,
+                       int decode_len, StageSpec spec,
+                       std::vector<int32_t> prompt_tokens) {
+  Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.prompt_len = prompt_len;
+  r.decode_len = decode_len;
+  r.prompt_tokens = std::move(prompt_tokens);
+  HCHECK_MSG(spec.task_id >= 0, "a stage request needs a task_id");
+  r.task_id = spec.task_id;
+  r.stage_id = spec.stage_id;
+  r.depends_on = std::move(spec.depends_on);
+  r.session_id = spec.session_id;
+  r.priority = spec.priority;
+  CheckWellFormed(r);
+  return r;
+}
+
 RequestQueue::RequestQueue(std::vector<Request> requests)
     : requests_(std::move(requests)) {
   for (const Request& r : requests_) {
-    HCHECK_MSG(r.prompt_len >= 1, "request needs at least one prompt token");
-    HCHECK(r.decode_len >= 0);
-    HCHECK(r.arrival >= 0);
-    HCHECK_MSG(r.prompt_tokens.empty() ||
-                   r.prompt_tokens.size() == static_cast<size_t>(r.prompt_len),
-               "prompt_tokens must be empty or match prompt_len");
+    CheckWellFormed(r);
   }
   std::stable_sort(
       requests_.begin(), requests_.end(),
@@ -37,12 +91,9 @@ RequestQueue RequestQueue::Synthetic(Rng& rng, int count,
   for (size_t i = 0; i < turns.size(); ++i) {
     // Exponential gap: -mean * ln(1 - U), U uniform in [0, 1).
     arrival += -mean_interarrival_us * std::log(1.0 - rng.NextUnit());
-    Request r;
-    r.id = static_cast<int>(i);
-    r.arrival = arrival;
-    r.prompt_len = turns[i].prompt_len;
-    r.decode_len = turns[i].decode_len;
-    requests.push_back(r);
+    requests.push_back(Request::Chat(static_cast<int>(i), arrival,
+                                     turns[i].prompt_len,
+                                     turns[i].decode_len));
   }
   return RequestQueue(std::move(requests));
 }
@@ -75,21 +126,20 @@ RequestQueue RequestQueue::SyntheticSharedPrefix(
         min_suffix +
         static_cast<int>(rng.NextBelow(
             static_cast<uint64_t>(max_suffix - min_suffix + 1)));
-    Request r;
-    r.id = i;
-    r.arrival = arrival;
-    r.prompt_len = shared_prefix_len + suffix;
-    r.decode_len =
+    const int prompt_len = shared_prefix_len + suffix;
+    const int decode_len =
         min_decode + static_cast<int>(rng.NextBelow(
                          static_cast<uint64_t>(max_decode - min_decode + 1)));
-    r.prompt_tokens.reserve(static_cast<size_t>(r.prompt_len));
+    std::vector<int32_t> prompt_tokens;
+    prompt_tokens.reserve(static_cast<size_t>(prompt_len));
     if (shared) {
-      r.prompt_tokens = system_prompt;
+      prompt_tokens = system_prompt;
     }
-    while (r.prompt_tokens.size() < static_cast<size_t>(r.prompt_len)) {
-      r.prompt_tokens.push_back(static_cast<int32_t>(rng.NextBelow(kVocab)));
+    while (prompt_tokens.size() < static_cast<size_t>(prompt_len)) {
+      prompt_tokens.push_back(static_cast<int32_t>(rng.NextBelow(kVocab)));
     }
-    requests.push_back(std::move(r));
+    requests.push_back(Request::Chat(i, arrival, prompt_len, decode_len,
+                                     std::move(prompt_tokens)));
   }
   return RequestQueue(std::move(requests));
 }
@@ -111,24 +161,23 @@ RequestQueue RequestQueue::SyntheticMixed(
   MicroSeconds arrival = 0;
   for (int i = 0; i < count; ++i) {
     arrival += -mean_interarrival_us * std::log(1.0 - rng.NextUnit());
-    Request r;
-    r.id = i;
-    r.arrival = arrival;
+    int prompt_len = 0;
+    int decode_len = 0;
     if (rng.NextUnit() < long_fraction) {
-      r.prompt_len =
+      prompt_len =
           min_long_prompt +
           static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
               max_long_prompt - min_long_prompt + 1)));
-      r.decode_len = long_decode;
+      decode_len = long_decode;
     } else {
-      r.prompt_len =
+      prompt_len =
           min_prompt + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
                            max_prompt - min_prompt + 1)));
-      r.decode_len =
+      decode_len =
           min_decode + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
                            max_decode - min_decode + 1)));
     }
-    requests.push_back(std::move(r));
+    requests.push_back(Request::Chat(i, arrival, prompt_len, decode_len));
   }
   return RequestQueue(std::move(requests));
 }

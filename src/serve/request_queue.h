@@ -1,11 +1,32 @@
 // Arrival-ordered request stream for the serving scheduler.
 //
-// A `Request` is one user hitting the system: a prompt to prefill and a
-// number of tokens to decode, arriving at a point in simulated time. The
-// queue is the open-loop workload the paper's decoding-phase bandwidth
-// partitioning implicitly assumes once many users share the SoC; synthetic
-// traces reuse the chat-length distributions from
-// `src/workload/prompt_workload.*` with Poisson arrivals.
+// A `Request` is one unit of schedulable inference work: a prompt to
+// prefill and a number of tokens to decode, arriving at a point in
+// simulated time. Two flavors share the struct, built by validating
+// factories instead of free-field construction:
+//
+//   * `Request::Chat` — a flat single-shot request (one user hitting the
+//     system). The task/session fields keep their defaults, so flat traces
+//     behave exactly as before the task layer existed. Lengths-only traces
+//     (empty `prompt_tokens`) stay supported — the scheduler then skips
+//     prefix-cache lookups for that request.
+//   * `Request::Stage` — one stage of an agentic/RAG task DAG
+//     (src/serve/task_graph.h): it carries the owning task, its stage id,
+//     the parent stages it depended on, the multi-turn session it belongs
+//     to, and a scheduler priority (higher admits first under
+//     `AdmissionPolicy::kPriority`). `arrival` is the stage's *release*
+//     time — the instant its parents had completed and any tool-call pause
+//     elapsed — so queueing delay is measured from release, not from the
+//     task's arrival.
+//
+// The factories HCHECK well-formedness at creation (positive prompt,
+// non-negative decode/arrival, token count matching `prompt_len`,
+// DAG-by-construction parent ids), so a malformed request aborts where it
+// is built, not deep inside `RequestQueue` or `Submit`. The queue is the
+// open-loop workload the paper's decoding-phase bandwidth partitioning
+// implicitly assumes once many users share the SoC; synthetic traces reuse
+// the chat-length distributions from `src/workload/prompt_workload.*` with
+// Poisson arrivals.
 
 #ifndef SRC_SERVE_REQUEST_QUEUE_H_
 #define SRC_SERVE_REQUEST_QUEUE_H_
@@ -28,12 +49,53 @@ struct Request {
   // trace carries lengths only — the scheduler then skips prefix-cache
   // lookups for this request (nothing to match on).
   std::vector<int32_t> prompt_tokens;
+
+  // --- task/session spec (defaults = flat single-shot request) ------------
+  // Multi-turn session this request belongs to; -1 = no session. Stages of
+  // one session share a growing prompt prefix, and the cluster router's
+  // prefix-affinity policy keeps them on the replica holding that KV.
+  int64_t session_id = -1;
+  // Admission priority under `AdmissionPolicy::kPriority` (higher admits
+  // first; FIFO among equals). The task layer sets it to the number of
+  // completed stages in the owning task, so critical-path stages of
+  // in-flight tasks admit ahead of fresh roots.
+  int priority = 0;
+  // Owning task DAG; -1 = not a task stage.
+  int64_t task_id = -1;
+  // Stage index within the task (0-based, unique per task).
+  int stage_id = 0;
+  // Parent stage ids within the same task; all strictly less than
+  // `stage_id`, so any well-formed request set is a DAG by construction.
+  std::vector<int> depends_on;
+
+  // Validating factory for a flat single-shot request. `prompt_tokens` may
+  // be empty (lengths-only trace) or exactly `prompt_len` ids.
+  static Request Chat(int id, MicroSeconds arrival, int prompt_len,
+                      int decode_len, std::vector<int32_t> prompt_tokens = {});
+
+  // The task/session part of a stage request, separated so call sites name
+  // what they set (the flat fields keep positional order with `Chat`).
+  struct StageSpec {
+    int64_t task_id = 0;
+    int stage_id = 0;
+    std::vector<int> depends_on;  // parent stage ids, each < stage_id
+    int64_t session_id = -1;
+    int priority = 0;
+  };
+
+  // Validating factory for one task-DAG stage. On top of the `Chat` checks
+  // it HCHECKs task_id >= 0, stage_id >= 0, priority >= 0 and that every
+  // parent id is in [0, stage_id).
+  static Request Stage(int id, MicroSeconds arrival, int prompt_len,
+                       int decode_len, StageSpec spec,
+                       std::vector<int32_t> prompt_tokens = {});
 };
 
 class RequestQueue {
  public:
   // Takes ownership of `requests`, stable-sorted by arrival time.
-  // HCHECKs that every request is well-formed.
+  // Re-checks well-formedness (requests normally come from the factories,
+  // which already HCHECKed it at creation).
   explicit RequestQueue(std::vector<Request> requests);
 
   // Synthetic open-loop trace: prompt/decode lengths drawn from the

@@ -111,6 +111,61 @@ TailStats ServingMetrics::tpot_tail() const {
   return TailOf(CollectSpans(requests, &RequestMetrics::tpot));
 }
 
+TailStats TaskLatencyTailOf(const std::vector<TaskMetrics>& tasks) {
+  std::vector<MicroSeconds> spans;
+  spans.reserve(tasks.size());
+  for (const TaskMetrics& t : tasks) {
+    spans.push_back(t.e2e_latency());
+  }
+  return TailOf(std::move(spans));
+}
+
+TailStats StageQueueTailOf(const std::vector<TaskMetrics>& tasks) {
+  std::vector<MicroSeconds> spans;
+  for (const TaskMetrics& t : tasks) {
+    for (const StageMetrics& s : t.stages) {
+      spans.push_back(s.queue_us());
+    }
+  }
+  return TailOf(std::move(spans));
+}
+
+report::JsonValue TasksToJson(const std::vector<TaskMetrics>& tasks) {
+  report::JsonValue per_task = report::JsonValue::Array();
+  for (const TaskMetrics& t : tasks) {
+    report::JsonValue row = report::JsonValue::Object();
+    row.Set("task_id", t.task_id);
+    row.Set("session_id", t.session_id);
+    row.Set("arrival_us", t.arrival);
+    row.Set("completion_us", t.completion);
+    row.Set("latency_us", t.e2e_latency());
+    report::JsonValue stages = report::JsonValue::Array();
+    for (const StageMetrics& s : t.stages) {
+      report::JsonValue stage = report::JsonValue::Object();
+      stage.Set("request_id", s.request_id);
+      stage.Set("stage_id", s.stage_id);
+      stage.Set("kind", s.kind);
+      stage.Set("released_us", s.released);
+      stage.Set("admitted_us", s.admitted);
+      stage.Set("queue_us", s.queue_us());
+      stage.Set("ttft_us", s.ttft());
+      stage.Set("completion_us", s.completion);
+      stages.Append(std::move(stage));
+    }
+    row.Set("stages", std::move(stages));
+    per_task.Append(std::move(row));
+  }
+  return per_task;
+}
+
+TailStats ServingMetrics::task_latency_tail() const {
+  return TaskLatencyTailOf(tasks);
+}
+
+TailStats ServingMetrics::stage_queue_tail() const {
+  return StageQueueTailOf(tasks);
+}
+
 MicroSeconds ServingMetrics::ttft_mean() const {
   if (requests.empty()) {
     return 0;
@@ -167,6 +222,33 @@ std::string ServingMetrics::Render() const {
         hybrid_iterations, static_cast<long long>(chunk_resumed_tokens),
         ToMillis(tpot.p50), ToMillis(tpot.p99));
   }
+  if (!tasks.empty()) {
+    TextTable task_table({"task", "session", "stages", "arrival (ms)",
+                          "task latency (ms)", "stage queue p50/p99 (ms)"});
+    for (const TaskMetrics& t : tasks) {
+      std::vector<MicroSeconds> queues;
+      queues.reserve(t.stages.size());
+      for (const StageMetrics& s : t.stages) {
+        queues.push_back(s.queue_us());
+      }
+      const TailStats queue = TailOf(std::move(queues));
+      task_table.AddRow(
+          {StrFormat("%lld", static_cast<long long>(t.task_id)),
+           StrFormat("%lld", static_cast<long long>(t.session_id)),
+           StrFormat("%zu", t.stages.size()),
+           StrFormat("%.1f", ToMillis(t.arrival)),
+           StrFormat("%.1f", ToMillis(t.e2e_latency())),
+           StrFormat("%.1f/%.1f", ToMillis(queue.p50), ToMillis(queue.p99))});
+    }
+    out += task_table.Render();
+    const TailStats task_latency = task_latency_tail();
+    const TailStats stage_queue = stage_queue_tail();
+    out += StrFormat(
+        "tasks=%zu  task latency p50/p99=%.1f/%.1f ms  "
+        "stage queue p50/p99=%.1f/%.1f ms\n",
+        tasks.size(), ToMillis(task_latency.p50), ToMillis(task_latency.p99),
+        ToMillis(stage_queue.p50), ToMillis(stage_queue.p99));
+  }
   if (prefilled_tokens > 0) {
     out += StrFormat(
         "prefix cache: hit %lld/%lld prompt tokens (%.1f%%)  "
@@ -214,6 +296,14 @@ report::JsonValue ServingMetrics::ToJsonValue() const {
   doc.Set("draft_tokens", total_draft_tokens());
   doc.Set("accepted_tokens", total_accepted_tokens());
   doc.Set("acceptance_rate", speculative_acceptance_rate());
+  doc.Set("task_count", static_cast<int64_t>(tasks.size()));
+  const TailStats task_latency = task_latency_tail();
+  const TailStats stage_queue = stage_queue_tail();
+  doc.Set("task_latency_p50_us", task_latency.p50);
+  doc.Set("task_latency_p99_us", task_latency.p99);
+  doc.Set("stage_queue_p50_us", stage_queue.p50);
+  doc.Set("stage_queue_p99_us", stage_queue.p99);
+  doc.Set("per_task", TasksToJson(tasks));
   report::JsonValue per_request = report::JsonValue::Array();
   for (const RequestMetrics& r : requests) {
     report::JsonValue row = report::JsonValue::Object();

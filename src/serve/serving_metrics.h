@@ -53,6 +53,42 @@ struct RequestMetrics {
   }
 };
 
+// One stage of a task DAG, joined from the stage's request row by the task
+// layer (TaskGraph::BuildTaskMetrics). `released` is the instant the stage
+// entered the serving queue — its parents had completed and any tool-call
+// pause had elapsed — so `queue_us` isolates scheduler queueing from DAG
+// dependency waits.
+struct StageMetrics {
+  int request_id = 0;
+  int stage_id = 0;
+  std::string kind;  // workload::StageKindName ("embed", "generate", ...)
+  MicroSeconds released = 0;
+  MicroSeconds admitted = 0;
+  MicroSeconds first_token = 0;
+  MicroSeconds completion = 0;
+
+  MicroSeconds queue_us() const {
+    return admitted > released ? admitted - released : 0;
+  }
+  MicroSeconds ttft() const {
+    return first_token > released ? first_token - released : 0;
+  }
+};
+
+// End-to-end view of one task: arrival of the task to completion of its
+// last stage, with the per-stage rows underneath.
+struct TaskMetrics {
+  int64_t task_id = 0;
+  int64_t session_id = -1;
+  MicroSeconds arrival = 0;
+  MicroSeconds completion = 0;  // latest stage completion
+  std::vector<StageMetrics> stages;
+
+  MicroSeconds e2e_latency() const {
+    return completion > arrival ? completion - arrival : 0;
+  }
+};
+
 // Nearest-rank percentile (p in [0, 100]); 0 for an empty set.
 MicroSeconds PercentileUs(std::vector<MicroSeconds> values, double p);
 
@@ -72,6 +108,12 @@ TailStats TailOf(std::vector<MicroSeconds> values);
 std::vector<MicroSeconds> CollectSpans(
     const std::vector<RequestMetrics>& requests,
     MicroSeconds (RequestMetrics::*span)() const);
+
+// Task-rollup helpers shared by ServingMetrics and ClusterMetrics (a
+// cluster run builds one fleet-wide task list, not per-replica shards).
+TailStats TaskLatencyTailOf(const std::vector<TaskMetrics>& tasks);
+TailStats StageQueueTailOf(const std::vector<TaskMetrics>& tasks);
+report::JsonValue TasksToJson(const std::vector<TaskMetrics>& tasks);
 
 struct ServingMetrics {
   std::vector<RequestMetrics> requests;  // arrival order
@@ -97,6 +139,9 @@ struct ServingMetrics {
   int64_t chunked_prefill_tokens = 0;  // prompt tokens prefilled via chunks
   int64_t chunk_resumed_tokens = 0;    // committed prompt tokens carried
                                        // across a preemption (not re-run)
+  // Task-DAG rollup (empty unless the window was driven by a TaskGraph;
+  // flat traces report per-request rows only).
+  std::vector<TaskMetrics> tasks;
   core::ExecutionReport report;  // per-unit utilization over the window
 
   // Fraction of prompt tokens served from the prefix cache.
@@ -124,6 +169,10 @@ struct ServingMetrics {
   TailStats ttft_tail() const;
   TailStats latency_tail() const;
   TailStats tpot_tail() const;
+  // Task-level tails over `tasks` (both zero when the window served a flat
+  // trace): end-to-end task latency and per-stage scheduler queueing.
+  TailStats task_latency_tail() const;
+  TailStats stage_queue_tail() const;
   // Mean TTFT across requests (0 with none) — the "no TTFT regression"
   // guard the chunked-prefill benches gate alongside the TPOT p99 win.
   MicroSeconds ttft_mean() const;

@@ -1,0 +1,180 @@
+#include "src/workload/task_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace heterollm::workload {
+
+namespace {
+
+// Same id space as the serve-layer synthetic traces: a 2^20 vocabulary
+// makes accidental multi-token prefix collisions a non-concern.
+constexpr uint64_t kVocab = 1u << 20;
+
+void AppendRandomTokens(Rng& rng, int count, std::vector<int32_t>* out) {
+  for (int i = 0; i < count; ++i) {
+    out->push_back(static_cast<int32_t>(rng.NextBelow(kVocab)));
+  }
+}
+
+int UniformIn(Rng& rng, int lo, int hi) {
+  return lo + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace
+
+const char* StageKindName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kEmbed:
+      return "embed";
+    case StageKind::kRerank:
+      return "rerank";
+    case StageKind::kGenerate:
+      return "generate";
+    case StageKind::kResume:
+      return "resume";
+  }
+  HCHECK_MSG(false, "unknown stage kind");
+  __builtin_unreachable();
+}
+
+int64_t TaskSpec::total_tokens() const {
+  int64_t total = 0;
+  for (const TaskStage& s : stages) {
+    total += s.prompt_len + s.decode_len;
+  }
+  return total;
+}
+
+std::vector<TaskSpec> SyntheticAgenticTrace(
+    Rng& rng, const AgenticTraceOptions& options) {
+  HCHECK(options.tasks > 0);
+  HCHECK(options.mean_interarrival_us > 0);
+  HCHECK(0 < options.turns_min && options.turns_min <= options.turns_max);
+  HCHECK(options.system_prompt_len >= 1);
+  HCHECK(0 < options.query_min && options.query_min <= options.query_max);
+  HCHECK(0 < options.context_min && options.context_min <= options.context_max);
+  HCHECK(0 <= options.decode_min && options.decode_min <= options.decode_max);
+  HCHECK(options.tool_result_len >= 1);
+  HCHECK(options.resume_decode >= 0);
+  HCHECK(options.tool_call_fraction >= 0 && options.tool_call_fraction <= 1);
+  HCHECK(options.retrieval_pause_us >= 0);
+  HCHECK(options.tool_pause_us >= 0);
+  HCHECK(options.think_pause_us >= 0);
+
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<size_t>(options.tasks));
+  MicroSeconds arrival = 0;
+  for (int t = 0; t < options.tasks; ++t) {
+    arrival += -options.mean_interarrival_us * std::log(1.0 - rng.NextUnit());
+    TaskSpec task;
+    task.task_id = t;
+    task.session_id = t;
+    task.arrival = arrival;
+
+    // The session token stream, growing by appends only so every turn's
+    // generation prompt is a strict prefix of the next turn's — the
+    // invariant the cross-turn prefix-cache reuse rests on.
+    std::vector<int32_t> session;
+    AppendRandomTokens(rng, options.system_prompt_len, &session);
+
+    const int turns = UniformIn(rng, options.turns_min, options.turns_max);
+    int prev_tail = -1;  // last stage of the previous turn
+    for (int turn = 0; turn < turns; ++turn) {
+      const int query_len = UniformIn(rng, options.query_min, options.query_max);
+      const int context_len =
+          UniformIn(rng, options.context_min, options.context_max);
+      const int decode_len =
+          UniformIn(rng, options.decode_min, options.decode_max);
+      const bool tool_call = rng.NextUnit() < options.tool_call_fraction;
+
+      std::vector<int32_t> query;
+      AppendRandomTokens(rng, query_len, &query);
+
+      // Embed the query for retrieval. Turns after the first wait for the
+      // user's think time behind the previous turn's final stage.
+      TaskStage embed;
+      embed.kind = StageKind::kEmbed;
+      embed.prompt_len = query_len;
+      embed.prompt_tokens = query;
+      if (prev_tail >= 0) {
+        embed.depends_on = {prev_tail};
+        embed.pause_us = options.think_pause_us;
+      }
+      const int embed_idx = static_cast<int>(task.stages.size());
+      task.stages.push_back(std::move(embed));
+
+      // Rerank the retrieved passages against the query (prefill-only;
+      // released one vector-store round trip after the embedding lands).
+      TaskStage rerank;
+      rerank.kind = StageKind::kRerank;
+      rerank.prompt_len = query_len + context_len;
+      rerank.prompt_tokens = query;
+      AppendRandomTokens(rng, context_len, &rerank.prompt_tokens);
+      rerank.depends_on = {embed_idx};
+      rerank.pause_us = options.retrieval_pause_us;
+      const int rerank_idx = static_cast<int>(task.stages.size());
+      task.stages.push_back(std::move(rerank));
+
+      // The generation turn over the whole session prefix plus this turn's
+      // query and (reranked) context.
+      AppendRandomTokens(rng, query_len, &session);
+      AppendRandomTokens(rng, context_len, &session);
+      TaskStage generate;
+      generate.kind = StageKind::kGenerate;
+      generate.prompt_len = static_cast<int>(session.size());
+      generate.prompt_tokens = session;
+      generate.decode_len = decode_len;
+      generate.depends_on = {rerank_idx};
+      const int generate_idx = static_cast<int>(task.stages.size());
+      task.stages.push_back(std::move(generate));
+      // The synthesized response joins the session stream.
+      AppendRandomTokens(rng, std::max(decode_len, 1), &session);
+      prev_tail = generate_idx;
+
+      if (tool_call) {
+        // Tool execution off-SoC, then re-entry with the result appended:
+        // the resume prompt extends the generate prompt + response.
+        AppendRandomTokens(rng, options.tool_result_len, &session);
+        TaskStage resume;
+        resume.kind = StageKind::kResume;
+        resume.prompt_len = static_cast<int>(session.size());
+        resume.prompt_tokens = session;
+        resume.decode_len = options.resume_decode;
+        resume.depends_on = {generate_idx};
+        resume.pause_us = options.tool_pause_us;
+        prev_tail = static_cast<int>(task.stages.size());
+        task.stages.push_back(std::move(resume));
+        AppendRandomTokens(rng, std::max(options.resume_decode, 1), &session);
+      }
+    }
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+std::vector<sim::ConditionEvent> BackgroundLoadTrace(
+    MicroSeconds period_us, MicroSeconds busy_us,
+    double bandwidth_bytes_per_us, MicroSeconds duration_us) {
+  HCHECK(period_us > 0);
+  HCHECK(busy_us > 0 && busy_us <= period_us);
+  HCHECK(bandwidth_bytes_per_us > 0);
+  HCHECK(duration_us > 0);
+  std::vector<sim::ConditionEvent> trace;
+  for (MicroSeconds start = 0; start < duration_us; start += period_us) {
+    sim::ConditionEvent on;
+    on.time = start;
+    on.background_bandwidth_bytes_per_us = bandwidth_bytes_per_us;
+    trace.push_back(on);
+    sim::ConditionEvent off;
+    off.time = start + busy_us;
+    off.background_bandwidth_bytes_per_us = 0;
+    trace.push_back(off);
+  }
+  return trace;
+}
+
+}  // namespace heterollm::workload

@@ -1,0 +1,115 @@
+// Agentic/RAG task-DAG workload generator (ROADMAP item 3).
+//
+// HeRo-style on-device agent tasks are not one prompt→stream: a task is a
+// DAG of stages with very different shapes — a short embedding pass over
+// the user query, a rerank pass over retrieved context (prefill-heavy,
+// no decode), the generation turn over the whole session prefix, and an
+// optional tool call whose result re-enters as a grown prefix. Multi-turn
+// sessions chain several such turns, each re-entering with the previous
+// turn's prompt as a strict prefix of its own — which is exactly the shape
+// a cross-request prefix cache serves with suffix-only prefill.
+//
+// This layer emits the *trace* only (stage shapes, token streams,
+// dependencies, pauses); releasing stages as their parents complete is the
+// serve layer's job (src/serve/task_graph.h). `workload` sits below
+// `serve` in the library layering, so nothing here names a serve type.
+
+#ifndef SRC_WORKLOAD_TASK_TRACE_H_
+#define SRC_WORKLOAD_TASK_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/thermal_model.h"
+
+namespace heterollm::workload {
+
+enum class StageKind {
+  kEmbed,     // embed the user query for retrieval (short prompt, no decode)
+  kRerank,    // score retrieved passages (prefill-heavy, no decode)
+  kGenerate,  // the generation turn over the full session prefix
+  kResume,    // re-entry after a tool call, tool result appended
+};
+
+const char* StageKindName(StageKind kind);
+
+// One node of a task DAG. `depends_on` holds indices into the owning
+// task's `stages` vector, each strictly less than this stage's own index
+// (a DAG by construction). `pause_us` is off-SoC latency between the last
+// parent's completion and this stage's release: the vector-store lookup
+// before a rerank, the tool execution before a resume, the user's think
+// time before the next turn's embed.
+struct TaskStage {
+  StageKind kind = StageKind::kGenerate;
+  int prompt_len = 0;
+  int decode_len = 0;
+  std::vector<int> depends_on;
+  MicroSeconds pause_us = 0;
+  std::vector<int32_t> prompt_tokens;  // prompt_len ids
+};
+
+// One agentic task: a session's whole DAG of stages, arriving at `arrival`.
+struct TaskSpec {
+  int64_t task_id = 0;
+  int64_t session_id = 0;
+  MicroSeconds arrival = 0;
+  std::vector<TaskStage> stages;
+
+  int64_t total_tokens() const;
+};
+
+struct AgenticTraceOptions {
+  int tasks = 8;
+  // Poisson task arrivals (exponential gaps with this mean).
+  MicroSeconds mean_interarrival_us = 5e4;
+  // Turns per session, uniform in [turns_min, turns_max]. Turn k+1's
+  // generate prompt extends turn k's by the synthesized response plus the
+  // new query/context — the grown-prefix re-entry.
+  int turns_min = 2;
+  int turns_max = 3;
+  // Session system prompt opening every generation prompt.
+  int system_prompt_len = 96;
+  // User query length per turn (embed prompt; also appended to the
+  // session stream), uniform.
+  int query_min = 16;
+  int query_max = 48;
+  // Retrieved-context length per turn (rerank prompt tail and generation
+  // context), uniform.
+  int context_min = 192;
+  int context_max = 384;
+  // Generation decode budget per turn, uniform.
+  int decode_min = 32;
+  int decode_max = 96;
+  // Tool-call result length (appended on resume) and resume decode budget.
+  int tool_result_len = 48;
+  int resume_decode = 24;
+  // Fraction of turns ending in a tool call + resume stage.
+  double tool_call_fraction = 0.5;
+  // Off-SoC pauses: vector-store retrieval (embed→rerank), tool execution
+  // (generate→resume), user think time between turns.
+  MicroSeconds retrieval_pause_us = 8e3;
+  MicroSeconds tool_pause_us = 2e4;
+  MicroSeconds think_pause_us = 4e4;
+};
+
+// Deterministic (per rng seed) agentic/RAG trace: `tasks` multi-turn
+// sessions, each turn a chain embed → rerank → generate [→ resume]. Token
+// streams are populated so prefix caches can match the grown session
+// prefix across turns; task_id == session_id == the task's index.
+std::vector<TaskSpec> SyntheticAgenticTrace(Rng& rng,
+                                            const AgenticTraceOptions& options);
+
+// Concurrent render/background load as a scripted condition trace: DRAM
+// contention of `bandwidth_bytes_per_us` toggles on for `busy_us` at the
+// start of every `period_us` window across [0, duration_us) — the bursty
+// frame/asset streaming of a foreground app sharing the SoC. Feed it to
+// `PlatformOptions::conditions`.
+std::vector<sim::ConditionEvent> BackgroundLoadTrace(
+    MicroSeconds period_us, MicroSeconds busy_us,
+    double bandwidth_bytes_per_us, MicroSeconds duration_us);
+
+}  // namespace heterollm::workload
+
+#endif  // SRC_WORKLOAD_TASK_TRACE_H_

@@ -162,12 +162,8 @@ TEST(HybridChunkedTest, ServesBurstWithBudgetedChunks) {
     sopts.prefill_chunk_tokens = 64;
     std::vector<Request> reqs;
     for (int i = 0; i < 6; ++i) {
-      Request r;
-      r.id = i;
-      r.arrival = i * 2e4;
-      r.prompt_len = 200;  // 3 chunks of 64 + a ragged 8-token chunk
-      r.decode_len = 16;
-      reqs.push_back(r);
+      // prompt 200 = 3 chunks of 64 + a ragged 8-token chunk
+      reqs.push_back(Request::Chat(i, i * 2e4, 200, 16));
     }
     Harness h = MakeServing(weights, sopts);
     return IterationScheduler(h.engine.get(), sopts).Run(RequestQueue(reqs));
@@ -203,20 +199,11 @@ TEST(HybridChunkedTest, PreemptMidPromptResumesWithoutReprefill) {
   sopts.kv_budget_bytes = KvCache::BytesForTokens(cfg, 24 * 16);
 
   std::vector<Request> reqs;
-  Request doc;
-  doc.id = 0;
-  doc.arrival = 0;
-  doc.prompt_len = 320;  // 5 chunks
-  doc.decode_len = 4;
-  reqs.push_back(doc);
-  Request chat;
-  chat.id = 1;
-  // Lands while the document is mid-prompt (its 5 chunks span roughly
-  // 300 ms of simulated time) — after at least one chunk has committed.
-  chat.arrival = 1e5;
-  chat.prompt_len = 128;
-  chat.decode_len = 4;
-  reqs.push_back(chat);
+  // The document: a 320-token (5-chunk) prompt. The chat lands while it is
+  // mid-prompt (its 5 chunks span roughly 300 ms of simulated time) —
+  // after at least one chunk has committed.
+  reqs.push_back(Request::Chat(0, /*arrival=*/0, 320, 4));
+  reqs.push_back(Request::Chat(1, /*arrival=*/1e5, 128, 4));
 
   Harness h = MakeServing(weights, sopts);
   const ServingMetrics m =
@@ -251,13 +238,9 @@ TEST(HybridChunkedTest, PrefixHitSkipsWholeChunks) {
   }
   std::vector<Request> reqs;
   for (int i = 0; i < 2; ++i) {
-    Request r;
-    r.id = i;
-    r.arrival = i * 1e6;  // far apart: the first completes before the second
-    r.prompt_len = 96;    // 3 chunks of 32
-    r.decode_len = 4;
-    r.prompt_tokens = tokens;
-    reqs.push_back(r);
+    // Arrivals far apart: the first completes before the second. Prompt 96
+    // = 3 chunks of 32.
+    reqs.push_back(Request::Chat(i, i * 1e6, 96, 4, tokens));
   }
 
   Harness h = MakeServing(weights, sopts);
@@ -288,12 +271,7 @@ TEST(HybridChunkedTest, ComposesWithSpeculativeDecoding) {
     sopts.speculative_acceptance = 0.75;
     std::vector<Request> reqs;
     for (int i = 0; i < 5; ++i) {
-      Request r;
-      r.id = i;
-      r.arrival = i * 1e4;
-      r.prompt_len = 100;
-      r.decode_len = 24;
-      reqs.push_back(r);
+      reqs.push_back(Request::Chat(i, i * 1e4, 100, 24));
     }
     Harness h = MakeServing(weights, sopts);
     return IterationScheduler(h.engine.get(), sopts).Run(RequestQueue(reqs));

@@ -64,13 +64,8 @@ std::vector<int32_t> Tokens(int n, int32_t start) {
 
 Request TokenRequest(int id, MicroSeconds arrival,
                      const std::vector<int32_t>& tokens, int decode_len) {
-  Request r;
-  r.id = id;
-  r.arrival = arrival;
-  r.prompt_len = static_cast<int>(tokens.size());
-  r.decode_len = decode_len;
-  r.prompt_tokens = tokens;
-  return r;
+  return Request::Chat(id, arrival, static_cast<int>(tokens.size()),
+                       decode_len, tokens);
 }
 
 // ---------------------------------------------------------------------------

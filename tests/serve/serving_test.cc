@@ -48,12 +48,7 @@ std::vector<Request> UniformBurst(int n, int prompt_len, int decode_len,
                                   MicroSeconds gap = 0) {
   std::vector<Request> reqs;
   for (int i = 0; i < n; ++i) {
-    Request r;
-    r.id = i;
-    r.arrival = gap * i;
-    r.prompt_len = prompt_len;
-    r.decode_len = decode_len;
-    reqs.push_back(r);
+    reqs.push_back(Request::Chat(i, gap * i, prompt_len, decode_len));
   }
   return reqs;
 }
@@ -213,20 +208,10 @@ TEST(ServingTest, KvBudgetQueuesWhenFull) {
 TEST(ServingTest, KvBudgetEvictsAndRestarts) {
   const ModelConfig cfg = ModelConfig::InternLM1_8B();
   ModelWeights weights = ModelWeights::Create(cfg, ExecutionMode::kSimulate);
-  std::vector<Request> reqs;
-  {
-    Request r0;  // long-running session, admitted first
-    r0.id = 0;
-    r0.arrival = 0;
-    r0.prompt_len = 64;
-    r0.decode_len = 64;
-    Request r1;  // arrives mid-decode, does not fit alongside r0
-    r1.id = 1;
-    r1.arrival = 1e5;  // 100 ms, well into r0's decode
-    r1.prompt_len = 64;
-    r1.decode_len = 8;
-    reqs = {r0, r1};
-  }
+  // Request 0: long-running session, admitted first. Request 1 arrives at
+  // 100 ms — well into 0's decode — and does not fit alongside it.
+  const std::vector<Request> reqs = {Request::Chat(0, 0, 64, 64),
+                                     Request::Chat(1, 1e5, 64, 8)};
 
   SchedulerOptions opts;
   opts.allow_eviction = true;
@@ -475,13 +460,8 @@ TEST(ServingTest, PrefixHitCutsTtftDeterministically) {
   auto run_once = [&](bool enable) {
     std::vector<Request> reqs;
     for (int i = 0; i < 2; ++i) {
-      Request r;
-      r.id = i;
-      r.arrival = i * 1e6;  // far apart: no batching effects, pure prefill
-      r.prompt_len = 256;
-      r.decode_len = 4;
-      r.prompt_tokens = prompt;
-      reqs.push_back(r);
+      // Arrivals far apart: no batching effects, pure prefill.
+      reqs.push_back(Request::Chat(i, i * 1e6, 256, 4, prompt));
     }
     SchedulerOptions opts;
     opts.max_decode_batch = 2;
@@ -522,13 +502,7 @@ TEST(ServingTest, SharedPrefixRaisesPeakSessions) {
   auto run_once = [&](bool enable) {
     std::vector<Request> reqs;
     for (int i = 0; i < 4; ++i) {
-      Request r;
-      r.id = i;
-      r.arrival = 0;
-      r.prompt_len = 96;
-      r.decode_len = 16;
-      r.prompt_tokens = prompt;
-      reqs.push_back(r);
+      reqs.push_back(Request::Chat(i, 0, 96, 16, prompt));
     }
     SchedulerOptions opts;
     opts.max_decode_batch = 4;
@@ -566,19 +540,10 @@ TEST(ServingTest, AdmissionRechecksUsableCapBeforeEvictingPrefixBlocks) {
     tokens.push_back(3000 + t);
   }
   std::vector<Request> reqs;
-  Request seeder;  // populates the prefix cache, then completes
-  seeder.id = 0;
-  seeder.arrival = 0;
-  seeder.prompt_len = 32;
-  seeder.decode_len = 0;
-  seeder.prompt_tokens = tokens;
-  reqs.push_back(seeder);
-  Request big;  // 8-block footprint: infeasible at half scale (5 blocks)
-  big.id = 1;
-  big.arrival = 0;
-  big.prompt_len = 112;
-  big.decode_len = 16;
-  reqs.push_back(big);
+  // Seeder populates the prefix cache, then completes; the big request has
+  // an 8-block footprint: infeasible at half scale (5 blocks).
+  reqs.push_back(Request::Chat(0, /*arrival=*/0, 32, 0, tokens));
+  reqs.push_back(Request::Chat(1, /*arrival=*/0, 112, 16));
 
   sim::ConditionEvent squeeze;
   squeeze.time = 0;

@@ -242,11 +242,7 @@ Harness MakeServingHarness(const ModelWeights& weights,
 std::vector<Request> Burst(int n, int prompt_len, int decode_len) {
   std::vector<Request> reqs;
   for (int i = 0; i < n; ++i) {
-    Request r;
-    r.id = i;
-    r.prompt_len = prompt_len;
-    r.decode_len = decode_len;
-    reqs.push_back(r);
+    reqs.push_back(Request::Chat(i, /*arrival=*/0, prompt_len, decode_len));
   }
   return reqs;
 }
